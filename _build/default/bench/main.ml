@@ -1,0 +1,165 @@
+(* Benchmark entry point.
+
+   Two layers, both emitted to stdout:
+
+   1. The experiment harness regenerates every table and figure of the
+      paper's evaluation section (Tables 2-7, Figures 6-8, plus the
+      Section 5 space accounting, the Section 5.2 protein runs and the
+      ablations). `bench/main.exe table5` runs a single experiment;
+      no arguments runs everything.
+
+   2. One Bechamel micro-benchmark group per table/figure, measuring
+      the kernel operation each experiment times (construction,
+      matching, disk construction, occurrence scans), with proper
+      OLS-estimated per-run costs.
+
+   Scales are modest by default so the full run finishes in minutes;
+   use bin/experiments_main.exe (or SPINE_SCALE / SPINE_DISK_SCALE) for
+   full-scale runs. *)
+
+open Bechamel
+open Toolkit
+
+let bench_scale = 0.01      (* corpus fraction for micro-bench inputs *)
+
+let cfg =
+  { Experiments.Config.default with
+    Experiments.Config.scale =
+      (match Sys.getenv_opt "SPINE_SCALE" with
+       | Some v -> float_of_string v
+       | None -> 0.05);
+    disk_scale =
+      (match Sys.getenv_opt "SPINE_DISK_SCALE" with
+       | Some v -> float_of_string v
+       | None -> 0.005) }
+
+(* --- micro-bench inputs (memoized through Experiments.Data) --- *)
+
+let eco () = Experiments.Data.load ~scale:bench_scale Bioseq.Corpus.eco
+
+let query () =
+  Experiments.Data.homologous_query ~scale:bench_scale
+    ~data_corpus:Bioseq.Corpus.eco Bioseq.Corpus.cel
+
+let spine_index = lazy (Spine.Compact.of_seq (eco ()))
+let spine_fast = lazy (Spine.Index.of_seq (eco ()))
+let st_index = lazy (Suffix_tree.build (eco ()))
+
+let disk_seq () = Experiments.Data.load ~scale:0.001 Bioseq.Corpus.eco
+
+let tests =
+  [ (* Table 2 is static accounting; its kernel is the space model *)
+    Test.make ~name:"table2/naive-node-accounting"
+      (Staged.stage (fun () ->
+           Spine.Space.naive_node_bytes Bioseq.Alphabet.dna))
+  ; (* Tables 3/4 and Figure 8 all reduce to one pass over the built
+       structure *)
+    Test.make ~name:"table3/label-maxima"
+      (Staged.stage (fun () ->
+           Spine.Compact.label_maxima (Lazy.force spine_index)))
+  ; Test.make ~name:"table4/rib-distribution"
+      (Staged.stage (fun () ->
+           Spine.Compact.rib_distribution (Lazy.force spine_index)))
+  ; Test.make ~name:"fig8/link-histogram"
+      (Staged.stage (fun () ->
+           Spine.Compact.link_histogram (Lazy.force spine_index) ~buckets:10))
+  ; (* Figure 6: in-memory construction *)
+    Test.make ~name:"fig6/spine-construction"
+      (Staged.stage (fun () -> Spine.Compact.of_seq (eco ())))
+  ; Test.make ~name:"fig6/suffix-tree-construction"
+      (Staged.stage (fun () -> Suffix_tree.build (eco ())))
+  ; (* Tables 5/6: in-memory maximal matching *)
+    Test.make ~name:"table5/spine-matching"
+      (Staged.stage (fun () ->
+           Spine.Compact.maximal_matches (Lazy.force spine_index)
+             ~threshold:20 (query ())))
+  ; Test.make ~name:"table5/suffix-tree-matching"
+      (Staged.stage (fun () ->
+           Suffix_tree.maximal_matches (Lazy.force st_index) ~threshold:20
+             (query ())))
+  ; Test.make ~name:"table6/spine-matching-statistics"
+      (Staged.stage (fun () ->
+           Spine.Compact.matching_statistics (Lazy.force spine_index)
+             (query ())))
+  ; (* Figure 7 / Table 7: disk-resident construction through the
+       buffer pool *)
+    Test.make ~name:"fig7/spine-disk-construction"
+      (Staged.stage (fun () -> Spine.Disk.build (disk_seq ())))
+  ; Test.make ~name:"table7/spine-disk-equivalent-search"
+      (Staged.stage (fun () ->
+           (* occurrence resolution is the disk search's dominant scan *)
+           Spine.Compact.occurrences (Lazy.force spine_index)
+             [| 0; 1; 2; 3; 0; 1 |]))
+  ; (* Section 5 space: full measurement pass *)
+    Test.make ~name:"space/bytes-per-char"
+      (Staged.stage (fun () ->
+           Spine.Compact.bytes_per_char (Lazy.force spine_index)))
+  ; (* Section 5.2 proteins: protein construction kernel *)
+    Test.make ~name:"proteins/spine-construction"
+      (Staged.stage (fun () ->
+           Spine.Compact.of_seq
+             (Experiments.Data.load ~scale:0.01 Bioseq.Corpus.eco_r)))
+  ; (* ablations: fast store and deferred vs immediate scans *)
+    Test.make ~name:"ablation/hashtable-store-construction"
+      (Staged.stage (fun () -> Spine.Index.of_seq (eco ())))
+  ; Test.make ~name:"ablation/deferred-occurrence-scan"
+      (Staged.stage (fun () ->
+           Spine.Index.maximal_matches (Lazy.force spine_fast) ~threshold:16
+             (query ())))
+  ; Test.make ~name:"ablation/immediate-occurrence-scan"
+      (Staged.stage (fun () ->
+           Spine.Index.maximal_matches ~immediate:true
+             (Lazy.force spine_fast) ~threshold:16 (query ())))
+  ]
+
+let run_microbenches () =
+  print_newline ();
+  print_endline "Bechamel micro-benchmarks (one group per table/figure)";
+  print_endline "------------------------------------------------------";
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all benchmark_cfg [ Instance.monotonic_clock ]
+          (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let pretty =
+            if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "  %-42s %s/run\n%!" name pretty)
+        analyzed)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    Printf.printf
+      "SPINE reproduction bench (scale %g, disk scale %g)\n"
+      cfg.Experiments.Config.scale cfg.Experiments.Config.disk_scale;
+    Experiments.Registry.run_all cfg;
+    run_microbenches ()
+  | [ "micro" ] -> run_microbenches ()
+  | names ->
+    List.iter
+      (fun name ->
+        match Experiments.Registry.find name with
+        | Some e -> e.Experiments.Registry.run cfg
+        | None -> Printf.eprintf "unknown experiment %S\n" name)
+      names

@@ -1,0 +1,1 @@
+bin/spine_cli.ml: Align Arg Array Bioseq Cmd Cmdliner List Printf Result Spine String Term Xutil

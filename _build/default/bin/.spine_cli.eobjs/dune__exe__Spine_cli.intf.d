@@ -1,0 +1,1 @@
+bin/spine_cli.mli:

@@ -1,0 +1,67 @@
+(* CLI for the experiment harness: run one named experiment or all of
+   them, at a chosen scale. *)
+
+open Cmdliner
+
+let scale =
+  let doc = "Fraction of the paper's string lengths for in-memory runs." in
+  Arg.(value & opt float Experiments.Config.default.Experiments.Config.scale
+       & info [ "scale" ] ~docv:"FRACTION" ~doc)
+
+let disk_scale =
+  let doc = "Fraction of the paper's string lengths for disk (buffer-pool) runs." in
+  Arg.(value
+       & opt float Experiments.Config.default.Experiments.Config.disk_scale
+       & info [ "disk-scale" ] ~docv:"FRACTION" ~doc)
+
+let threshold =
+  let doc = "Minimum maximal-match length for the matching experiments." in
+  Arg.(value & opt int Experiments.Config.default.Experiments.Config.threshold
+       & info [ "threshold" ] ~docv:"LEN" ~doc)
+
+let names =
+  let doc =
+    "Experiments to run (table2 table3 table4 table5 table6 table7 fig6 \
+     fig7 fig8 space proteins ablations); default: all."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let list_flag =
+  let doc = "List available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let main scale disk_scale threshold names list_flag =
+  let cfg =
+    { Experiments.Config.scale; disk_scale; threshold;
+      buckets = Experiments.Config.default.Experiments.Config.buckets }
+  in
+  if list_flag then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s\n" e.Experiments.Registry.name
+          e.Experiments.Registry.description)
+      Experiments.Registry.all;
+    0
+  end
+  else
+    match names with
+    | [] -> Experiments.Registry.run_all cfg; 0
+    | names ->
+      let ok = ref 0 in
+      List.iter
+        (fun name ->
+          match Experiments.Registry.find name with
+          | Some e -> e.Experiments.Registry.run cfg
+          | None ->
+            Printf.eprintf "unknown experiment %S (try --list)\n" name;
+            ok := 1)
+        names;
+      !ok
+
+let cmd =
+  let doc = "regenerate the SPINE paper's tables and figures" in
+  let info = Cmd.info "spine-experiments" ~doc in
+  Cmd.v info
+    Term.(const main $ scale $ disk_scale $ threshold $ names $ list_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,302 @@
+(* The `spine` command-line tool: build, persist, query and inspect
+   SPINE indexes over FASTA, raw text, or the built-in synthetic
+   corpora. *)
+
+open Cmdliner
+
+let alphabet_of_string = function
+  | "dna" -> Ok Bioseq.Alphabet.dna
+  | "protein" -> Ok Bioseq.Alphabet.protein
+  | "byte" -> Ok Bioseq.Alphabet.byte
+  | other -> Error (Printf.sprintf "unknown alphabet %S" other)
+
+let alphabet_arg =
+  let doc = "Alphabet: dna, protein or byte." in
+  Arg.(value & opt string "dna" & info [ "alphabet"; "a" ] ~docv:"ALPHA" ~doc)
+
+let load_sequence ~alphabet ~fasta ~synthetic ~scale ~text =
+  match fasta, synthetic, text with
+  | Some path, None, None ->
+    (match Bioseq.Fasta.read_file alphabet path with
+     | [] -> Error "FASTA file contains no records"
+     | records ->
+       (* concatenate multi-record files, as genome tools do *)
+       let seq = Bioseq.Packed_seq.create alphabet in
+       List.iter
+         (fun { Bioseq.Fasta.seq = s; _ } ->
+           Bioseq.Packed_seq.iteri s ~f:(fun _ c -> Bioseq.Packed_seq.append seq c))
+         records;
+       Ok seq)
+  | None, Some name, None ->
+    (match Bioseq.Corpus.find name with
+     | Some corpus -> Ok (Bioseq.Corpus.load ~scale corpus)
+     | None -> Error (Printf.sprintf "unknown corpus %S" name))
+  | None, None, Some path ->
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let seq = Bioseq.Packed_seq.create alphabet in
+    String.iter
+      (fun c ->
+        match Bioseq.Alphabet.encode_opt alphabet c with
+        | Some code -> Bioseq.Packed_seq.append seq code
+        | None -> ())
+      contents;
+    Ok seq
+  | _ ->
+    Error "provide exactly one of --fasta, --synthetic, --text"
+
+let fasta_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fasta"; "f" ] ~docv:"FILE" ~doc:"Input FASTA file.")
+
+let synthetic_arg =
+  Arg.(value & opt (some string) None
+       & info [ "synthetic"; "s" ] ~docv:"CORPUS"
+           ~doc:"Built-in synthetic corpus (ECO, CEL, HC21, HC19, ECO-R, \
+                 YEAST-R, DROS-R).")
+
+let scale_arg =
+  Arg.(value & opt float 0.01
+       & info [ "scale" ] ~docv:"FRACTION"
+           ~doc:"Scale for --synthetic corpora.")
+
+let text_arg =
+  Arg.(value & opt (some string) None
+       & info [ "text"; "t" ] ~docv:"FILE" ~doc:"Input plain-text file.")
+
+let index_arg ~doc =
+  Arg.(required & opt (some string) None
+       & info [ "index"; "i" ] ~docv:"FILE" ~doc)
+
+(* --- build --- *)
+
+let build_cmd =
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output index file.")
+  in
+  let run alphabet fasta synthetic scale text out =
+    match Result.bind (alphabet_of_string alphabet) (fun alphabet ->
+        load_sequence ~alphabet ~fasta ~synthetic ~scale ~text)
+    with
+    | Error e -> prerr_endline e; 1
+    | Ok seq ->
+      let idx, secs =
+        Xutil.Stopwatch.time (fun () -> Spine.Index.of_seq seq)
+      in
+      Spine.Serialize.to_file out idx;
+      Printf.printf "indexed %d chars in %.2fs -> %s\n"
+        (Bioseq.Packed_seq.length seq) secs out;
+      0
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Build a SPINE index and save it.")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ out)
+
+(* --- query --- *)
+
+let query_cmd =
+  let pattern =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATTERN" ~doc:"Pattern to search for.")
+  in
+  let limit =
+    Arg.(value & opt int 20
+         & info [ "limit" ] ~docv:"N" ~doc:"Print at most N positions.")
+  in
+  let run index pattern limit =
+    let idx = Spine.Serialize.of_file index in
+    let alphabet = Spine.Index.alphabet idx in
+    match
+      Array.init (String.length pattern)
+        (fun i -> Bioseq.Alphabet.encode alphabet pattern.[i])
+    with
+    | exception Invalid_argument _ ->
+      prerr_endline "pattern contains characters outside the alphabet"; 1
+    | codes ->
+      let occs = Spine.Index.occurrences idx codes in
+      Printf.printf "%d occurrence(s)\n" (List.length occs);
+      List.iteri
+        (fun k pos -> if k < limit then Printf.printf "  position %d\n" pos)
+        occs;
+      if List.length occs > limit then
+        Printf.printf "  ... (%d more)\n" (List.length occs - limit);
+      0
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Find all occurrences of a pattern.")
+    Term.(const run $ index_arg ~doc:"Index file." $ pattern $ limit)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run index =
+    let idx = Spine.Serialize.of_file index in
+    let n = Spine.Index.length idx in
+    let { Spine.Index.vertebras; ribs; extribs; links } =
+      Spine.Index.edge_counts idx
+    in
+    let m = Spine.Index.label_maxima idx in
+    Printf.printf "characters        %d\n" n;
+    Printf.printf "nodes             %d\n" (Spine.Index.node_count idx);
+    Printf.printf "vertebras         %d\n" vertebras;
+    Printf.printf "ribs              %d\n" ribs;
+    Printf.printf "extribs           %d\n" extribs;
+    Printf.printf "links             %d\n" links;
+    Printf.printf "max PT            %d\n" m.Spine.Index.max_pt;
+    Printf.printf "max LEL           %d\n" m.Spine.Index.max_lel;
+    Printf.printf "max PRT           %d\n" m.Spine.Index.max_prt;
+    Printf.printf "model bytes/char  %.2f\n"
+      (float_of_int (Spine.Index.model_bytes idx) /. float_of_int (max 1 n));
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print structure statistics of an index.")
+    Term.(const run $ index_arg ~doc:"Index file.")
+
+(* --- match --- *)
+
+let match_cmd =
+  let query_file =
+    Arg.(required & opt (some string) None
+         & info [ "query"; "q" ] ~docv:"FILE" ~doc:"Query FASTA file.")
+  in
+  let threshold =
+    Arg.(value & opt int 20
+         & info [ "threshold" ] ~docv:"LEN" ~doc:"Minimum match length.")
+  in
+  let run index query_file threshold =
+    let idx = Spine.Serialize.of_file index in
+    let alphabet = Spine.Index.alphabet idx in
+    match Bioseq.Fasta.read_file alphabet query_file with
+    | [] -> prerr_endline "query FASTA contains no records"; 1
+    | { Bioseq.Fasta.seq = query; _ } :: _ ->
+      let matches, stats =
+        Spine.Index.maximal_matches idx ~threshold query
+      in
+      Printf.printf
+        "%d maximal match(es) >= %d chars (checked %d nodes, %d suffix sets)\n"
+        (List.length matches) threshold stats.Spine.Index.nodes_checked
+        stats.Spine.Index.suffixes_checked;
+      List.iter
+        (fun { Spine.Index.query_end; length; data_ends } ->
+          Printf.printf "  query %d..%d  data:"
+            (query_end - length + 1) query_end;
+          List.iter
+            (fun e -> Printf.printf " %d..%d" (e - length + 1) e)
+            data_ends;
+          print_newline ())
+        matches;
+      0
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Find maximal matching substrings between index and query.")
+    Term.(const run $ index_arg ~doc:"Index file." $ query_file $ threshold)
+
+(* --- approx --- *)
+
+let approx_cmd =
+  let pattern =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATTERN" ~doc:"Pattern to search for.")
+  in
+  let errors =
+    Arg.(value & opt int 1
+         & info [ "errors"; "k" ] ~docv:"K" ~doc:"Error budget.")
+  in
+  let edit_flag =
+    Arg.(value & flag
+         & info [ "edit" ]
+             ~doc:"Use edit distance (insertions/deletions/substitutions)                    instead of mismatches only.")
+  in
+  let limit =
+    Arg.(value & opt int 20
+         & info [ "limit" ] ~docv:"N" ~doc:"Print at most N hits.")
+  in
+  let run index pattern errors edit_flag limit =
+    let idx = Spine.Serialize.of_file index in
+    let alphabet = Spine.Index.alphabet idx in
+    match
+      Array.init (String.length pattern)
+        (fun i -> Bioseq.Alphabet.encode alphabet pattern.[i])
+    with
+    | exception Invalid_argument _ ->
+      prerr_endline "pattern contains characters outside the alphabet"; 1
+    | codes ->
+      let hits =
+        if edit_flag then Align.Approx.edit idx ~pattern:codes ~k:errors
+        else Align.Approx.hamming idx ~pattern:codes ~k:errors
+      in
+      Printf.printf "%d hit(s) within %d %s
+" (List.length hits) errors
+        (if edit_flag then "edit(s)" else "mismatch(es)");
+      List.iteri
+        (fun i { Align.Approx.pos; errors; match_len } ->
+          if i < limit then
+            Printf.printf "  position %d (%d error(s), %d chars)
+"
+              pos errors match_len)
+        hits;
+      0
+  in
+  Cmd.v
+    (Cmd.info "approx"
+       ~doc:"Approximate (k-mismatch / k-edit) pattern search.")
+    Term.(const run $ index_arg ~doc:"Index file." $ pattern $ errors
+          $ edit_flag $ limit)
+
+(* --- align --- *)
+
+let align_cmd =
+  let reference =
+    Arg.(required & opt (some string) None
+         & info [ "reference"; "r" ] ~docv:"FILE"
+             ~doc:"Reference FASTA file.")
+  in
+  let query_file =
+    Arg.(required & opt (some string) None
+         & info [ "query"; "q" ] ~docv:"FILE" ~doc:"Query FASTA file.")
+  in
+  let threshold =
+    Arg.(value & opt int 20
+         & info [ "threshold" ] ~docv:"LEN" ~doc:"Minimum anchor length.")
+  in
+  let alphabet_arg' = alphabet_arg in
+  let run alphabet reference query_file threshold =
+    match alphabet_of_string alphabet with
+    | Error e -> prerr_endline e; 1
+    | Ok alphabet ->
+      (match Bioseq.Fasta.read_file alphabet reference,
+             Bioseq.Fasta.read_file alphabet query_file with
+       | [], _ | _, [] -> prerr_endline "empty FASTA input"; 1
+       | { Bioseq.Fasta.seq = r; _ } :: _, { Bioseq.Fasta.seq = q; _ } :: _ ->
+         let chained, summary = Align.align ~threshold r q in
+         Printf.printf
+           "anchors %d  unique %d  chained %d  bases %d  coverage %.1f%%
+"
+           summary.Align.anchors summary.Align.unique summary.Align.chained
+           summary.Align.chained_bases (100.0 *. summary.Align.coverage);
+         List.iteri
+           (fun i { Align.ref_pos; query_pos; len } ->
+             if i < 25 then
+               Printf.printf "  ref %d..%d = query %d..%d (%d)
+" ref_pos
+                 (ref_pos + len - 1) query_pos (query_pos + len - 1) len)
+           chained;
+         if List.length chained > 25 then
+           Printf.printf "  ... (%d more segments)
+"
+             (List.length chained - 25);
+         0)
+  in
+  Cmd.v
+    (Cmd.info "align"
+       ~doc:"MUM-anchor alignment skeleton between two FASTA sequences.")
+    Term.(const run $ alphabet_arg' $ reference $ query_file $ threshold)
+
+let main_cmd =
+  let doc = "SPINE string index (ICDE 2004 reproduction)" in
+  Cmd.group (Cmd.info "spine" ~doc)
+    [ build_cmd; query_cmd; stats_cmd; match_cmd; approx_cmd; align_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

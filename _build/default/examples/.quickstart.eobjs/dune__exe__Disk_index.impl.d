@@ -1,0 +1,1 @@
+examples/disk_index.ml: Array Bioseq List Pagestore Printf Spine

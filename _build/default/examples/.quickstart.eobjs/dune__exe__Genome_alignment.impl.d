@@ -1,0 +1,1 @@
+examples/genome_alignment.ml: Align Bioseq List Printf

@@ -1,0 +1,1 @@
+examples/persistent_index.ml: Array Bioseq Filename List Pagestore Printf Spine String Sys

@@ -1,0 +1,1 @@
+examples/prefix_partition.ml: Array Bioseq Filename Printf Spine Sys

@@ -1,0 +1,1 @@
+examples/protein_search.ml: Array Bioseq List Printf Spine String

@@ -1,0 +1,1 @@
+examples/text_search.ml: Array Bioseq Char List Printf Spine String Sys

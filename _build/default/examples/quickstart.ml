@@ -1,0 +1,47 @@
+(* Quickstart: build a SPINE index over a DNA string, run the three
+   basic query types, and peek at the structure.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* the paper's running example string *)
+  let dna = Bioseq.Alphabet.dna in
+  let idx = Spine.Index.of_string dna "aaccacaaca" in
+
+  Printf.printf "indexed %d characters -> %d backbone nodes\n"
+    (Spine.Index.length idx) (Spine.Index.node_count idx);
+
+  (* 1. substring membership: SPINE answers without the original text *)
+  List.iter
+    (fun pat ->
+      Printf.printf "contains %-6s = %b\n" pat (Spine.Index.contains idx pat))
+    [ "cac"; "acca"; "accaa" (* the paper's false-positive example *) ];
+
+  (* 2. all occurrences (the target-node-buffer scan of Section 4) *)
+  let encode s =
+    Array.init (String.length s) (fun i -> Bioseq.Alphabet.encode dna s.[i])
+  in
+  let occs = Spine.Index.occurrences idx (encode "ac") in
+  Printf.printf "occurrences of \"ac\" start at: %s\n"
+    (String.concat ", " (List.map string_of_int occs));
+
+  (* 3. maximal matches against another string *)
+  let query = Bioseq.Packed_seq.of_string dna "ttaccacaat" in
+  let matches, stats = Spine.Index.maximal_matches idx ~threshold:3 query in
+  List.iter
+    (fun { Spine.Index.query_end; length; data_ends } ->
+      Printf.printf
+        "match of length %d ending at query %d, data ends: %s\n"
+        length query_end
+        (String.concat ", " (List.map string_of_int data_ends)))
+    matches;
+  Printf.printf "(%d nodes checked, %d suffix-set dispatches)\n"
+    stats.Spine.Index.nodes_checked stats.Spine.Index.suffixes_checked;
+
+  (* structure peek: the backward link of the last node *)
+  let dest, lel = Spine.Index.link idx (Spine.Index.length idx) in
+  Printf.printf
+    "link of the tail node: the last %d characters first occurred ending \
+     at node %d\n"
+    lel dest

@@ -1,0 +1,1 @@
+lib/align/align.ml: Approx Array Bioseq Hashtbl List Option Spine Suffix_tree

@@ -1,0 +1,1 @@
+lib/align/approx.ml: Array Bioseq Hashtbl List Spine

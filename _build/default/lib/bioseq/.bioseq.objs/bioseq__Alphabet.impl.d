@@ -1,0 +1,1 @@
+lib/bioseq/alphabet.ml: Array Bytes Char Printf String

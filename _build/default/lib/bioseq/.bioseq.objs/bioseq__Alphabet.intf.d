@@ -1,0 +1,1 @@
+lib/bioseq/alphabet.mli:

@@ -1,0 +1,1 @@
+lib/bioseq/corpus.ml: Alphabet List Rng String Synthetic

@@ -1,0 +1,1 @@
+lib/bioseq/corpus.mli: Alphabet Packed_seq Synthetic

@@ -1,0 +1,1 @@
+lib/bioseq/fasta.ml: Alphabet Buffer Char List Packed_seq String

@@ -1,0 +1,1 @@
+lib/bioseq/fasta.mli: Alphabet Packed_seq

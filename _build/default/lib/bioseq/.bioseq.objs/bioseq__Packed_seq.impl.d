@@ -1,0 +1,1 @@
+lib/bioseq/packed_seq.ml: Alphabet Array Array1 Bigarray Bytes Char String

@@ -1,0 +1,1 @@
+lib/bioseq/packed_seq.mli: Alphabet Bytes

@@ -1,0 +1,1 @@
+lib/bioseq/rng.mli:

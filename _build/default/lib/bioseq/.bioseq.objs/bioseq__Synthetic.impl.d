@@ -1,0 +1,1 @@
+lib/bioseq/synthetic.ml: Alphabet Array Packed_seq Rng String

@@ -1,0 +1,1 @@
+lib/bioseq/synthetic.mli: Alphabet Packed_seq Rng

@@ -1,0 +1,26 @@
+(** Minimal FASTA reader/writer.
+
+    Real genome distributions (the paper uses E.coli, C.elegans and two
+    human chromosomes) ship as FASTA; this module lets the CLI and the
+    examples index user-supplied FASTA files.  Characters are normalised
+    to lower case for DNA; characters outside the target alphabet (e.g.
+    the ambiguity code [N]) are skipped, matching how MUMmer-era tools
+    preprocessed chromosomes. *)
+
+type record = {
+  header : string;        (** text after ['>'], without the newline *)
+  seq : Packed_seq.t;
+}
+
+val parse_string : Alphabet.t -> string -> record list
+(** Parse a full FASTA document. Data before the first header is
+    rejected. @raise Failure on malformed input. *)
+
+val read_file : Alphabet.t -> string -> record list
+(** Read and parse a file. *)
+
+val to_string : record list -> string
+(** Render records back to FASTA, wrapping sequence lines at 70
+    characters. *)
+
+val write_file : string -> record list -> unit

@@ -1,0 +1,114 @@
+open Bigarray
+
+type buffer = (int, int8_unsigned_elt, c_layout) Array1.t
+
+type t = {
+  alphabet : Alphabet.t;
+  mutable buf : buffer;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) alphabet =
+  let capacity = max capacity 1 in
+  { alphabet; buf = Array1.create int8_unsigned c_layout capacity; len = 0 }
+
+let alphabet t = t.alphabet
+let length t = t.len
+
+let get t i =
+  assert (i >= 0 && i < t.len);
+  Array1.unsafe_get t.buf i
+
+let ensure t extra =
+  let needed = t.len + extra in
+  if needed > Array1.dim t.buf then begin
+    let cap = ref (Array1.dim t.buf) in
+    while !cap < needed do cap := !cap * 2 done;
+    let nbuf = Array1.create int8_unsigned c_layout !cap in
+    Array1.blit (Array1.sub t.buf 0 t.len) (Array1.sub nbuf 0 t.len);
+    t.buf <- nbuf
+  end
+
+let append t code =
+  if code < 0 || code > Alphabet.separator t.alphabet then
+    invalid_arg "Packed_seq.append: code out of range";
+  ensure t 1;
+  Array1.unsafe_set t.buf t.len code;
+  t.len <- t.len + 1
+
+let append_string t s =
+  ensure t (String.length s);
+  String.iter (fun c -> append t (Alphabet.encode t.alphabet c)) s
+
+let of_string alphabet s =
+  let t = create ~capacity:(max 1 (String.length s)) alphabet in
+  append_string t s;
+  t
+
+let of_codes alphabet codes =
+  let t = create ~capacity:(max 1 (Array.length codes)) alphabet in
+  Array.iter (fun c -> append t c) codes;
+  t
+
+let sub_string t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Packed_seq.sub_string";
+  String.init len (fun i -> Alphabet.decode t.alphabet (get t (pos + i)))
+
+let to_string t = sub_string t ~pos:0 ~len:t.len
+
+let packed_bits t =
+  let bits = Alphabet.bits t.alphabet in
+  let total_bits = t.len * bits in
+  let nbytes = (total_bits + 7) / 8 in
+  let out = Bytes.make nbytes '\000' in
+  for i = 0 to t.len - 1 do
+    let code = get t i in
+    let bit0 = i * bits in
+    for b = 0 to bits - 1 do
+      if code land (1 lsl (bits - 1 - b)) <> 0 then begin
+        let pos = bit0 + b in
+        let byte = pos / 8 and off = pos mod 8 in
+        Bytes.set out byte
+          (Char.chr (Char.code (Bytes.get out byte) lor (0x80 lsr off)))
+      end
+    done
+  done;
+  out
+
+let of_packed_bits alphabet ~len bytes =
+  let bits = Alphabet.bits alphabet in
+  let t = create ~capacity:(max 1 len) alphabet in
+  for i = 0 to len - 1 do
+    let bit0 = i * bits in
+    let code = ref 0 in
+    for b = 0 to bits - 1 do
+      let pos = bit0 + b in
+      let byte = pos / 8 and off = pos mod 8 in
+      let set = Char.code (Bytes.get bytes byte) land (0x80 lsr off) <> 0 in
+      code := (!code lsl 1) lor (if set then 1 else 0)
+    done;
+    append t !code
+  done;
+  t
+
+let packed_bytes_per_char t =
+  if t.len = 0 then 0.0 else float_of_int (Alphabet.bits t.alphabet) /. 8.0
+
+let equal a b =
+  Alphabet.equal a.alphabet b.alphabet
+  && a.len = b.len
+  && (let rec go i = i >= a.len || (get a i = get b i && go (i + 1)) in
+      go 0)
+
+let copy t =
+  let c = create ~capacity:(max 1 t.len) t.alphabet in
+  for i = 0 to t.len - 1 do
+    ensure c 1;
+    Array1.unsafe_set c.buf c.len (get t i);
+    c.len <- c.len + 1
+  done;
+  c
+
+let iteri t ~f =
+  for i = 0 to t.len - 1 do f i (get t i) done

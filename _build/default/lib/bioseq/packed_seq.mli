@@ -1,0 +1,59 @@
+(** Growable sequences of alphabet codes.
+
+    A [Packed_seq.t] is the in-memory representation of a data string: a
+    sequence of small integer codes over an {!Alphabet.t}.  Codes are kept
+    one-per-byte in a Bigarray for O(1) unboxed access (construction
+    touches every character once per link-chain step, so access must be
+    cheap), while {!packed_bits} exposes the bit-packed rendering used for
+    serialization and for the paper's space accounting (2 bits per DNA
+    character — the 0.25 bytes/char "CharacterLabel" row of Table 2). *)
+
+type t
+
+val create : ?capacity:int -> Alphabet.t -> t
+(** Fresh empty sequence. *)
+
+val of_string : Alphabet.t -> string -> t
+(** [of_string a s] encodes every character of [s].
+    @raise Invalid_argument if a character is not in [a]. *)
+
+val of_codes : Alphabet.t -> int array -> t
+(** Build from raw codes. @raise Invalid_argument on out-of-range codes
+    (the separator code is allowed). *)
+
+val alphabet : t -> Alphabet.t
+val length : t -> int
+
+val get : t -> int -> int
+(** [get t i] is the code at position [i] (0-based). Unchecked beyond an
+    assertion: callers index with trusted positions. *)
+
+val append : t -> int -> unit
+(** Append one code (separator allowed), growing the buffer as needed. *)
+
+val append_string : t -> string -> unit
+(** Encode and append every character of the argument. *)
+
+val sub_string : t -> pos:int -> len:int -> string
+(** Decode a slice back to characters. *)
+
+val to_string : t -> string
+(** Decode the whole sequence. *)
+
+val packed_bits : t -> Bytes.t
+(** Bit-packed rendering: [Alphabet.bits] bits per symbol, big-endian
+    within bytes, zero-padded at the tail. *)
+
+val of_packed_bits : Alphabet.t -> len:int -> Bytes.t -> t
+(** Inverse of {!packed_bits} given the symbol count. *)
+
+val packed_bytes_per_char : t -> float
+(** Space accounting: bytes per indexed character of the packed form. *)
+
+val equal : t -> t -> bool
+(** Same alphabet and same code sequence. *)
+
+val copy : t -> t
+
+val iteri : t -> f:(int -> int -> unit) -> unit
+(** [iteri t ~f] calls [f pos code] for each position in order. *)

@@ -1,0 +1,51 @@
+(** Directed Acyclic Word Graph (suffix automaton) baseline.
+
+    The paper's related work (Section 7) identifies DAWGs as the only
+    prior approach to {e horizontal} trie compaction, at around 34 bytes
+    per indexed character for DNA — and notes two shortcomings SPINE
+    fixes: incomplete compaction (DAWG state counts still exceed the
+    string length) and the loss of position information (DAWG states do
+    not correspond to character positions).
+
+    This module implements the classic online suffix-automaton
+    construction (Blumer et al.), used by the space experiment to place
+    SPINE among its horizontal-compaction relatives and by the test
+    suite as yet another independent membership oracle. *)
+
+type t
+
+val build : Bioseq.Packed_seq.t -> t
+(** Online construction, O(n * alphabet) with the sibling-list
+    transition representation used here. *)
+
+val of_string : Bioseq.Alphabet.t -> string -> t
+
+val length : t -> int
+(** Characters indexed. *)
+
+val state_count : t -> int
+(** Between [n + 1] and [2n - 1] — more than SPINE's [n + 1], the
+    paper's "unable to achieve complete horizontal compaction". *)
+
+val transition_count : t -> int
+
+val contains : t -> string -> bool
+
+val contains_codes : t -> int array -> bool
+
+val count_occurrences : t -> int array -> int
+(** Number of occurrences of the pattern, from endpos-set sizes — note
+    that unlike SPINE the automaton cannot {e locate} them without
+    auxiliary structures, the paper's "they lack position
+    information". *)
+
+val model_bytes_per_char : t -> float
+(** The paper quotes ~34 bytes per indexed character for DNA DAWGs;
+    this model prices our state records at C field widths
+    (length, suffix link, 4 transition slots). *)
+
+val paper_dawg_bytes_per_char : float
+(** 34.0 — the figure the paper cites from Kurtz. *)
+
+val paper_cdawg_bytes_per_char : float
+(** 22.0 — compact DAWGs, also cited. *)

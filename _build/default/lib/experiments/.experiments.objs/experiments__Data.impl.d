@@ -1,0 +1,1 @@
+lib/experiments/data.ml: Bioseq Hashtbl

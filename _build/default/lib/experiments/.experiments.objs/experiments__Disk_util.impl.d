@@ -1,0 +1,1 @@
+lib/experiments/disk_util.ml: Pagestore Spine Suffix_tree

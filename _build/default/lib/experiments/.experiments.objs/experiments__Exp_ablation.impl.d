@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Bioseq Config Data List Option Pagestore Printf Report Spine Xutil

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Bioseq Config Data Disk_util List Option Pagestore Printf Report Spine

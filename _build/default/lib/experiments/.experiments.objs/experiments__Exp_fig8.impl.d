@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Array Bioseq Config Data List Option Printf Report Spine

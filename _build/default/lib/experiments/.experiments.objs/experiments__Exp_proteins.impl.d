@@ -1,0 +1,1 @@
+lib/experiments/exp_proteins.ml: Array Bioseq Config Data List Printf Report Spine Xutil

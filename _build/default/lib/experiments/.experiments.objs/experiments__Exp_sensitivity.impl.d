@@ -1,0 +1,1 @@
+lib/experiments/exp_sensitivity.ml: Array Bioseq Config List Printf Report Spine Xutil

@@ -1,0 +1,1 @@
+lib/experiments/exp_space.ml: Bioseq Config Data Dawg List Printf Report Spine Suffix_array Suffix_tree Suffix_trie

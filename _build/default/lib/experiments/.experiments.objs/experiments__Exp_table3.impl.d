@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Bioseq Config Data List Printf Report Spine

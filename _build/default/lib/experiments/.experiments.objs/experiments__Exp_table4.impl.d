@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Array Bioseq Config Data List Printf Report Spine

@@ -1,0 +1,1 @@
+lib/experiments/exp_table5.ml: Bioseq Config Data List Printf Report Spine Suffix_tree Xutil

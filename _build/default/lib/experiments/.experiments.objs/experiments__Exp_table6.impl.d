@@ -1,0 +1,1 @@
+lib/experiments/exp_table6.ml: Bioseq Config Data List Option Printf Report Spine Suffix_tree

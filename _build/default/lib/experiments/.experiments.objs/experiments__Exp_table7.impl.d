@@ -1,0 +1,1 @@
+lib/experiments/exp_table7.ml: Bioseq Config Data Disk_util Exp_fig7 List Option Printf Report Spine Suffix_tree

@@ -1,0 +1,31 @@
+(** Experiment configuration.
+
+    The paper ran on real multi-megabase genomes on a 2004 testbed; this
+    harness runs the same experiment designs on synthetic stand-ins at a
+    configurable fraction of the paper's string lengths.  All
+    comparisons are index-vs-index on identical inputs, so the scale
+    factor cancels out of every relative result.
+
+    Scales can be overridden with the [SPINE_SCALE] / [SPINE_DISK_SCALE]
+    environment variables or the CLI flags of [bin/experiments]. *)
+
+type t = {
+  scale : float;       (** fraction of paper string length, in-memory runs *)
+  disk_scale : float;  (** fraction for buffer-pool (disk) runs, which pay
+                           a per-record simulation cost *)
+  threshold : int;     (** minimum maximal-match length, as in MUMmer use *)
+  buckets : int;       (** histogram buckets for Figure 8 *)
+}
+
+let default =
+  { scale = 0.1; disk_scale = 0.02; threshold = 20; buckets = 10 }
+
+let env_float name fallback =
+  match Sys.getenv_opt name with
+  | Some v -> (try float_of_string v with _ -> fallback)
+  | None -> fallback
+
+let from_env () =
+  { default with
+    scale = env_float "SPINE_SCALE" default.scale;
+    disk_scale = env_float "SPINE_DISK_SCALE" default.disk_scale }

@@ -1,0 +1,54 @@
+(** Memoized corpus loading: several experiments share the same
+    synthetic genomes, and generation (while fast) should not pollute
+    construction timings. *)
+
+let cache : (string * int, Bioseq.Packed_seq.t) Hashtbl.t = Hashtbl.create 16
+
+let key corpus scale = (corpus.Bioseq.Corpus.name, int_of_float (scale *. 1e6))
+
+let load ~scale corpus =
+  match Hashtbl.find_opt cache (key corpus scale) with
+  | Some seq -> seq
+  | None ->
+    let seq = Bioseq.Corpus.load ~scale corpus in
+    Hashtbl.replace cache (key corpus scale) seq;
+    seq
+
+let clear () = Hashtbl.reset cache
+
+(* The paper's matching experiments pair related genomes, which share
+   substantial homology; synthetic cross-corpus strings share none. A
+   homologous query is the data string cycled to the query corpus's
+   length with point mutations — the same structure a related genome
+   presents to the matcher: long diverged stretches broken by exact
+   matches well above the reporting threshold. *)
+let homologous_query ?(divergence = 0.12) ~scale ~data_corpus query_corpus =
+  let k =
+    ( "HQ:" ^ data_corpus.Bioseq.Corpus.name ^ ">"
+      ^ query_corpus.Bioseq.Corpus.name,
+      int_of_float (scale *. 1e6) )
+  in
+  match Hashtbl.find_opt cache k with
+  | Some seq -> seq
+  | None ->
+    let data = load ~scale data_corpus in
+    let n = Bioseq.Packed_seq.length data in
+    let target = Bioseq.Corpus.scaled_length ~scale query_corpus in
+    let alphabet = Bioseq.Packed_seq.alphabet data in
+    let size = Bioseq.Alphabet.size alphabet in
+    let rng =
+      Bioseq.Rng.create
+        ((data_corpus.Bioseq.Corpus.seed * 131)
+         + query_corpus.Bioseq.Corpus.seed)
+    in
+    let out = Bioseq.Packed_seq.create ~capacity:target alphabet in
+    for i = 0 to target - 1 do
+      let sym = Bioseq.Packed_seq.get data (i mod n) in
+      let sym =
+        if Bioseq.Rng.float rng 1.0 < divergence then Bioseq.Rng.int rng size
+        else sym
+      in
+      Bioseq.Packed_seq.append out sym
+    done;
+    Hashtbl.replace cache k out;
+    out

@@ -1,0 +1,46 @@
+(** Shared plumbing for the disk-resident experiments: the suffix-tree
+    counterpart of {!Spine.Disk} (node records routed through a buffer
+    pool over the synchronous simulated device). *)
+
+type st_disk = {
+  tree : Suffix_tree.t;
+  device : Pagestore.Device.t;
+  pool : Pagestore.Buffer_pool.t;
+  trace : Suffix_tree.trace;
+}
+
+(* MUMmer-era C suffix trees pack a node into ~16 bytes; using the same
+   figure for every node keeps the disk comparison aligned with the
+   in-memory space model. *)
+let st_record_bytes = 16
+
+let build_st_on_disk ?(config = Spine.Disk.default_config) seq =
+  let device =
+    Pagestore.Device.create ~cost:config.Spine.Disk.cost
+      ~sync_writes:config.Spine.Disk.sync_writes
+      ~page_size:config.Spine.Disk.page_size ()
+  in
+  let pool =
+    Pagestore.Buffer_pool.create ~replacement:config.Spine.Disk.replacement
+      ~frames:config.Spine.Disk.frames device
+  in
+  let router =
+    Pagestore.Trace_router.create pool
+      [ { Pagestore.Trace_router.structure = 0;
+          base_page = 0;
+          record_bytes = st_record_bytes } ]
+  in
+  let trace ~structure ~index ~write =
+    Pagestore.Trace_router.route router ~structure ~index ~write
+  in
+  let tree = Suffix_tree.build ~trace seq in
+  Pagestore.Buffer_pool.flush pool;
+  { tree; device; pool; trace }
+
+let reset_io d =
+  Pagestore.Buffer_pool.drop d.pool;
+  Pagestore.Buffer_pool.reset_stats d.pool;
+  Pagestore.Device.reset_stats d.device
+
+let simulated_seconds device =
+  (Pagestore.Device.stats device).Pagestore.Device.elapsed_us /. 1e6

@@ -1,0 +1,63 @@
+(** The catalogue of reproducible experiments, one per table/figure of
+    the paper's evaluation plus the ablations. *)
+
+type experiment = {
+  name : string;
+  description : string;
+  run : Config.t -> unit;
+}
+
+let all =
+  [ { name = "table2";
+      description = "Table 2: naive index node content (48.25 B for DNA)";
+      run = Exp_table2.run }
+  ; { name = "table3";
+      description = "Table 3: maximum numeric label values per genome";
+      run = Exp_table3.run }
+  ; { name = "table4";
+      description = "Table 4: rib distribution across nodes";
+      run = Exp_table4.run }
+  ; { name = "fig6";
+      description = "Figure 6: in-memory construction times + memory budget";
+      run = Exp_fig6.run }
+  ; { name = "table5";
+      description = "Table 5: in-memory substring matching times";
+      run = Exp_table5.run }
+  ; { name = "table6";
+      description = "Table 6: nodes checked during matching";
+      run = Exp_table6.run }
+  ; { name = "fig7";
+      description = "Figure 7: on-disk construction times";
+      run = Exp_fig7.run }
+  ; { name = "fig8";
+      description = "Figure 8: link destination distribution";
+      run = Exp_fig8.run }
+  ; { name = "table7";
+      description = "Table 7: substring matching on disk";
+      run = Exp_table7.run }
+  ; { name = "space";
+      description = "Section 5: bytes/char across structures + compaction";
+      run = Exp_space.run }
+  ; { name = "proteins";
+      description = "Section 5.2: protein strings";
+      run = Exp_proteins.run }
+  ; { name = "sensitivity";
+      description = "Extension: construction across input repetitiveness";
+      run = Exp_sensitivity.run }
+  ; { name = "ablations";
+      description = "Ablations: buffering policy, node layout, batched scan";
+      run = Exp_ablation.run }
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let run_all cfg =
+  List.iter
+    (fun e ->
+      Printf.printf "\n=== %s: %s ===\n%!" e.name e.description;
+      (* start each experiment from a settled heap so timings are not
+         polluted by garbage from the previous one *)
+      Gc.compact ();
+      let _, secs = Xutil.Stopwatch.time (fun () -> e.run cfg) in
+      Printf.printf "  [%s completed in %.1fs]\n%!" e.name secs)
+    all

@@ -1,0 +1,1 @@
+lib/pagestore/buffer_pool.ml: Array Bytes Device Hashtbl List

@@ -1,0 +1,1 @@
+lib/pagestore/buffer_pool.mli: Bytes Device

@@ -1,0 +1,1 @@
+lib/pagestore/paged_array.ml: Buffer_pool Bytes Char Device Int32

@@ -1,0 +1,1 @@
+lib/pagestore/paged_array.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/pagestore/trace_router.ml: Array Buffer_pool Device List

@@ -1,0 +1,1 @@
+lib/pagestore/trace_router.mli: Buffer_pool

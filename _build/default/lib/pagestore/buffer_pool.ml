@@ -1,0 +1,160 @@
+(* Frames form an intrusive doubly-linked LRU list (indices into the
+   frame arrays). [head] is most recently used, [tail] least. *)
+
+type replacement = [ `Lru | `Fifo ]
+
+type t = {
+  dev : Device.t;
+  pin : int -> bool;
+  replacement : replacement;
+  frames : int;
+  buffers : Bytes.t array;
+  page_of : int array;          (* frame -> page id, -1 = free *)
+  dirty : bool array;
+  in_use : int array;           (* reentrancy latch count per frame *)
+  prev : int array;
+  next : int array;
+  mutable head : int;
+  mutable tail : int;
+  table : (int, int) Hashtbl.t; (* page id -> frame *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
+  if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
+  let page_size = Device.page_size dev in
+  { dev; pin; replacement; frames;
+    buffers = Array.init frames (fun _ -> Bytes.make page_size '\000');
+    page_of = Array.make frames (-1);
+    dirty = Array.make frames false;
+    in_use = Array.make frames 0;
+    prev = Array.make frames (-1);
+    next = Array.make frames (-1);
+    head = -1; tail = -1;
+    table = Hashtbl.create (2 * frames);
+    hits = 0; misses = 0; evictions = 0; writebacks = 0 }
+
+let device t = t.dev
+
+let unlink t f =
+  let p = t.prev.(f) and n = t.next.(f) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p;
+  t.prev.(f) <- -1;
+  t.next.(f) <- -1
+
+let push_front t f =
+  t.prev.(f) <- -1;
+  t.next.(f) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- f;
+  t.head <- f;
+  if t.tail < 0 then t.tail <- f
+
+let touch t f =
+  if t.head <> f then begin
+    unlink t f;
+    push_front t f
+  end
+
+let writeback t f =
+  if t.dirty.(f) then begin
+    Device.write t.dev t.page_of.(f) t.buffers.(f);
+    t.dirty.(f) <- false;
+    t.writebacks <- t.writebacks + 1
+  end
+
+(* Choose a victim frame: least-recently-used unpinned, falling back to
+   least-recently-used pinned when everything resident is pinned. Frames
+   latched by a reentrant [with_page] are never victims. *)
+let find_victim t =
+  let rec scan f fallback =
+    if f < 0 then fallback
+    else if t.in_use.(f) > 0 then scan t.prev.(f) fallback
+    else if not (t.pin t.page_of.(f)) then Some f
+    else scan t.prev.(f) (if fallback = None then Some f else fallback)
+  in
+  match scan t.tail None with
+  | Some f -> f
+  | None -> failwith "Buffer_pool: all frames latched"
+
+let find_free t =
+  let rec go f = if f >= t.frames then -1 else if t.page_of.(f) < 0 then f else go (f + 1) in
+  go 0
+
+let frame_for t page =
+  match Hashtbl.find_opt t.table page with
+  | Some f ->
+    t.hits <- t.hits + 1;
+    (match t.replacement with `Lru -> touch t f | `Fifo -> ());
+    f
+  | None ->
+    t.misses <- t.misses + 1;
+    let f =
+      let free = find_free t in
+      if free >= 0 then free
+      else begin
+        let victim = find_victim t in
+        writeback t victim;
+        Hashtbl.remove t.table t.page_of.(victim);
+        t.evictions <- t.evictions + 1;
+        unlink t victim;
+        victim
+      end
+    in
+    let data = Device.read t.dev page in
+    Bytes.blit data 0 t.buffers.(f) 0 (Bytes.length data);
+    t.page_of.(f) <- page;
+    t.dirty.(f) <- false;
+    Hashtbl.replace t.table page f;
+    push_front t f;
+    f
+
+let with_page t page ~dirty f =
+  let frame = frame_for t page in
+  t.in_use.(frame) <- t.in_use.(frame) + 1;
+  let result =
+    try f t.buffers.(frame)
+    with e ->
+      t.in_use.(frame) <- t.in_use.(frame) - 1;
+      raise e
+  in
+  t.in_use.(frame) <- t.in_use.(frame) - 1;
+  if dirty then t.dirty.(frame) <- true;
+  result
+
+let flush t =
+  (* write back in page order, as any real writeback elevator would *)
+  let dirty = ref [] in
+  for f = 0 to t.frames - 1 do
+    if t.page_of.(f) >= 0 && t.dirty.(f) then dirty := f :: !dirty
+  done;
+  !dirty
+  |> List.sort (fun a b -> compare t.page_of.(a) t.page_of.(b))
+  |> List.iter (fun f -> writeback t f)
+
+let drop t =
+  flush t;
+  Hashtbl.reset t.table;
+  Array.fill t.page_of 0 t.frames (-1);
+  Array.fill t.dirty 0 t.frames false;
+  Array.fill t.prev 0 t.frames (-1);
+  Array.fill t.next 0 t.frames (-1);
+  t.head <- -1;
+  t.tail <- -1
+
+let reset_stats t =
+  t.hits <- 0; t.misses <- 0; t.evictions <- 0; t.writebacks <- 0
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses;
+    evictions = t.evictions; writebacks = t.writebacks }

@@ -1,0 +1,51 @@
+(** Fixed-capacity buffer pool over a {!Device}.
+
+    All disk-resident index structures route their page accesses through
+    a pool of [frames] in-memory page buffers.  Replacement is LRU, with
+    an optional {e pinning policy}: the paper observes (Figure 8) that
+    SPINE's backward links overwhelmingly target the top of the backbone
+    and concludes that "retain as much as possible of the top part of the
+    Link Table in memory" is a sufficient buffering strategy.  Passing
+    [pin] marks pages as preferred residents: a pinned page is only
+    evicted when every frame holds a pinned page. *)
+
+type t
+
+type replacement = [ `Lru | `Fifo ]
+(** [`Fifo] models the simplest possible buffer manager (no recency
+    tracking); the pinning ablation uses it to show that the paper's
+    static pin-the-top policy recovers most of what recency tracking
+    buys. *)
+
+val create :
+  ?pin:(int -> bool) -> ?replacement:replacement -> frames:int ->
+  Device.t -> t
+(** [create ~frames dev] builds a pool of [frames] page buffers
+    (default replacement [`Lru]).
+    @raise Invalid_argument if [frames < 1]. *)
+
+val device : t -> Device.t
+
+val with_page : t -> int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
+(** [with_page pool p ~dirty f] pins page [p] into a frame (reading it
+    from the device on a miss), applies [f] to the frame's buffer, and
+    marks the frame dirty when [dirty] is true.  The buffer must not be
+    retained after [f] returns. Reentrant calls on {e distinct} pages are
+    allowed up to the frame count. *)
+
+val flush : t -> unit
+(** Write back every dirty frame. *)
+
+val drop : t -> unit
+(** Flush, then empty the pool (subsequent accesses re-read the device);
+    used between experiment phases to measure cold-cache behaviour. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

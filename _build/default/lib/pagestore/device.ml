@@ -1,0 +1,112 @@
+type cost = {
+  read_us : float;
+  write_us : float;
+  sequential_us : float;
+  sync_us : float;
+}
+
+let default_cost =
+  { read_us = 8000.0; write_us = 9000.0; sequential_us = 100.0; sync_us = 4000.0 }
+
+type backend =
+  | Mem of (int, Bytes.t) Hashtbl.t
+  | File of Unix.file_descr
+
+type t = {
+  page_size : int;
+  cost : cost;
+  sync_writes : bool;
+  backend : backend;
+  mutable allocated : int;      (* distinct pages written (file backend) *)
+  written : (int, unit) Hashtbl.t;
+  mutable last_page : int;      (* previously accessed page, -2 = none *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sequential : int;
+  mutable elapsed_us : float;
+}
+
+let make ?(cost = default_cost) ?(sync_writes = false) ~page_size backend =
+  if page_size <= 0 then invalid_arg "Device.create: page_size must be positive";
+  { page_size; cost; sync_writes; backend;
+    allocated = 0;
+    written = Hashtbl.create 1024;
+    last_page = -2; reads = 0; writes = 0; sequential = 0; elapsed_us = 0.0 }
+
+let create ?cost ?sync_writes ~page_size () =
+  make ?cost ?sync_writes ~page_size (Mem (Hashtbl.create 1024))
+
+let create_file ?cost ?sync_writes ~page_size ~path () =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  make ?cost ?sync_writes ~page_size (File fd)
+
+let close t =
+  match t.backend with
+  | Mem _ -> ()
+  | File fd -> Unix.close fd
+
+let page_size t = t.page_size
+
+let charge t page full_cost =
+  let sequential = page = t.last_page || page = t.last_page + 1 in
+  if sequential then begin
+    t.sequential <- t.sequential + 1;
+    t.elapsed_us <- t.elapsed_us +. t.cost.sequential_us
+  end
+  else t.elapsed_us <- t.elapsed_us +. full_cost;
+  t.last_page <- page
+
+let read t page =
+  t.reads <- t.reads + 1;
+  charge t page t.cost.read_us;
+  match t.backend with
+  | Mem pages ->
+    (match Hashtbl.find_opt pages page with
+     | Some data -> Bytes.copy data
+     | None -> Bytes.make t.page_size '\000')
+  | File fd ->
+    let buf = Bytes.make t.page_size '\000' in
+    ignore (Unix.lseek fd (page * t.page_size) Unix.SEEK_SET);
+    (* short reads (holes / EOF) leave the zero fill in place *)
+    let rec fill off =
+      if off < t.page_size then begin
+        let k = Unix.read fd buf off (t.page_size - off) in
+        if k > 0 then fill (off + k)
+      end
+    in
+    fill 0;
+    buf
+
+let write t page data =
+  if Bytes.length data <> t.page_size then
+    invalid_arg "Device.write: data is not exactly one page";
+  t.writes <- t.writes + 1;
+  charge t page t.cost.write_us;
+  if t.sync_writes then t.elapsed_us <- t.elapsed_us +. t.cost.sync_us;
+  if not (Hashtbl.mem t.written page) then Hashtbl.replace t.written page ();
+  match t.backend with
+  | Mem pages -> Hashtbl.replace pages page (Bytes.copy data)
+  | File fd ->
+    ignore (Unix.lseek fd (page * t.page_size) Unix.SEEK_SET);
+    let rec drain off =
+      if off < t.page_size then
+        drain (off + Unix.write fd data off (t.page_size - off))
+    in
+    drain 0
+
+let reset_stats t =
+  t.reads <- 0; t.writes <- 0; t.sequential <- 0;
+  t.elapsed_us <- 0.0; t.last_page <- -2
+
+type stats = {
+  reads : int;
+  writes : int;
+  sequential : int;
+  elapsed_us : float;
+}
+
+let stats (t : t) =
+  { reads = t.reads; writes = t.writes;
+    sequential = t.sequential; elapsed_us = t.elapsed_us }
+
+let pages_allocated t = Hashtbl.length t.written

@@ -1,0 +1,72 @@
+(** Simulated block device.
+
+    The paper's disk experiments (Figure 7, Table 7) were run on an IDE
+    disk with synchronous writes ([O_SYNC]) precisely so that the measured
+    times reflect each index's {e access locality} rather than OS caching.
+    This module reproduces that methodology deterministically: a device
+    is an in-memory page map plus counters and a latency cost model.  The
+    "time" an experiment reports is the accumulated simulated latency,
+    which depends only on the I/O trace — identical across machines and
+    runs, unlike wall-clock disk timings.
+
+    Cost model: a page read costs [cost.read_us] microseconds, a page
+    write [cost.write_us]; when [sync_writes] is set every write also
+    pays [cost.sync_us], mirroring the paper's [O_SYNC] setup.
+    Sequential accesses (page adjacent to the previous access) cost
+    [cost.sequential_us] instead of the full seek, which is what rewards
+    SPINE's append-mostly, top-skewed access pattern. *)
+
+type cost = {
+  read_us : float;        (** random page read *)
+  write_us : float;       (** random page write *)
+  sequential_us : float;  (** read or write adjacent to previous access *)
+  sync_us : float;        (** extra cost per synchronous write *)
+}
+
+val default_cost : cost
+(** Calibrated to an early-2000s IDE disk: 8 ms random, 0.1 ms
+    sequential, 4 ms sync overhead. Absolute values only scale the
+    reported times; relative results depend only on the trace. *)
+
+type t
+
+val create : ?cost:cost -> ?sync_writes:bool -> page_size:int -> unit -> t
+(** Fresh in-memory device; pages are [page_size] bytes. [sync_writes]
+    defaults to [false]. *)
+
+val create_file :
+  ?cost:cost -> ?sync_writes:bool -> page_size:int -> path:string ->
+  unit -> t
+(** A device backed by a real file (created if absent, reopened
+    otherwise): page [p] lives at byte offset [p * page_size].  The
+    simulated-latency counters still run — they model the 2004 testbed
+    regardless of the actual storage — but the data is durable, which
+    is what {!Spine.Persistent} builds on.  Page ids must stay below
+    2^40 (sparse files handle the gaps). *)
+
+val close : t -> unit
+(** Release the backing file descriptor (no-op for in-memory devices). *)
+
+val page_size : t -> int
+
+val read : t -> int -> Bytes.t
+(** [read dev p] returns a copy of page [p]'s contents (zero-filled if
+    never written). Counts one read. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** [write dev p data] stores a copy of [data] as page [p]. Counts one
+    write (plus sync cost when enabled).
+    @raise Invalid_argument if [data] is not exactly one page. *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  sequential : int;   (** accesses that hit the sequential fast path *)
+  elapsed_us : float; (** accumulated simulated latency *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val pages_allocated : t -> int
+(** Number of distinct pages ever written. *)

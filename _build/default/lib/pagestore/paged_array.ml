@@ -1,0 +1,68 @@
+type t = {
+  pool : Buffer_pool.t;
+  base_page : int;
+  record_size : int;
+  records_per_page : int;
+  mutable length : int;
+}
+
+let create pool ~base_page ~record_size =
+  let page_size = Device.page_size (Buffer_pool.device pool) in
+  if record_size <= 0 || record_size > page_size then
+    invalid_arg "Paged_array.create: bad record size";
+  { pool; base_page; record_size;
+    records_per_page = page_size / record_size;
+    length = 0 }
+
+let record_size t = t.record_size
+let records_per_page t = t.records_per_page
+let length t = t.length
+
+let page_of_record t i = t.base_page + (i / t.records_per_page)
+
+let pages_spanned t =
+  if t.length = 0 then 0 else (t.length + t.records_per_page - 1) / t.records_per_page
+
+let locate t i off width =
+  if i < 0 then invalid_arg "Paged_array: negative index";
+  if off < 0 || off + width > t.record_size then
+    invalid_arg "Paged_array: field outside record";
+  (page_of_record t i, ((i mod t.records_per_page) * t.record_size) + off)
+
+let note_write t i = if i >= t.length then t.length <- i + 1
+
+let get_u8 t i off =
+  let page, pos = locate t i off 1 in
+  Buffer_pool.with_page t.pool page ~dirty:false (fun b ->
+      Char.code (Bytes.get b pos))
+
+let set_u8 t i off v =
+  let page, pos = locate t i off 1 in
+  Buffer_pool.with_page t.pool page ~dirty:true (fun b ->
+      Bytes.set b pos (Char.chr (v land 0xFF)));
+  note_write t i
+
+let get_u16 t i off =
+  let page, pos = locate t i off 2 in
+  Buffer_pool.with_page t.pool page ~dirty:false (fun b ->
+      Bytes.get_uint16_le b pos)
+
+let set_u16 t i off v =
+  let page, pos = locate t i off 2 in
+  Buffer_pool.with_page t.pool page ~dirty:true (fun b ->
+      Bytes.set_uint16_le b pos (v land 0xFFFF));
+  note_write t i
+
+let get_u32 t i off =
+  let page, pos = locate t i off 4 in
+  Buffer_pool.with_page t.pool page ~dirty:false (fun b ->
+      Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFF_FFFF)
+
+let set_u32 t i off v =
+  let page, pos = locate t i off 4 in
+  Buffer_pool.with_page t.pool page ~dirty:true (fun b ->
+      Bytes.set_int32_le b pos (Int32.of_int (v land 0xFFFF_FFFF)));
+  note_write t i
+
+let none16 = 0xFFFF
+let none32 = 0xFFFF_FFFF

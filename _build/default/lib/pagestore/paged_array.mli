@@ -1,0 +1,49 @@
+(** Array of fixed-size records stored through a {!Buffer_pool}.
+
+    The disk layouts of both indexes (SPINE's Link Table and Rib Tables,
+    the suffix tree's node table) are arrays of fixed-width records.
+    Records never straddle pages: each page holds
+    [page_size / record_size] records, as a real slotted layout would.
+
+    Integer fields are little-endian and unsigned; the all-ones value of
+    a field's width is conventionally used as a "none" sentinel by
+    callers ({!none32}, {!none16}). *)
+
+type t
+
+val create : Buffer_pool.t -> base_page:int -> record_size:int -> t
+(** [create pool ~base_page ~record_size] lays records out starting at
+    device page [base_page].  Several paged arrays can share one pool by
+    using disjoint page ranges.
+    @raise Invalid_argument if [record_size] exceeds the page size or is
+    not positive. *)
+
+val record_size : t -> int
+val records_per_page : t -> int
+
+val length : t -> int
+(** Highest record index written so far + 1 (0 when untouched). *)
+
+val pages_spanned : t -> int
+(** Pages covered by the records written so far. *)
+
+val page_of_record : t -> int -> int
+(** Device page holding a record; exposed so buffering policies can pin
+    by record position (e.g. "top of the Link Table"). *)
+
+val get_u8 : t -> int -> int -> int
+(** [get_u8 a i off] reads the byte at offset [off] of record [i]. *)
+
+val set_u8 : t -> int -> int -> int -> unit
+
+val get_u16 : t -> int -> int -> int
+val set_u16 : t -> int -> int -> int -> unit
+
+val get_u32 : t -> int -> int -> int
+val set_u32 : t -> int -> int -> int -> unit
+
+val none16 : int
+(** 0xFFFF *)
+
+val none32 : int
+(** 0xFFFF_FFFF *)

@@ -1,0 +1,49 @@
+type region = {
+  structure : int;
+  base_page : int;
+  record_bytes : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  regions : region option array;   (* indexed by structure id *)
+  page_size : int;
+}
+
+let create pool regions =
+  let max_id =
+    List.fold_left (fun acc r -> max acc r.structure) 0 regions
+  in
+  let arr = Array.make (max_id + 1) None in
+  List.iter
+    (fun r ->
+      if arr.(r.structure) <> None then
+        invalid_arg "Trace_router.create: duplicate structure id";
+      if r.record_bytes <= 0 then
+        invalid_arg "Trace_router.create: bad record size";
+      arr.(r.structure) <- Some r)
+    regions;
+  { pool;
+    regions = arr;
+    page_size = Device.page_size (Buffer_pool.device pool) }
+
+let page_of t ~structure ~index =
+  match
+    if structure < Array.length t.regions then t.regions.(structure) else None
+  with
+  | None -> invalid_arg "Trace_router.page_of: unknown structure"
+  | Some r ->
+    let per_page = max 1 (t.page_size / r.record_bytes) in
+    r.base_page + (index / per_page)
+
+let route t ~structure ~index ~write =
+  match
+    if structure < Array.length t.regions then t.regions.(structure) else None
+  with
+  | None -> ()
+  | Some r ->
+    let per_page = max 1 (t.page_size / r.record_bytes) in
+    let page = r.base_page + (index / per_page) in
+    Buffer_pool.with_page t.pool page ~dirty:write (fun _ -> ())
+
+let pool t = t.pool

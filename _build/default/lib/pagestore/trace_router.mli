@@ -1,0 +1,31 @@
+(** Replay index access traces against a buffer pool.
+
+    Both index implementations emit logical record accesses
+    [(structure, index, write)].  A router assigns each structure a
+    disjoint page region on the device and turns every record access
+    into a buffer-pool page touch, which is exactly how a disk-resident
+    implementation of the same layout would behave.  The paper's
+    Figure 7 / Table 7 experiments are runs of the in-memory algorithms
+    with their traces routed through one of these. *)
+
+type region = {
+  structure : int;     (** structure id used by the index's trace *)
+  base_page : int;     (** first device page of the region *)
+  record_bytes : int;  (** bytes per logical record *)
+}
+
+type t
+
+val create : Buffer_pool.t -> region list -> t
+(** Regions must have distinct structure ids; accesses to unknown
+    structure ids are ignored (e.g. an overflow table that the caller
+    chooses to keep memory-resident). *)
+
+val route : t -> structure:int -> index:int -> write:bool -> unit
+(** Touch the page holding record [index] of [structure]. *)
+
+val page_of : t -> structure:int -> index:int -> int
+(** The device page a record maps to; exposed so pinning policies can
+    be phrased in terms of records ("the top of the Link Table"). *)
+
+val pool : t -> Buffer_pool.t

@@ -1,0 +1,1 @@
+lib/report/bar.ml: List Printf String

@@ -1,0 +1,49 @@
+let bar_width = 44
+
+let render_bar value vmax =
+  let w =
+    if vmax <= 0.0 then 0
+    else int_of_float (float_of_int bar_width *. value /. vmax +. 0.5)
+  in
+  String.make (max 0 (min bar_width w)) '#'
+
+let print ?title ?(unit_label = "") series =
+  (match title with
+   | Some t ->
+     print_newline ();
+     print_endline t;
+     print_endline (String.make (String.length t) '-')
+   | None -> ());
+  let vmax = List.fold_left (fun acc (_, v) -> max acc v) 0.0 series in
+  let lwidth =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  List.iter
+    (fun (label, v) ->
+      Printf.printf "  %-*s | %-*s %.3g %s\n" lwidth label bar_width
+        (render_bar v vmax) v unit_label)
+    series
+
+let print_grouped ?title ?(unit_label = "") ~group_names series =
+  (match title with
+   | Some t ->
+     print_newline ();
+     print_endline t;
+     print_endline (String.make (String.length t) '-')
+   | None -> ());
+  let na, nb = group_names in
+  let vmax =
+    List.fold_left (fun acc (_, a, b) -> max acc (max a b)) 0.0 series
+  in
+  let lwidth =
+    List.fold_left (fun acc (l, _, _) -> max acc (String.length l))
+      (max (String.length na) (String.length nb))
+      series
+  in
+  List.iter
+    (fun (label, a, b) ->
+      Printf.printf "  %-*s %-*s | %-*s %.3g %s\n" lwidth label lwidth na
+        bar_width (render_bar a vmax) a unit_label;
+      Printf.printf "  %-*s %-*s | %-*s %.3g %s\n" lwidth "" lwidth nb
+        bar_width (render_bar b vmax) b unit_label)
+    series

@@ -1,0 +1,15 @@
+(** ASCII bar series for the reproduced figures.
+
+    The paper's figures are bar/line charts; the harness renders each as
+    a labelled horizontal bar series so the shape (ordering, rough
+    ratios, monotone decay) is visible directly in terminal output. *)
+
+val print :
+  ?title:string -> ?unit_label:string -> (string * float) list -> unit
+(** One bar per (label, value); bars are scaled to the maximum value. *)
+
+val print_grouped :
+  ?title:string -> ?unit_label:string ->
+  group_names:string * string ->
+  (string * float * float) list -> unit
+(** Two bars per row, for side-by-side comparisons such as SPINE vs ST. *)

@@ -1,0 +1,58 @@
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || String.contains "+-.,%xKMG" c)
+       s
+
+let print ?title ?note ~headers rows =
+  let all = headers :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = Option.value ~default:"" (List.nth_opt row c) in
+          if is_numeric cell && c > 0 then
+            Printf.sprintf "%*s" w cell
+          else Printf.sprintf "%-*s" w cell)
+        widths
+    in
+    print_endline ("  " ^ String.concat "  " cells)
+  in
+  (match title with
+   | Some t ->
+     print_newline ();
+     print_endline t;
+     print_endline (String.make (String.length t) '-')
+   | None -> ());
+  render_row headers;
+  render_row (List.map (fun w -> String.make w '-') widths);
+  List.iter render_row rows;
+  (match note with
+   | Some n -> print_endline ("  " ^ n)
+   | None -> ())
+
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let fmt_int v =
+  let s = string_of_int (abs v) in
+  let n = String.length s in
+  let buf = Buffer.create (n + (n / 3)) in
+  if v < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

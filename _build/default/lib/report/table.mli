@@ -1,0 +1,18 @@
+(** Fixed-width text tables for the experiment harness.
+
+    Every reproduced paper table is printed through this module so the
+    output of [bench/main.exe] lines up visually with the paper's own
+    tables in EXPERIMENTS.md. *)
+
+val print :
+  ?title:string -> ?note:string -> headers:string list ->
+  string list list -> unit
+(** Render rows under right-padded headers; numeric-looking cells are
+    right-aligned. [note] prints beneath the table. *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_pct : float -> string
+(** [fmt_pct 0.153] is ["15.3%"]. *)
+
+val fmt_int : int -> string
+(** Thousands-separated: [fmt_int 3500000 = "3,500,000"]. *)

@@ -1,0 +1,1 @@
+lib/spine/builder.ml: Bioseq Store_sig String

@@ -1,0 +1,1 @@
+lib/spine/compact.ml: Bioseq Builder Compact_store Matcher Search Stats String

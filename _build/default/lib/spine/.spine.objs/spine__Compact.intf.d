@@ -1,0 +1,1 @@
+lib/spine/compact.mli: Bioseq Compact_store Matcher Stats

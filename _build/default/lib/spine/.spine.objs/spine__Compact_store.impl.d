@@ -1,0 +1,1 @@
+lib/spine/compact_store.ml: Array Bioseq Bytes Char Hashtbl Int32

@@ -1,0 +1,1 @@
+lib/spine/cursor.ml: Array Bioseq Fast_store Index List Matcher Search Xutil

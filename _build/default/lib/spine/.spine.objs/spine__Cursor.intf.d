@@ -1,0 +1,1 @@
+lib/spine/cursor.mli: Index

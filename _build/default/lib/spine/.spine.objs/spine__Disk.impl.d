@@ -1,0 +1,1 @@
+lib/spine/disk.ml: Array Bioseq Compact List Pagestore

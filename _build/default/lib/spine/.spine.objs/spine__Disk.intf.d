@@ -1,0 +1,1 @@
+lib/spine/disk.mli: Bioseq Compact Pagestore

@@ -1,0 +1,1 @@
+lib/spine/fast_store.ml: Bioseq Hashtbl Xutil

@@ -1,0 +1,1 @@
+lib/spine/generalized.ml: Array Bioseq Index List Printf

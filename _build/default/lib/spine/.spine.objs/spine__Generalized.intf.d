@@ -1,0 +1,1 @@
+lib/spine/generalized.mli: Bioseq Index

@@ -1,0 +1,1 @@
+lib/spine/index.ml: Array Bioseq Builder Fast_store List Matcher Option Search Stats String Xutil

@@ -1,0 +1,1 @@
+lib/spine/index.mli: Bioseq Fast_store Matcher Stats

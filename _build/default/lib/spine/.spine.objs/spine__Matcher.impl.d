@@ -1,0 +1,1 @@
+lib/spine/matcher.ml: Array Bioseq List Search Store_sig Xutil

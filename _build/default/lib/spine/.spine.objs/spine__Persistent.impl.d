@@ -1,0 +1,1 @@
+lib/spine/persistent.ml: Array Bioseq Buffer Builder Bytes Char Compact Compact_store Hashtbl Int32 List Matcher Pagestore Printf Search Stats String Sys

@@ -1,0 +1,1 @@
+lib/spine/persistent.mli: Bioseq Compact Pagestore

@@ -1,0 +1,1 @@
+lib/spine/search.ml: Array Bioseq Hashtbl List Option Store_sig String Xutil

@@ -1,0 +1,1 @@
+lib/spine/serialize.ml: Bioseq Buffer Bytes Char Fast_store Index List Printf String

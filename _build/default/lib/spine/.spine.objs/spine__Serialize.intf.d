@@ -1,0 +1,1 @@
+lib/spine/serialize.mli: Bytes Index

@@ -1,0 +1,1 @@
+lib/spine/space.ml: Bioseq Compact List

@@ -1,0 +1,1 @@
+lib/spine/space.mli: Bioseq Compact

@@ -1,0 +1,1 @@
+lib/spine/stats.ml: Array Bioseq Store_sig

@@ -1,0 +1,1 @@
+lib/spine/store_sig.ml: Bioseq

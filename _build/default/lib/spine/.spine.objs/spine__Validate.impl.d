@@ -1,0 +1,1 @@
+lib/spine/validate.ml: Bioseq Fast_store Index List Printf String

@@ -1,0 +1,1 @@
+lib/spine/validate.mli: Index

@@ -1,0 +1,76 @@
+module S = Compact_store
+module B = Builder.Make (S)
+module Q = Search.Make (S)
+module M = Matcher.Make (S)
+module St = Stats.Make (S)
+
+type t = S.t
+type trace = S.trace
+
+let create ?capacity ?trace alphabet = S.create ?capacity ?trace alphabet
+let append = B.append
+let append_string = B.append_string
+
+let of_seq ?trace seq =
+  let t =
+    create ~capacity:(max 16 (Bioseq.Packed_seq.length seq)) ?trace
+      (Bioseq.Packed_seq.alphabet seq)
+  in
+  B.append_seq t seq;
+  t
+
+let of_string ?trace alphabet s =
+  let t = create ~capacity:(max 16 (String.length s)) ?trace alphabet in
+  append_string t s;
+  t
+
+let alphabet = S.alphabet
+let length = S.length
+let node_count t = S.length t + 1
+
+let contains = Q.contains
+let contains_codes = Q.contains_codes
+let find_first = Q.find_first
+let first_occurrence = Q.first_occurrence
+let occurrences = Q.occurrences
+let end_nodes = Q.end_nodes
+
+type match_stats = M.stats = {
+  nodes_checked : int;
+  suffixes_checked : int;
+}
+
+type mmatch = M.mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;
+}
+
+let matching_statistics = M.matching_statistics
+let maximal_matches = M.maximal_matches
+
+type label_maxima = St.label_maxima = {
+  max_pt : int;
+  max_lel : int;
+  max_prt : int;
+}
+
+let label_maxima = St.label_maxima
+let rib_distribution = St.rib_distribution
+let link_histogram = St.link_histogram
+
+type space = S.space = {
+  lt_bytes : int;
+  rt_bytes : int;
+  rt_slack_bytes : int;
+  overflow_bytes : int;
+  string_bytes : int;
+  migrations : int;
+}
+
+let space = S.space
+let bytes_per_char = S.bytes_per_char
+let live_rows = S.live_rows
+let row_bytes = S.row_bytes
+let overflow_count = S.overflow_count
+let store t = t

@@ -1,0 +1,81 @@
+(** The SPINE index in the paper's optimised Section 5 layout.
+
+    Functionally identical to {!Index} (the test suite enforces search
+    parity), but stored as the paper's Link Table + Rib Tables with
+    2-byte labels and an overflow side table.  This is the
+    representation whose space the paper reports ("less than 12 bytes
+    per indexed character") and the one the disk-resident experiments
+    trace through a buffer pool. *)
+
+type t
+
+type trace = Compact_store.trace
+
+val create : ?capacity:int -> ?trace:trace -> Bioseq.Alphabet.t -> t
+val append : t -> int -> unit
+val append_string : t -> string -> unit
+val of_seq : ?trace:trace -> Bioseq.Packed_seq.t -> t
+val of_string : ?trace:trace -> Bioseq.Alphabet.t -> string -> t
+
+val alphabet : t -> Bioseq.Alphabet.t
+val length : t -> int
+val node_count : t -> int
+
+val contains : t -> string -> bool
+val contains_codes : t -> int array -> bool
+val find_first : t -> int array -> int option
+val first_occurrence : t -> int array -> int option
+val occurrences : t -> int array -> int list
+val end_nodes : t -> int array -> int list
+
+type match_stats = Matcher.Make(Compact_store).stats = {
+  nodes_checked : int;
+  suffixes_checked : int;
+}
+
+type mmatch = Matcher.Make(Compact_store).mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;
+}
+
+val matching_statistics : t -> Bioseq.Packed_seq.t -> int array * match_stats
+
+val maximal_matches :
+  ?immediate:bool -> t -> threshold:int -> Bioseq.Packed_seq.t ->
+  mmatch list * match_stats
+
+type label_maxima = Stats.Make(Compact_store).label_maxima = {
+  max_pt : int;
+  max_lel : int;
+  max_prt : int;
+}
+
+val label_maxima : t -> label_maxima
+val rib_distribution : t -> int array
+val link_histogram : t -> buckets:int -> int array
+
+(** {2 Space accounting (Section 5)} *)
+
+type space = Compact_store.space = {
+  lt_bytes : int;
+  rt_bytes : int;
+  rt_slack_bytes : int;
+  overflow_bytes : int;
+  string_bytes : int;
+  migrations : int;
+}
+
+val space : t -> space
+
+val bytes_per_char : t -> float
+(** Total live bytes per indexed character; the paper's headline
+    "less than 12 bytes" metric. *)
+
+val live_rows : t -> int -> int
+(** Live rows in RT1..RT4 ([0..3]). *)
+
+val row_bytes : t -> int -> int
+val overflow_count : t -> int
+
+val store : t -> Compact_store.t

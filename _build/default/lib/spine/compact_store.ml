@@ -1,0 +1,537 @@
+(** The paper's Section 5 node layout: Link Table + Rib Tables.
+
+    Every node owns one 6-byte Link Table (LT) entry — exactly the
+    {LD/PTR, LEL} columns of the paper's Figure 5; only nodes with
+    downstream edges (around 30 % of them, Table 4) own a row in one of
+    the Rib Tables (RTs), segregated by fanout so that space is paid per
+    edge actually present.  Numeric labels are 2 bytes with an overflow
+    side table for the rare values above 65534 (Table 3 shows real
+    genomes stay far below), and character labels are bit-packed
+    ([payload_bits] per rib, 2 bits for DNA — the same coding as the
+    vertebra labels).
+
+    Layouts (little-endian):
+
+    - LT entry (6 bytes): [payload u32][LEL u16].  When the node has no
+      downstream edges the payload is the link destination (bit 31
+      clear).  Otherwise bit 31 is set and the payload packs
+      [table:2][fanout:5][extrib:1][row:23], and the link destination
+      moves into the row's LD field — Figure 5's PTR case.
+    - RT_k row: [LD u32] then k slots of [RD u32][PT u16], then
+      [ceil(k * clbits / 8)] bytes of packed rib character labels, then
+      [PRT u16].  Ribs occupy slots [0 .. ribs-1]; the extrib, which
+      needs no character label (the paper: "a character label is not
+      required for an extrib"), always occupies the LAST slot [k - 1].
+      For DNA this gives 13/19/25/31-byte rows for RT1..RT4.
+    - Numeric labels with value >= 0xFFFF store the sentinel 0xFFFF and
+      the true value in the overflow side table, the robustness
+      mechanism of Section 5.1.
+    - Extrib anchors (the chain-attribution correction, see
+      {!Store_sig.S.find_extrib}) live in a side table keyed per row.
+
+    When a node's fanout outgrows its table the row migrates to the next
+    table and the old row goes on a freelist — the node-movement cost
+    the paper measured as negligible (reported via [space]).
+
+    The storage logic is written once, in {!Core}, over the {!BYTES}
+    byte-table abstraction: this module instantiates it with in-memory
+    growable byte buffers (plus the [trace] callback whose replay drives
+    the disk experiments), while {!Persistent} instantiates the same
+    code over buffer-pool pages of a real file.
+
+    The [trace] callback reports every logical record access with its
+    structure id (0 = LT, 1-4 = RT1..RT4, 5 = side tables) and row
+    index. *)
+
+type trace = structure:int -> index:int -> write:bool -> unit
+
+(** Byte-table abstraction the layout code is written against. *)
+module type BYTES = sig
+  type t
+
+  val used : t -> int
+  (** Bytes allocated so far. *)
+
+  val alloc : t -> int -> int
+  (** [alloc t n] reserves [n] more bytes, returning their offset. *)
+
+  val get_u8 : t -> int -> int
+  val set_u8 : t -> int -> int -> unit
+  val get_u16 : t -> int -> int
+  val set_u16 : t -> int -> int -> unit
+  val get_u32 : t -> int -> int
+  val set_u32 : t -> int -> int -> unit
+end
+
+(* growable in-memory little-endian byte table *)
+module Btab = struct
+  type t = {
+    mutable data : Bytes.t;
+    mutable len : int;         (* bytes in use *)
+  }
+
+  let create capacity = { data = Bytes.make (max capacity 8) '\000'; len = 0 }
+
+  let used t = t.len
+
+  let ensure t extra =
+    let needed = t.len + extra in
+    if needed > Bytes.length t.data then begin
+      let cap = ref (Bytes.length t.data) in
+      while !cap < needed do cap := !cap * 2 done;
+      let ndata = Bytes.make !cap '\000' in
+      Bytes.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end
+
+  let alloc t bytes =
+    ensure t bytes;
+    let off = t.len in
+    t.len <- t.len + bytes;
+    off
+
+  let get_u8 t off = Char.code (Bytes.get t.data off)
+  let set_u8 t off v = Bytes.set t.data off (Char.chr (v land 0xFF))
+  let get_u16 t off = Bytes.get_uint16_le t.data off
+  let set_u16 t off v = Bytes.set_uint16_le t.data off (v land 0xFFFF)
+  let get_u32 t off = Int32.to_int (Bytes.get_int32_le t.data off) land 0xFFFF_FFFF
+  let set_u32 t off v = Bytes.set_int32_le t.data off (Int32.of_int v)
+end
+
+let lt_entry_bytes = 6
+let overflow_sentinel = 0xFFFF
+
+(* layout constants derived from the alphabet, shared by every
+   instantiation (and by the Disk trace router) *)
+type layout = {
+  slot_capacity : int array;
+  row_bytes : int array;
+  cl_area_off : int array;
+  prt_off : int array;
+  cl_bits : int;
+}
+
+let layout_of alphabet =
+  (* σ - 1 ribs plus one extrib is the maximum fanout *)
+  let mf = max 4 (Bioseq.Alphabet.size alphabet) in
+  let slot_capacity = [| 1; 2; 3; mf |] in
+  let cl_bits =
+    let b = Bioseq.Alphabet.payload_bits alphabet in
+    if b <= 4 then b else 8
+  in
+  let cl_area_off = Array.map (fun k -> 4 + (6 * k)) slot_capacity in
+  let prt_off =
+    Array.mapi
+      (fun i k -> cl_area_off.(i) + (((k * cl_bits) + 7) / 8))
+      slot_capacity
+  in
+  let row_bytes = Array.map (fun off -> off + 2) prt_off in
+  { slot_capacity; row_bytes; cl_area_off; prt_off; cl_bits }
+
+type space = {
+  lt_bytes : int;
+  rt_bytes : int;         (** live rows only *)
+  rt_slack_bytes : int;   (** freelisted rows still occupying storage *)
+  overflow_bytes : int;   (** overflow labels + extrib anchors *)
+  string_bytes : int;     (** the bit-packed vertebra labels *)
+  migrations : int;
+}
+
+module Core (B : BYTES) = struct
+  type t = {
+    seq : Bioseq.Packed_seq.t;
+    lo : layout;
+    lt : B.t;
+    rts : B.t array;                 (* index 0..3 = RT1..RT4 *)
+    freelist : int array;            (* per RT, head row + 1, 0 = none *)
+    live_rows : int array;
+    overflow : (int, int) Hashtbl.t; (* label-field key -> true value *)
+    mutable overflow_count : int;
+    anchors : (int, int) Hashtbl.t;  (* row key -> extrib anchor *)
+    mutable migrations : int;
+    trace : trace option;
+  }
+
+  (* [make] wires up an instance over existing tables; [fresh] also
+     allocates the root's LT entry. Restoring a persisted instance
+     passes the saved side tables and counters back in. *)
+  let make ?trace ?(freelist = [| 0; 0; 0; 0 |]) ?(live_rows = [| 0; 0; 0; 0 |])
+      ?(overflow = Hashtbl.create 16) ?(anchors = Hashtbl.create 16)
+      ?(migrations = 0) ~seq ~lt ~rts alphabet =
+    { seq; lo = layout_of alphabet; lt; rts;
+      freelist; live_rows; overflow;
+      overflow_count = Hashtbl.length overflow;
+      anchors; migrations; trace }
+
+  let init_root t = ignore (B.alloc t.lt lt_entry_bytes)
+
+  let touch t ~structure ~index ~write =
+    match t.trace with
+    | None -> ()
+    | Some f -> f ~structure ~index ~write
+
+  let alphabet t = Bioseq.Packed_seq.alphabet t.seq
+  let length t = Bioseq.Packed_seq.length t.seq
+  let sequence t = t.seq
+  let char_at t i = Bioseq.Packed_seq.get t.seq i
+
+  let append_char t c =
+    Bioseq.Packed_seq.append t.seq c;
+    let node = length t in
+    let off = B.alloc t.lt lt_entry_bytes in
+    assert (off = node * lt_entry_bytes);
+    touch t ~structure:0 ~index:node ~write:true
+
+  (* --- LT payload packing ---
+     bit 31: has-row; if set: bits 30-29 table, 28-24 fanout,
+     23 extrib-present, 22-0 row index. Otherwise bits 30-0 = dest. *)
+
+  let lt_off node = node * lt_entry_bytes
+  let lt_payload t node = B.get_u32 t.lt (lt_off node)
+  let set_lt_payload t node v = B.set_u32 t.lt (lt_off node) v
+
+  let ptr_table p = (p lsr 29) land 3
+  let ptr_fanout p = (p lsr 24) land 0x1F
+  let ptr_extrib p = (p lsr 23) land 1 = 1
+  let ptr_row p = p land 0x7F_FFFF
+
+  let pack_ptr ~table ~fanout ~extrib ~row =
+    assert (row < 0x80_0000);
+    0x8000_0000 lor (table lsl 29) lor (fanout lsl 24)
+    lor ((if extrib then 1 else 0) lsl 23) lor row
+
+  (* --- numeric labels with overflow --- *)
+
+  let read_label t raw key =
+    if raw = overflow_sentinel then begin
+      touch t ~structure:5 ~index:0 ~write:false;
+      Hashtbl.find t.overflow key
+    end
+    else raw
+
+  let write_label t set key v =
+    if v >= overflow_sentinel then begin
+      set overflow_sentinel;
+      if not (Hashtbl.mem t.overflow key) then
+        t.overflow_count <- t.overflow_count + 1;
+      Hashtbl.replace t.overflow key v;
+      touch t ~structure:5 ~index:0 ~write:true
+    end
+    else begin
+      if Hashtbl.mem t.overflow key then begin
+        Hashtbl.remove t.overflow key;
+        t.overflow_count <- t.overflow_count - 1
+      end;
+      set v
+    end
+
+  (* Unique keys per logical label field: LT LELs even, RT fields odd.
+     Slots 0..59 are rib/extrib PTs, 62 the anchor, 63 the PRT. *)
+  let lt_lel_key node = node * 2
+  let rt_label_key ~table ~row ~slot =
+    ((((row * 64) + slot) * 4) + table) * 2 + 1
+
+  let lt_lel t node =
+    read_label t (B.get_u16 t.lt (lt_off node + 4)) (lt_lel_key node)
+
+  let set_lt_lel t node v =
+    write_label t (B.set_u16 t.lt (lt_off node + 4)) (lt_lel_key node) v
+
+  (* --- RT rows --- *)
+
+  let row_off t table row = row * t.lo.row_bytes.(table)
+  let slot_off t table row slot = row_off t table row + 4 + (6 * slot)
+
+  let row_ld t table row = B.get_u32 t.rts.(table) (row_off t table row)
+  let set_row_ld t table row v =
+    B.set_u32 t.rts.(table) (row_off t table row) v
+
+  let slot_rd t table row slot =
+    B.get_u32 t.rts.(table) (slot_off t table row slot)
+
+  let set_slot_rd t table row slot v =
+    B.set_u32 t.rts.(table) (slot_off t table row slot) v
+
+  let slot_pt t table row slot =
+    read_label t
+      (B.get_u16 t.rts.(table) (slot_off t table row slot + 4))
+      (rt_label_key ~table ~row ~slot)
+
+  let set_slot_pt t table row slot v =
+    write_label t
+      (B.set_u16 t.rts.(table) (slot_off t table row slot + 4))
+      (rt_label_key ~table ~row ~slot) v
+
+  (* packed rib character labels *)
+  let slot_cl t table row slot =
+    let base_bit = slot * t.lo.cl_bits in
+    let byte = t.lo.cl_area_off.(table) + (base_bit / 8) in
+    let shift = base_bit mod 8 in
+    let v = B.get_u8 t.rts.(table) (row_off t table row + byte) in
+    (v lsr shift) land ((1 lsl t.lo.cl_bits) - 1)
+
+  let set_slot_cl t table row slot cl =
+    let base_bit = slot * t.lo.cl_bits in
+    let byte = t.lo.cl_area_off.(table) + (base_bit / 8) in
+    let shift = base_bit mod 8 in
+    let mask = ((1 lsl t.lo.cl_bits) - 1) lsl shift in
+    let off = row_off t table row + byte in
+    let v = B.get_u8 t.rts.(table) off in
+    B.set_u8 t.rts.(table) off
+      ((v land lnot mask) lor ((cl lsl shift) land mask))
+
+  let row_prt t table row =
+    read_label t
+      (B.get_u16 t.rts.(table) (row_off t table row + t.lo.prt_off.(table)))
+      (rt_label_key ~table ~row ~slot:63)
+
+  let set_row_prt t table row v =
+    write_label t
+      (B.set_u16 t.rts.(table) (row_off t table row + t.lo.prt_off.(table)))
+      (rt_label_key ~table ~row ~slot:63) v
+
+  let anchor_key ~table ~row = rt_label_key ~table ~row ~slot:62
+
+  let row_anchor t table row =
+    touch t ~structure:5 ~index:0 ~write:false;
+    Hashtbl.find t.anchors (anchor_key ~table ~row)
+
+  let set_row_anchor t table row v =
+    touch t ~structure:5 ~index:0 ~write:true;
+    Hashtbl.replace t.anchors (anchor_key ~table ~row) v
+
+  let alloc_row t table =
+    t.live_rows.(table) <- t.live_rows.(table) + 1;
+    if t.freelist.(table) > 0 then begin
+      let row = t.freelist.(table) - 1 in
+      t.freelist.(table) <- B.get_u32 t.rts.(table) (row_off t table row);
+      row
+    end
+    else begin
+      let off = B.alloc t.rts.(table) t.lo.row_bytes.(table) in
+      off / t.lo.row_bytes.(table)
+    end
+
+  let free_row t table row =
+    t.live_rows.(table) <- t.live_rows.(table) - 1;
+    (* drop side-table entries still keyed to this row *)
+    for slot = 0 to t.lo.slot_capacity.(table) - 1 do
+      let key = rt_label_key ~table ~row ~slot in
+      if Hashtbl.mem t.overflow key then begin
+        Hashtbl.remove t.overflow key;
+        t.overflow_count <- t.overflow_count - 1
+      end
+    done;
+    let prt_key = rt_label_key ~table ~row ~slot:63 in
+    if Hashtbl.mem t.overflow prt_key then begin
+      Hashtbl.remove t.overflow prt_key;
+      t.overflow_count <- t.overflow_count - 1
+    end;
+    Hashtbl.remove t.anchors (anchor_key ~table ~row);
+    B.set_u32 t.rts.(table) (row_off t table row) t.freelist.(table);
+    t.freelist.(table) <- row + 1
+
+  (* --- links --- *)
+
+  let link_dest t node =
+    touch t ~structure:0 ~index:node ~write:false;
+    let p = lt_payload t node in
+    if p land 0x8000_0000 = 0 then p
+    else begin
+      let table = ptr_table p and row = ptr_row p in
+      touch t ~structure:(1 + table) ~index:row ~write:false;
+      row_ld t table row
+    end
+
+  let link_lel t node =
+    touch t ~structure:0 ~index:node ~write:false;
+    lt_lel t node
+
+  let set_link t node ~dest ~lel =
+    touch t ~structure:0 ~index:node ~write:true;
+    set_lt_lel t node lel;
+    let p = lt_payload t node in
+    if p land 0x8000_0000 = 0 then set_lt_payload t node dest
+    else begin
+      let table = ptr_table p and row = ptr_row p in
+      touch t ~structure:(1 + table) ~index:row ~write:true;
+      set_row_ld t table row dest
+    end
+
+  (* --- ribs and extribs --- *)
+
+  (* ribs occupy slots 0 .. ribs-1; the extrib, if present, slot k-1 *)
+  let rib_count p = ptr_fanout p - (if ptr_extrib p then 1 else 0)
+
+  let find_rib t node code =
+    touch t ~structure:0 ~index:node ~write:false;
+    let p = lt_payload t node in
+    if p land 0x8000_0000 = 0 then None
+    else begin
+      let table = ptr_table p and row = ptr_row p in
+      touch t ~structure:(1 + table) ~index:row ~write:false;
+      let ribs = rib_count p in
+      let rec scan slot =
+        if slot >= ribs then None
+        else if slot_cl t table row slot = code then
+          Some (slot_rd t table row slot, slot_pt t table row slot)
+        else scan (slot + 1)
+      in
+      scan 0
+    end
+
+  let find_extrib t node =
+    touch t ~structure:0 ~index:node ~write:false;
+    let p = lt_payload t node in
+    if p land 0x8000_0000 = 0 || not (ptr_extrib p) then None
+    else begin
+      let table = ptr_table p and row = ptr_row p in
+      touch t ~structure:(1 + table) ~index:row ~write:false;
+      let slot = t.lo.slot_capacity.(table) - 1 in
+      Some (slot_rd t table row slot, slot_pt t table row slot,
+            row_prt t table row, row_anchor t table row)
+    end
+
+  let table_for_fanout t f =
+    let rec go table =
+      if table >= 3 || t.lo.slot_capacity.(table) >= f then table
+      else go (table + 1)
+    in
+    go 0
+
+  (* Materialise a row for [node] (or migrate its current one) able to
+     hold one more edge; returns (table, row) of the destination row
+     with the LT payload already updated. *)
+  let grow_row t node ~adding_extrib =
+    let p = lt_payload t node in
+    if p land 0x8000_0000 = 0 then begin
+      let table = table_for_fanout t 1 in
+      let row = alloc_row t table in
+      touch t ~structure:(1 + table) ~index:row ~write:true;
+      set_row_ld t table row p;   (* the link destination moves here *)
+      set_lt_payload t node
+        (pack_ptr ~table ~fanout:1 ~extrib:adding_extrib ~row);
+      touch t ~structure:0 ~index:node ~write:true;
+      (table, row)
+    end
+    else begin
+      let table = ptr_table p and row = ptr_row p in
+      let fanout = ptr_fanout p in
+      let extrib = ptr_extrib p in
+      assert (not (extrib && adding_extrib));
+      if fanout < t.lo.slot_capacity.(table) then begin
+        set_lt_payload t node
+          (pack_ptr ~table ~fanout:(fanout + 1)
+             ~extrib:(extrib || adding_extrib) ~row);
+        touch t ~structure:(1 + table) ~index:row ~write:true;
+        touch t ~structure:0 ~index:node ~write:true;
+        (table, row)
+      end
+      else begin
+        (* migrate to the table serving fanout + 1 *)
+        let ntable = table_for_fanout t (fanout + 1) in
+        assert (ntable > table);
+        let nrow = alloc_row t ntable in
+        t.migrations <- t.migrations + 1;
+        touch t ~structure:(1 + table) ~index:row ~write:false;
+        touch t ~structure:(1 + ntable) ~index:nrow ~write:true;
+        set_row_ld t ntable nrow (row_ld t table row);
+        let ribs = rib_count p in
+        for slot = 0 to ribs - 1 do
+          set_slot_rd t ntable nrow slot (slot_rd t table row slot);
+          set_slot_pt t ntable nrow slot (slot_pt t table row slot);
+          set_slot_cl t ntable nrow slot (slot_cl t table row slot)
+        done;
+        if extrib then begin
+          let oslot = t.lo.slot_capacity.(table) - 1 in
+          let nslot = t.lo.slot_capacity.(ntable) - 1 in
+          set_slot_rd t ntable nrow nslot (slot_rd t table row oslot);
+          set_slot_pt t ntable nrow nslot (slot_pt t table row oslot);
+          set_row_prt t ntable nrow (row_prt t table row);
+          set_row_anchor t ntable nrow (row_anchor t table row)
+        end;
+        free_row t table row;
+        set_lt_payload t node
+          (pack_ptr ~table:ntable ~fanout:(fanout + 1)
+             ~extrib:(extrib || adding_extrib) ~row:nrow);
+        touch t ~structure:0 ~index:node ~write:true;
+        (ntable, nrow)
+      end
+    end
+
+  let add_rib t node ~code ~dest ~pt =
+    let table, row = grow_row t node ~adding_extrib:false in
+    (* the new rib takes the next free rib slot *)
+    let slot = rib_count (lt_payload t node) - 1 in
+    set_slot_rd t table row slot dest;
+    set_slot_pt t table row slot pt;
+    set_slot_cl t table row slot code
+
+  let add_extrib t node ~dest ~pt ~prt ~anchor =
+    let table, row = grow_row t node ~adding_extrib:true in
+    let slot = t.lo.slot_capacity.(table) - 1 in
+    set_slot_rd t table row slot dest;
+    set_slot_pt t table row slot pt;
+    set_row_prt t table row prt;
+    set_row_anchor t table row anchor
+
+  let fold_ribs t node ~init ~f =
+    let p = lt_payload t node in
+    if p land 0x8000_0000 = 0 then init
+    else begin
+      let table = ptr_table p and row = ptr_row p in
+      let ribs = rib_count p in
+      let acc = ref init in
+      for slot = 0 to ribs - 1 do
+        acc :=
+          f !acc (slot_cl t table row slot) (slot_rd t table row slot)
+            (slot_pt t table row slot)
+      done;
+      !acc
+    end
+
+  (* --- accounting --- *)
+
+  let space t =
+    let live = ref 0 and total = ref 0 in
+    Array.iteri
+      (fun table rows ->
+        live := !live + (rows * t.lo.row_bytes.(table));
+        total := !total + B.used t.rts.(table))
+      t.live_rows;
+    { lt_bytes = B.used t.lt;
+      rt_bytes = !live;
+      rt_slack_bytes = !total - !live;
+      (* 8 bytes per overflow entry and per extrib anchor *)
+      overflow_bytes = (t.overflow_count + Hashtbl.length t.anchors) * 8;
+      string_bytes =
+        (length t * Bioseq.Alphabet.payload_bits (alphabet t) + 7) / 8;
+      migrations = t.migrations }
+
+  let bytes_per_char t =
+    let s = space t in
+    if length t = 0 then 0.0
+    else
+      float_of_int
+        (s.lt_bytes + s.rt_bytes + s.overflow_bytes + s.string_bytes)
+      /. float_of_int (length t)
+
+  let live_rows t table = t.live_rows.(table)
+  let row_bytes t table = t.lo.row_bytes.(table)
+  let rows_allocated t table = B.used t.rts.(table) / t.lo.row_bytes.(table)
+  let overflow_count t = t.overflow_count
+end
+
+include Core (Btab)
+
+let create ?(capacity = 1024) ?trace alphabet =
+  let lo = layout_of alphabet in
+  let t =
+    make ?trace
+      ~seq:(Bioseq.Packed_seq.create ~capacity alphabet)
+      ~lt:(Btab.create (capacity * lt_entry_bytes))
+      ~rts:(Array.map (fun b -> Btab.create (64 * b)) lo.row_bytes)
+      alphabet
+  in
+  init_root t;
+  t

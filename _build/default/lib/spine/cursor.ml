@@ -1,0 +1,66 @@
+module Q = Search.Make (Fast_store)
+module M = Matcher.Make (Fast_store)
+
+type t = {
+  idx : Index.t;
+  mutable v : int;      (* termination node of the current match *)
+  mutable len : int;
+}
+
+let create idx = { idx; v = 0; len = 0 }
+
+let reset t =
+  t.v <- 0;
+  t.len <- 0
+
+let advance t code =
+  let nxt = Q.step (Index.store t.idx) t.v t.len code in
+  if nxt < 0 then false
+  else begin
+    t.v <- nxt;
+    t.len <- t.len + 1;
+    true
+  end
+
+let advance_char t ch =
+  match Bioseq.Alphabet.encode_opt (Index.alphabet t.idx) ch with
+  | None -> false
+  | Some code -> advance t code
+
+let drop_front t =
+  if t.len = 0 then invalid_arg "Cursor.drop_front: empty match";
+  let s = Index.store t.idx in
+  t.len <- t.len - 1;
+  if t.len = 0 then t.v <- 0
+  else begin
+    (* the k-suffix terminates at the first chain node whose LEL is
+       below k *)
+    while t.v <> 0 && t.len <= Fast_store.link_lel s t.v do
+      t.v <- Fast_store.link_dest s t.v
+    done
+  end
+
+let longest_extension t code =
+  (* reuse the matcher's consume step on a borrowed state *)
+  let st =
+    { M.t = Index.store t.idx; v = t.v; len = t.len; nodes = 0; suffixes = 0 }
+  in
+  M.consume st code;
+  t.v <- st.M.v;
+  t.len <- st.M.len
+
+let length t = t.len
+let node t = t.v
+
+let first_occurrence t =
+  if t.len = 0 then None else Some (t.v - t.len)
+
+let occurrences t =
+  if t.len = 0 then []
+  else begin
+    let buffers =
+      Q.occurrences_batch (Index.store t.idx) [| (t.v, t.len) |]
+    in
+    Xutil.Int_vec.fold buffers.(0) ~init:[] ~f:(fun acc e -> (e - t.len) :: acc)
+    |> List.rev
+  end

@@ -1,0 +1,44 @@
+(** Generalized SPINE: one index over several strings.
+
+    The paper notes that "a single SPINE index can be used to index
+    multiple different strings, using techniques similar to those
+    employed in Generalized Suffix Trees".  Strings are appended to one
+    backbone separated by the alphabet's reserved separator code; query
+    patterns never contain the separator, so no match can span two
+    strings, and global positions translate back to
+    [(string id, local position)]. *)
+
+type t
+
+val create : Bioseq.Alphabet.t -> t
+
+val add : t -> ?name:string -> Bioseq.Packed_seq.t -> int
+(** Append one more string to the index (online); returns its id.
+    @raise Invalid_argument if the sequence's alphabet differs. *)
+
+val add_string : t -> ?name:string -> string -> int
+
+val count : t -> int
+(** Number of strings indexed. *)
+
+val name : t -> int -> string
+val string_length : t -> int -> int
+
+val index : t -> Index.t
+(** The underlying single-backbone index (for statistics etc.). *)
+
+type hit = {
+  string_id : int;
+  pos : int;      (** 0-based start within that string *)
+}
+
+val occurrences : t -> int array -> hit list
+(** All occurrences of the pattern across all indexed strings, ordered
+    by (id, position). *)
+
+val contains : t -> string -> bool
+
+val locate : t -> int -> hit
+(** Translate a global 0-based backbone position to a per-string
+    position. @raise Invalid_argument if the position falls on a
+    separator or out of range. *)

@@ -1,0 +1,108 @@
+module S = Fast_store
+module B = Builder.Make (S)
+module Q = Search.Make (S)
+module M = Matcher.Make (S)
+module St = Stats.Make (S)
+
+type t = S.t
+
+let create ?capacity alphabet = S.create ?capacity alphabet
+
+let append = B.append
+let append_string = B.append_string
+
+let of_seq seq =
+  let t =
+    create ~capacity:(max 16 (Bioseq.Packed_seq.length seq))
+      (Bioseq.Packed_seq.alphabet seq)
+  in
+  B.append_seq t seq;
+  t
+
+let of_string alphabet s =
+  let t = create ~capacity:(max 16 (String.length s)) alphabet in
+  append_string t s;
+  t
+
+let alphabet = S.alphabet
+let length = S.length
+let sequence = S.sequence
+
+let contains = Q.contains
+let contains_codes = Q.contains_codes
+let find_first = Q.find_first
+let first_occurrence = Q.first_occurrence
+let occurrences = Q.occurrences
+let end_nodes = Q.end_nodes
+let end_nodes_binary = Q.end_nodes_binary
+
+let occurrences_many t patterns =
+  (* find first occurrences individually, then one shared scan *)
+  let firsts =
+    List.map
+      (fun pat ->
+        match Q.find_first t pat with
+        | Some e -> (e, Array.length pat)
+        | None -> (-1, 0))
+      patterns
+  in
+  let present =
+    List.filteri (fun _ (e, _) -> e >= 0) firsts |> Array.of_list
+  in
+  let buffers = Q.occurrences_batch t present in
+  let results = Array.make (List.length patterns) [] in
+  let next = ref 0 in
+  List.iteri
+    (fun i (e, len) ->
+      if e >= 0 then begin
+        results.(i) <-
+          Xutil.Int_vec.fold buffers.(!next) ~init:[]
+            ~f:(fun acc e -> (e - len) :: acc)
+          |> List.rev;
+        incr next
+      end)
+    firsts;
+  results
+
+type match_stats = M.stats = {
+  nodes_checked : int;
+  suffixes_checked : int;
+}
+
+type mmatch = M.mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;
+}
+
+let matching_statistics = M.matching_statistics
+let maximal_matches = M.maximal_matches
+
+type label_maxima = St.label_maxima = {
+  max_pt : int;
+  max_lel : int;
+  max_prt : int;
+}
+
+type edge_counts = St.edge_counts = {
+  vertebras : int;
+  ribs : int;
+  extribs : int;
+  links : int;
+}
+
+let label_maxima = St.label_maxima
+let rib_distribution = St.rib_distribution
+let edge_counts = St.edge_counts
+let link_histogram = St.link_histogram
+
+let model_bytes = S.model_bytes
+let node_count t = S.length t + 1
+
+let link t i = (S.link_dest t i, S.link_lel t i)
+let rib t node code = S.find_rib t node code
+let extrib t node =
+  Option.map (fun (dest, pt, prt, _anchor) -> (dest, pt, prt))
+    (S.find_extrib t node)
+let store t = t
+let of_store s = s

@@ -1,0 +1,168 @@
+(** Streaming matching over a SPINE index (Section 4 of the paper).
+
+    Computes matching statistics of a query against the indexed string,
+    maintaining the invariant that the current state [(node, len)] is
+    the {e termination node} of the current match (the end of its first
+    occurrence in the data string) together with its length.  On a
+    failed extension the matcher first tries shorter suffixes that
+    terminate at the same node (bounded by the rib's pathlength
+    thresholds), then follows the backward link — one check per {e set}
+    of suffixes, which is SPINE's advantage over the suffix tree's
+    one-suffix-link-per-suffix walk (Section 4.1, Table 6). *)
+
+module Make (S : Store_sig.S) = struct
+  module Search = Search.Make (S)
+
+  type stats = {
+    nodes_checked : int;
+    (** nodes examined during extensions, threshold retries and link
+        hops — the unit of the paper's Table 6 *)
+    suffixes_checked : int;
+    (** backward-link traversals: each one dispatches a whole set of
+        candidate suffixes at once *)
+  }
+
+  type state = {
+    t : S.t;
+    mutable v : int;      (* termination node of the current match *)
+    mutable len : int;    (* current match length *)
+    mutable nodes : int;
+    mutable suffixes : int;
+  }
+
+  let make t = { t; v = 0; len = 0; nodes = 0; suffixes = 0 }
+
+  (* Largest pathlength the rib [pt] + its extrib chain supports, i.e.
+     the longest suffix ending at this node that the edge can extend. *)
+  let max_threshold st ~rib_dest ~rib_pt =
+    let rec chase cur best =
+      match S.find_extrib st.t cur with
+      | None -> best
+      | Some (edest, ept, eprt, eanchor) ->
+        st.nodes <- st.nodes + 1;
+        chase edest
+          (if eprt = rib_pt && eanchor = rib_dest then max best ept else best)
+    in
+    chase rib_dest rib_pt
+
+  (* Destination when traversing the rib with pathlength [k]. *)
+  let dest_for st ~rib_dest ~rib_pt k =
+    if k <= rib_pt then rib_dest
+    else begin
+      let rec chase cur =
+        match S.find_extrib st.t cur with
+        | None -> assert false (* caller checked k <= max_threshold *)
+        | Some (edest, ept, eprt, eanchor) ->
+          st.nodes <- st.nodes + 1;
+          if eprt = rib_pt && eanchor = rib_dest && ept >= k then edest
+          else chase edest
+      in
+      chase rib_dest
+    end
+
+  (* Consume one query character, updating the state to the longest
+     suffix of (current match + c) present in the data string. *)
+  let consume st c =
+    let t = st.t in
+    let rec attempt () =
+      st.nodes <- st.nodes + 1;
+      let nxt = Search.step t st.v st.len c in
+      if nxt >= 0 then begin
+        st.v <- nxt;
+        st.len <- st.len + 1
+      end
+      else if st.v = 0 then ()  (* len = 0 at the root: no match *)
+      else begin
+        (* try shorter suffixes that still terminate at [v]: they are
+           the lengths in (link_lel v, len), all served by the same rib
+           up to its maximum threshold *)
+        let lel = S.link_lel t st.v in
+        let served =
+          match S.find_rib t st.v c with
+          | None -> None
+          | Some (dest, pt) ->
+            let maxpt = max_threshold st ~rib_dest:dest ~rib_pt:pt in
+            let k = min (st.len - 1) maxpt in
+            if k > lel then Some (dest_for st ~rib_dest:dest ~rib_pt:pt k, k)
+            else None
+        in
+        match served with
+        | Some (dest, k) ->
+          st.v <- dest;
+          st.len <- k + 1
+        | None ->
+          (* one backward link hop dispatches every remaining suffix
+             terminating at [v] *)
+          st.suffixes <- st.suffixes + 1;
+          st.len <- lel;
+          st.v <- S.link_dest t st.v;
+          attempt ()
+      end
+    in
+    attempt ()
+
+  let stats_of st = { nodes_checked = st.nodes; suffixes_checked = st.suffixes }
+
+  let matching_statistics t q =
+    let m = Bioseq.Packed_seq.length q in
+    let ms = Array.make (max m 1) 0 in
+    let st = make t in
+    for i = 0 to m - 1 do
+      consume st (Bioseq.Packed_seq.get q i);
+      ms.(i) <- st.len
+    done;
+    (ms, stats_of st)
+
+  type mmatch = {
+    query_end : int;
+    length : int;
+    data_ends : int list;
+  }
+
+  (* The paper's complex matching operation: stream the query through
+     the index recording (first-occurrence node, length) at every
+     right-maximal position above the threshold, then resolve every
+     occurrence of all reported matches in ONE deferred sequential
+     backbone scan (Section 4's batched target-node-buffer strategy). *)
+  let maximal_matches ?(immediate = false) t ~threshold q =
+    let m = Bioseq.Packed_seq.length q in
+    let ms = Array.make (max m 1) 0 in
+    let end_node = Array.make (max m 1) (-1) in
+    let st = make t in
+    for i = 0 to m - 1 do
+      consume st (Bioseq.Packed_seq.get q i);
+      ms.(i) <- st.len;
+      end_node.(i) <- (if st.len = 0 then -1 else st.v)
+    done;
+    let reported = ref [] in
+    for i = m - 1 downto 0 do
+      let right_maximal = i = m - 1 || ms.(i + 1) <= ms.(i) in
+      if right_maximal && ms.(i) >= threshold && threshold > 0 then
+        reported := (i, ms.(i), end_node.(i)) :: !reported
+    done;
+    let reported = Array.of_list !reported in
+    (* a node id is the end of a prefix, so end node [e] corresponds to
+       the 0-based data position [e - 1] *)
+    let ends_of buffer =
+      Xutil.Int_vec.fold buffer ~init:[] ~f:(fun acc e -> (e - 1) :: acc)
+      |> List.rev
+    in
+    let matches =
+      if immediate then
+        (* ablation mode: a separate backbone scan per match *)
+        Array.map
+          (fun (i, len, first) ->
+            let buf = Search.occurrences_batch t [| (first, len) |] in
+            { query_end = i; length = len; data_ends = ends_of buf.(0) })
+          reported
+      else begin
+        let firsts = Array.map (fun (_, len, first) -> (first, len)) reported in
+        let buffers = Search.occurrences_batch t firsts in
+        Array.mapi
+          (fun j (i, len, _) ->
+            { query_end = i; length = len; data_ends = ends_of buffers.(j) })
+          reported
+      end
+    in
+    (Array.to_list matches, stats_of st)
+end

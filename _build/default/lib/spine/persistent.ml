@@ -1,0 +1,333 @@
+(* Byte tables over buffer-pool pages: the BYTES instantiation that
+   makes the Section 5 layout disk-resident. Multi-byte fields may
+   straddle a page boundary, so they are assembled byte by byte. *)
+module Paged_bytes = struct
+  type t = {
+    pool : Pagestore.Buffer_pool.t;
+    base_page : int;
+    page_size : int;
+    mutable used : int;
+  }
+
+  let make ?(used = 0) pool ~base_page =
+    { pool; base_page;
+      page_size = Pagestore.Device.page_size (Pagestore.Buffer_pool.device pool);
+      used }
+
+  let used t = t.used
+
+  let alloc t n =
+    let off = t.used in
+    t.used <- t.used + n;
+    off
+
+  let get_u8 t off =
+    Pagestore.Buffer_pool.with_page t.pool (t.base_page + (off / t.page_size))
+      ~dirty:false (fun b -> Char.code (Bytes.get b (off mod t.page_size)))
+
+  let set_u8 t off v =
+    Pagestore.Buffer_pool.with_page t.pool (t.base_page + (off / t.page_size))
+      ~dirty:true (fun b ->
+        Bytes.set b (off mod t.page_size) (Char.chr (v land 0xFF)))
+
+  let get_u16 t off = get_u8 t off lor (get_u8 t (off + 1) lsl 8)
+
+  let set_u16 t off v =
+    set_u8 t off v;
+    set_u8 t (off + 1) (v lsr 8)
+
+  let get_u32 t off =
+    get_u8 t off
+    lor (get_u8 t (off + 1) lsl 8)
+    lor (get_u8 t (off + 2) lsl 16)
+    lor (get_u8 t (off + 3) lsl 24)
+
+  let set_u32 t off v =
+    set_u8 t off v;
+    set_u8 t (off + 1) (v lsr 8);
+    set_u8 t (off + 2) (v lsr 16);
+    set_u8 t (off + 3) (v lsr 24)
+end
+
+module P = Compact_store.Core (Paged_bytes)
+module B = Builder.Make (P)
+module Q = Search.Make (P)
+module M = Matcher.Make (P)
+module St = Stats.Make (P)
+
+(* Page regions within the file. Metadata sits first (64 MB is room
+   for ~8M overflow/anchor entries); each data region then gets 1 GB of
+   sparse address space — enough for ~180M characters — keeping the
+   file's apparent size in the single-digit gigabytes even though only
+   written pages occupy disk blocks. *)
+let meta_span = 1 lsl 14
+let data_span = 1 lsl 18
+
+let region_base structure = meta_span + (structure * data_span)
+
+let lt_region = 0
+let rt_region table = 1 + table
+let seq_region = 5
+let meta_page = 0
+
+type t = {
+  core : P.t;
+  seq_tab : Paged_bytes.t;   (* vertebra codes, 1 byte per character *)
+  device : Pagestore.Device.t;
+  pool : Pagestore.Buffer_pool.t;
+  file_path : string;
+  mutable closed : bool;
+}
+
+let check_open t = if t.closed then invalid_arg "Persistent: index is closed"
+
+let make_pool ?(frames = 256) ?(page_size = 4096) ?(pin_top_lt_pages = 0)
+    ~path ~truncate () =
+  if truncate && Sys.file_exists path then Sys.remove path;
+  let device = Pagestore.Device.create_file ~page_size ~path () in
+  let pin page =
+    pin_top_lt_pages > 0
+    && page >= region_base lt_region
+    && page < region_base lt_region + pin_top_lt_pages
+  in
+  let pool = Pagestore.Buffer_pool.create ~pin ~frames device in
+  (device, pool)
+
+let create ?frames ?page_size ?pin_top_lt_pages ~path alphabet =
+  let device, pool =
+    make_pool ?frames ?page_size ?pin_top_lt_pages ~path ~truncate:true ()
+  in
+  let lo = Compact_store.layout_of alphabet in
+  let core =
+    P.make
+      ~seq:(Bioseq.Packed_seq.create alphabet)
+      ~lt:(Paged_bytes.make pool ~base_page:(region_base lt_region))
+      ~rts:
+        (Array.mapi
+           (fun table _ ->
+             Paged_bytes.make pool ~base_page:(region_base (rt_region table)))
+           lo.Compact_store.row_bytes)
+      alphabet
+  in
+  P.init_root core;
+  let seq_tab = Paged_bytes.make pool ~base_page:(region_base seq_region) in
+  { core; seq_tab; device; pool; file_path = path; closed = false }
+
+(* --- metadata blob (region 6) --- *)
+
+let blob_write pool data =
+  let page_size =
+    Pagestore.Device.page_size (Pagestore.Buffer_pool.device pool)
+  in
+  let total = Bytes.length data in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_le header 0 (Int32.of_int total);
+  let all = Bytes.cat header data in
+  let pos = ref 0 in
+  let page = ref (meta_page) in
+  while !pos < Bytes.length all do
+    let chunk = min page_size (Bytes.length all - !pos) in
+    Pagestore.Buffer_pool.with_page pool !page ~dirty:true (fun b ->
+        Bytes.blit all !pos b 0 chunk);
+    pos := !pos + chunk;
+    incr page
+  done
+
+let blob_read pool =
+  let page_size =
+    Pagestore.Device.page_size (Pagestore.Buffer_pool.device pool)
+  in
+  let first =
+    Pagestore.Buffer_pool.with_page pool (meta_page)
+      ~dirty:false Bytes.copy
+  in
+  let total = Int32.to_int (Bytes.get_int32_le first 0) in
+  if total <= 0 || total > 1 lsl 30 then
+    failwith "Persistent: corrupt or missing metadata";
+  let out = Bytes.create total in
+  let copied = min total (page_size - 4) in
+  Bytes.blit first 4 out 0 copied;
+  let pos = ref copied in
+  let page = ref (meta_page + 1) in
+  while !pos < total do
+    let chunk = min page_size (total - !pos) in
+    Pagestore.Buffer_pool.with_page pool !page ~dirty:false (fun b ->
+        Bytes.blit b 0 out !pos chunk);
+    pos := !pos + chunk;
+    incr page
+  done;
+  out
+
+let magic = "SPNP"
+let version = 1
+
+let metadata_bytes t =
+  let buf = Buffer.create 1024 in
+  let u32 v = for k = 0 to 3 do Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xFF)) done in
+  Buffer.add_string buf magic;
+  u32 version;
+  let alphabet = P.alphabet t.core in
+  let symbols =
+    String.init (Bioseq.Alphabet.size alphabet)
+      (fun c -> Bioseq.Alphabet.decode alphabet c)
+  in
+  u32 (String.length symbols);
+  Buffer.add_string buf symbols;
+  u32 (P.length t.core);
+  for table = 0 to 3 do
+    u32 (Paged_bytes.used t.core.P.rts.(table));
+    u32 t.core.P.freelist.(table);
+    u32 t.core.P.live_rows.(table)
+  done;
+  u32 t.core.P.migrations;
+  u32 (Hashtbl.length t.core.P.overflow);
+  Hashtbl.iter (fun k v -> u32 k; u32 v) t.core.P.overflow;
+  u32 (Hashtbl.length t.core.P.anchors);
+  Hashtbl.iter (fun k v -> u32 k; u32 v) t.core.P.anchors;
+  Buffer.to_bytes buf
+
+let flush t =
+  check_open t;
+  blob_write t.pool (metadata_bytes t);
+  Pagestore.Buffer_pool.flush t.pool
+
+let close t =
+  flush t;
+  t.closed <- true;
+  Pagestore.Device.close t.device
+
+let open_ ?frames ?pin_top_lt_pages ~path () =
+  if not (Sys.file_exists path) then
+    failwith (Printf.sprintf "Persistent.open_: %s does not exist" path);
+  let device, pool =
+    make_pool ?frames ?pin_top_lt_pages ~path ~truncate:false ()
+  in
+  let data =
+    try blob_read pool
+    with Invalid_argument _ -> failwith "Persistent: corrupt metadata"
+  in
+  let pos = ref 0 in
+  (* a truncated blob surfaces as Bytes.sub failures below; turn them
+     into the advertised Failure *)
+  let u8 () =
+    let v =
+      try Char.code (Bytes.get data !pos)
+      with Invalid_argument _ -> failwith "Persistent: corrupt metadata"
+    in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let v = ref 0 in
+    for k = 0 to 3 do v := !v lor (u8 () lsl (8 * k)) done;
+    !v
+  in
+  let str n =
+    let s =
+      try Bytes.sub_string data !pos n
+      with Invalid_argument _ -> failwith "Persistent: corrupt metadata"
+    in
+    pos := !pos + n;
+    s
+  in
+  if str 4 <> magic then failwith "Persistent.open_: bad magic";
+  if u32 () <> version then failwith "Persistent.open_: unsupported version";
+  let symbols = str (u32 ()) in
+  let alphabet =
+    match
+      List.find_opt
+        (fun a ->
+          String.init (Bioseq.Alphabet.size a)
+            (fun c -> Bioseq.Alphabet.decode a c)
+          = symbols)
+        [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein; Bioseq.Alphabet.byte ]
+    with
+    | Some a -> a
+    | None -> Bioseq.Alphabet.make symbols
+  in
+  let n = u32 () in
+  let rt_used = Array.make 4 0 in
+  let freelist = Array.make 4 0 in
+  let live_rows = Array.make 4 0 in
+  for table = 0 to 3 do
+    rt_used.(table) <- u32 ();
+    freelist.(table) <- u32 ();
+    live_rows.(table) <- u32 ()
+  done;
+  let migrations = u32 () in
+  let overflow = Hashtbl.create 16 in
+  let n_ov = u32 () in
+  for _ = 1 to n_ov do
+    let k = u32 () in
+    Hashtbl.replace overflow k (u32 ())
+  done;
+  let anchors = Hashtbl.create 16 in
+  let n_an = u32 () in
+  for _ = 1 to n_an do
+    let k = u32 () in
+    Hashtbl.replace anchors k (u32 ())
+  done;
+  (* rebuild the in-memory sequence mirror from the code region *)
+  let seq_tab =
+    Paged_bytes.make pool ~base_page:(region_base seq_region) ~used:n
+  in
+  let seq = Bioseq.Packed_seq.create ~capacity:(max 16 n) alphabet in
+  for i = 0 to n - 1 do
+    Bioseq.Packed_seq.append seq (Paged_bytes.get_u8 seq_tab i)
+  done;
+  let core =
+    P.make ~freelist ~live_rows ~overflow ~anchors ~migrations ~seq
+      ~lt:
+        (Paged_bytes.make pool ~base_page:(region_base lt_region)
+           ~used:((n + 1) * Compact_store.lt_entry_bytes))
+      ~rts:
+        (Array.init 4 (fun table ->
+             Paged_bytes.make pool ~base_page:(region_base (rt_region table))
+               ~used:rt_used.(table)))
+      alphabet
+  in
+  { core; seq_tab; device; pool; file_path = path; closed = false }
+
+let path t = t.file_path
+let alphabet t = P.alphabet t.core
+let length t = check_open t; P.length t.core
+
+let append t code =
+  check_open t;
+  (* mirror the character into the on-disk code region, then extend the
+     index structure *)
+  let off = Paged_bytes.alloc t.seq_tab 1 in
+  Paged_bytes.set_u8 t.seq_tab off code;
+  B.append t.core code
+
+let append_string t s =
+  String.iter (fun ch -> append t (Bioseq.Alphabet.encode (alphabet t) ch)) s
+
+let append_seq t seq = Bioseq.Packed_seq.iteri seq ~f:(fun _ c -> append t c)
+
+let contains t s = check_open t; Q.contains t.core s
+let contains_codes t codes = check_open t; Q.contains_codes t.core codes
+let first_occurrence t codes = check_open t; Q.first_occurrence t.core codes
+let occurrences t codes = check_open t; Q.occurrences t.core codes
+
+let matching_statistics t q =
+  check_open t;
+  let ms, stats = M.matching_statistics t.core q in
+  ( ms,
+    { Compact.nodes_checked = stats.M.nodes_checked;
+      suffixes_checked = stats.M.suffixes_checked } )
+
+let maximal_matches t ~threshold q =
+  check_open t;
+  let matches, stats = M.maximal_matches t.core ~threshold q in
+  ( List.map
+      (fun { M.query_end; length; data_ends } -> (query_end, length, data_ends))
+      matches,
+    { Compact.nodes_checked = stats.M.nodes_checked;
+      suffixes_checked = stats.M.suffixes_checked } )
+
+let bytes_per_char t = check_open t; P.bytes_per_char t.core
+let rib_distribution t = check_open t; St.rib_distribution t.core
+
+let device t = t.device
+let pool t = t.pool

@@ -1,0 +1,73 @@
+(** File-backed persistent SPINE.
+
+    The same Section 5 Link-Table/Rib-Table layout as {!Compact}, but
+    the byte tables live in pages of a real file behind a bounded
+    buffer pool: the index never needs to be fully resident, survives
+    process restarts, and reopens without reconstruction — the
+    deployment the paper's disk-resident experiments argue SPINE is
+    suited to ("due to the simple linearity of SPINE's structure, it is
+    easy to develop efficient buffering policies").
+
+    File layout (page regions, sparse): the Link Table, the four Rib
+    Tables, the vertebra character codes, and a metadata blob
+    (freelists, side tables, counters) written by {!close}/{!flush}.
+
+    Construction remains online: {!append} extends the index and the
+    file together.  All query operations are the shared SPINE
+    algorithms instantiated over the paged storage, so every page they
+    touch goes through the pool. *)
+
+type t
+
+val create :
+  ?frames:int -> ?page_size:int -> ?pin_top_lt_pages:int ->
+  path:string -> Bioseq.Alphabet.t -> t
+(** Start a new index in file [path] (truncating any previous content).
+    [frames] bounds the buffer pool (default 256 pages of
+    [page_size] = 4096 bytes); [pin_top_lt_pages] applies the paper's
+    keep-the-top-of-the-LT policy. *)
+
+val open_ : ?frames:int -> ?pin_top_lt_pages:int -> path:string -> unit -> t
+(** Reopen a previously {!close}d index.
+    @raise Failure on missing/corrupt metadata. *)
+
+val close : t -> unit
+(** Flush everything (pages + metadata) and release the file. The [t]
+    must not be used afterwards. *)
+
+val flush : t -> unit
+(** Durability point without closing: after [flush], {!open_} on the
+    same path would see the current state. *)
+
+val path : t -> string
+val alphabet : t -> Bioseq.Alphabet.t
+val length : t -> int
+
+(** {2 Construction} *)
+
+val append : t -> int -> unit
+val append_string : t -> string -> unit
+val append_seq : t -> Bioseq.Packed_seq.t -> unit
+
+(** {2 Queries} — shared SPINE algorithms over the paged storage. *)
+
+val contains : t -> string -> bool
+val contains_codes : t -> int array -> bool
+val first_occurrence : t -> int array -> int option
+val occurrences : t -> int array -> int list
+
+val matching_statistics :
+  t -> Bioseq.Packed_seq.t -> int array * Compact.match_stats
+
+val maximal_matches :
+  t -> threshold:int -> Bioseq.Packed_seq.t ->
+  (int * int * int list) list * Compact.match_stats
+(** [(query_end, length, data_ends)] triples. *)
+
+(** {2 Statistics and I/O} *)
+
+val bytes_per_char : t -> float
+val rib_distribution : t -> int array
+
+val device : t -> Pagestore.Device.t
+val pool : t -> Pagestore.Buffer_pool.t

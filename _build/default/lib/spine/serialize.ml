@@ -1,0 +1,167 @@
+let magic = "SPNE"
+let version = 1
+let header_size = 5
+
+(* little-endian primitives over Buffer / (string, pos) *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  for k = 0 to 3 do put_u8 buf ((v lsr (8 * k)) land 0xFF) done
+
+let put_u64 buf v =
+  for k = 0 to 7 do put_u8 buf ((v lsr (8 * k)) land 0xFF) done
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+let need r n =
+  if r.pos + n > Bytes.length r.data then failwith "Serialize: truncated input"
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  let v = ref 0 in
+  for k = 0 to 3 do v := !v lor (get_u8 r lsl (8 * k)) done;
+  !v
+
+let get_u64 r =
+  let v = ref 0 in
+  for k = 0 to 7 do v := !v lor (get_u8 r lsl (8 * k)) done;
+  !v
+
+let alphabet_symbols alphabet =
+  String.init (Bioseq.Alphabet.size alphabet)
+    (fun code -> Bioseq.Alphabet.decode alphabet code)
+
+let alphabet_of_symbols symbols =
+  (* recover the canonical alphabets so names round-trip *)
+  let candidates =
+    [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein; Bioseq.Alphabet.byte ]
+  in
+  match
+    List.find_opt (fun a -> alphabet_symbols a = symbols) candidates
+  with
+  | Some a -> a
+  | None -> Bioseq.Alphabet.make symbols
+
+let to_bytes (t : Index.t) =
+  let s = Index.store t in
+  let n = Index.length t in
+  let alphabet = Index.alphabet t in
+  let buf = Buffer.create (n * 12) in
+  Buffer.add_string buf magic;
+  put_u8 buf version;
+  let symbols = alphabet_symbols alphabet in
+  put_u32 buf (String.length symbols);
+  Buffer.add_string buf symbols;
+  put_u64 buf n;
+  let packed = Bioseq.Packed_seq.packed_bits (Index.sequence t) in
+  put_u32 buf (Bytes.length packed);
+  Buffer.add_bytes buf packed;
+  for node = 1 to n do
+    let dest, lel = Index.link t node in
+    put_u32 buf dest;
+    put_u32 buf lel
+  done;
+  put_u32 buf (Fast_store.rib_count s);
+  for node = 0 to n do
+    Fast_store.fold_ribs s node ~init:() ~f:(fun () code dest pt ->
+        put_u32 buf node;
+        put_u8 buf code;
+        put_u32 buf dest;
+        put_u32 buf pt)
+  done;
+  put_u32 buf (Fast_store.extrib_count s);
+  for node = 0 to n do
+    match Fast_store.find_extrib s node with
+    | None -> ()
+    | Some (dest, pt, prt, anchor) ->
+      put_u32 buf node;
+      put_u32 buf dest;
+      put_u32 buf pt;
+      put_u32 buf prt;
+      put_u32 buf anchor
+  done;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let r = { data; pos = 0 } in
+  need r 4;
+  if Bytes.sub_string data 0 4 <> magic then failwith "Serialize: bad magic";
+  r.pos <- 4;
+  let v = get_u8 r in
+  if v <> version then failwith (Printf.sprintf "Serialize: version %d" v);
+  let sym_len = get_u32 r in
+  need r sym_len;
+  let symbols = Bytes.sub_string r.data r.pos sym_len in
+  r.pos <- r.pos + sym_len;
+  let alphabet = alphabet_of_symbols symbols in
+  let n = get_u64 r in
+  (* sanity before allocating anything proportional to n: the payload
+     that follows must physically be able to hold n symbols and n link
+     records *)
+  if n < 0 || n > (Bytes.length r.data * 8) / Bioseq.Alphabet.bits alphabet
+  then failwith "Serialize: corrupt length";
+  let packed_len = get_u32 r in
+  if packed_len < (n * Bioseq.Alphabet.bits alphabet + 7) / 8 then
+    failwith "Serialize: truncated payload";
+  need r packed_len;
+  let packed = Bytes.sub r.data r.pos packed_len in
+  r.pos <- r.pos + packed_len;
+  let seq =
+    try Bioseq.Packed_seq.of_packed_bits alphabet ~len:n packed
+    with Invalid_argument _ ->
+      (* corrupt bit patterns decode to out-of-alphabet codes *)
+      failwith "Serialize: corrupt sequence payload"
+  in
+  let store = Fast_store.create ~capacity:(max 16 n) alphabet in
+  Bioseq.Packed_seq.iteri seq ~f:(fun _ code -> Fast_store.append_char store code);
+  for node = 1 to n do
+    let dest = get_u32 r in
+    let lel = get_u32 r in
+    Fast_store.set_link store node ~dest ~lel
+  done;
+  let nribs = get_u32 r in
+  need r (nribs * 13);
+  for _ = 1 to nribs do
+    let node = get_u32 r in
+    let code = get_u8 r in
+    let dest = get_u32 r in
+    let pt = get_u32 r in
+    Fast_store.add_rib store node ~code ~dest ~pt
+  done;
+  let next = get_u32 r in
+  need r (next * 20);
+  for _ = 1 to next do
+    let node = get_u32 r in
+    let dest = get_u32 r in
+    let pt = get_u32 r in
+    let prt = get_u32 r in
+    let anchor = get_u32 r in
+    if node > n || dest > n || pt > n || prt > n || anchor > n then
+      failwith "Serialize: corrupt extrib";
+    Fast_store.add_extrib store node ~dest ~pt ~prt ~anchor
+  done;
+  Index.of_store store
+
+let to_file path t =
+  let oc = open_out_bin path in
+  (try output_bytes oc (to_bytes t) with e -> close_out oc; raise e);
+  close_out oc
+
+let of_file path =
+  let ic = open_in_bin path in
+  let data =
+    try
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      b
+    with e -> close_in ic; raise e
+  in
+  close_in ic;
+  of_bytes data

@@ -1,0 +1,20 @@
+(** Binary persistence for SPINE indexes.
+
+    A SPINE index is fully determined by its vertebra labels (the data
+    string), links, ribs and extribs; this module writes them in a
+    compact little-endian format and reads them back without
+    re-running construction.  The format is self-describing (magic,
+    version, alphabet) and is what {!Disk} images and the CLI's
+    [index save/load] commands use. *)
+
+val to_bytes : Index.t -> Bytes.t
+
+val of_bytes : Bytes.t -> Index.t
+(** @raise Failure on magic/version mismatch or truncated input. *)
+
+val to_file : string -> Index.t -> unit
+
+val of_file : string -> Index.t
+
+val header_size : int
+(** Fixed bytes before the payload; exposed for format tests. *)

@@ -1,0 +1,64 @@
+(** Storage abstraction for the SPINE index.
+
+    The SPINE algorithms (online construction, valid-path search,
+    streaming matching) are written once, as functors over this
+    signature.  Two stores implement it:
+
+    - {!Fast_store}: hashtable-backed, optimised for in-memory speed;
+    - {!Compact_store}: the paper's Section 5 layout — a Link Table plus
+      fanout-segregated Rib Tables with 2-byte numeric labels and an
+      overflow table — which also powers the space accounting and, via
+      access tracing, the disk-resident experiments.
+
+    Node/edge vocabulary follows the paper: node [i] represents the
+    backbone prefix of length [i] (root is node 0); the vertebra out of
+    node [i] carries character [char_at t i]; ribs carry [(dest, pt)];
+    the at-most-one extrib anchored at a node carries
+    [(dest, pt, prt)]; every node except the root has a backward link
+    [(dest, lel)]. *)
+
+module type S = sig
+  type t
+
+  val alphabet : t -> Bioseq.Alphabet.t
+
+  val length : t -> int
+  (** Characters appended so far; the backbone has [length t + 1]
+      nodes. *)
+
+  val char_at : t -> int -> int
+  (** Character label of the vertebra from node [i] to node [i + 1],
+      i.e. the [i]-th (0-based) character of the data string. *)
+
+  val append_char : t -> int -> unit
+  (** Extend the backbone by one character, creating the new tail node
+      with an unset link. Only {!Builder} should call this. *)
+
+  val link_dest : t -> int -> int
+  val link_lel : t -> int -> int
+
+  val set_link : t -> int -> dest:int -> lel:int -> unit
+
+  val find_rib : t -> int -> int -> (int * int) option
+  (** [find_rib t node code] is [Some (dest, pt)] if a rib labelled
+      [code] leaves [node]. *)
+
+  val add_rib : t -> int -> code:int -> dest:int -> pt:int -> unit
+
+  val find_extrib : t -> int -> (int * int * int * int) option
+  (** [(dest, pt, prt, anchor)] of the extrib stored at the node, if
+      any.  [anchor] is the destination node of the extrib's parent rib:
+      extrib chains from different ribs physically merge (a node stores
+      at most one extrib), and when two parent ribs share a PT value the
+      paper's PRT label alone cannot attribute a chain element to its
+      rib — [(anchor, prt)] can, because ribs pointing at the same node
+      are created in the same step with distinct PTs.  This field is a
+      correction this implementation adds to the paper's scheme; see
+      DESIGN.md. *)
+
+  val add_extrib : t -> int -> dest:int -> pt:int -> prt:int -> anchor:int -> unit
+
+  val fold_ribs : t -> int -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+  (** [fold_ribs t node ~init ~f] folds [f acc code dest pt] over the
+      ribs leaving [node]. *)
+end

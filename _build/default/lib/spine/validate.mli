@@ -1,0 +1,30 @@
+(** Structural invariant checker for SPINE indexes.
+
+    Verifies, without any external oracle, every invariant the paper's
+    structure guarantees by construction:
+
+    - node count = string length + 1; every non-root node has a link;
+    - links point strictly upstream; LEL values are bounded by the
+      source node's depth and by [LEL(dest) < LEL] chains;
+    - ribs point strictly downstream of their source, never duplicate a
+      vertebra label, and at most one rib per (node, character);
+    - PT of a rib is below its destination (a suffix cannot be longer
+      than the prefix it ends); extrib PTs exceed their parent rib's PT
+      and PRT equals the parent rib's PT; extrib chains are acyclic;
+    - every rib/extrib destination's incoming path is consistent: the
+      characters spelled by the edge match the backbone at the
+      destination ([char at dest - 1] equals the edge's label).
+
+    O(n * alphabet) — cheap enough to run after a bulk load or a
+    deserialize in production ([spine stats --check] in the CLI). *)
+
+type violation = {
+  where : string;   (** e.g. "link(42)", "rib(7,'c')" *)
+  what : string;    (** human-readable description *)
+}
+
+val check : Index.t -> violation list
+(** Empty when the structure is sound. *)
+
+val check_exn : Index.t -> unit
+(** @raise Failure listing the first violations if any. *)

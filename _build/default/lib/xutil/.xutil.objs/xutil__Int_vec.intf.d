@@ -1,0 +1,1 @@
+lib/xutil/int_vec.mli:

@@ -1,0 +1,1 @@
+lib/xutil/stopwatch.ml: Array Unix

@@ -1,0 +1,44 @@
+(** Growable vectors of unboxed integers.
+
+    Both index implementations are array-based for cache behaviour and
+    GC friendliness (a pointer-per-node representation would triple the
+    footprint and defeat the space comparison); this is the shared
+    growable backing store. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val make : int -> int -> t
+(** [make n v] is a vector of length [n] filled with [v]. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Bounds-checked by assertion only; hot path. *)
+
+val set : t -> int -> int -> unit
+
+val push : t -> int -> unit
+(** Append, growing capacity geometrically. *)
+
+val pop : t -> int
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+
+val truncate : t -> int -> unit
+(** [truncate t n] shortens the vector to [n] elements.
+    @raise Invalid_argument if [n] exceeds the current length. *)
+
+val clear : t -> unit
+
+val blit_to_array : t -> int array
+(** Copy out the contents. *)
+
+val iter : t -> f:(int -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val binary_search : t -> int -> int option
+(** [binary_search t v] finds the index of [v] assuming the vector is
+    sorted ascending; [None] if absent. Used by the target-node-buffer
+    lookup of the paper's all-occurrences search. *)

@@ -1,0 +1,18 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let median_of k f =
+  if k < 1 then invalid_arg "Stopwatch.median_of";
+  let times = Array.make k 0.0 in
+  let result = ref None in
+  for i = 0 to k - 1 do
+    let r, dt = time f in
+    times.(i) <- dt;
+    result := Some r
+  done;
+  Array.sort compare times;
+  match !result with
+  | Some r -> (r, times.(k / 2))
+  | None -> assert false

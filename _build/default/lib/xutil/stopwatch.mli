@@ -1,0 +1,10 @@
+(** Wall-clock timing helper for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall
+    time in seconds. *)
+
+val median_of : int -> (unit -> 'a) -> 'a * float
+(** [median_of k f] runs [f] [k] times and returns the last result with
+    the median elapsed time — the aggregation the timing tables use to
+    resist scheduler noise. *)

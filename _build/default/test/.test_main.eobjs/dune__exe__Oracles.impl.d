@@ -1,0 +1,1 @@
+test/oracles.ml: Array Bioseq Char List String

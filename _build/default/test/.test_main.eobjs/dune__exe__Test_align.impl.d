@@ -1,0 +1,1 @@
+test/test_align.ml: Alcotest Align Bioseq List

@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Align Array Bioseq Char List Oracles Printf Spine String

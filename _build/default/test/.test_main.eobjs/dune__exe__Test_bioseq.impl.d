@@ -1,0 +1,1 @@
+test/test_bioseq.ml: Alcotest Array Bioseq List Printf String

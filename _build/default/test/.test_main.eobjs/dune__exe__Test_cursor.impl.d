@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Array Bioseq Char Oracles Printf Spine String

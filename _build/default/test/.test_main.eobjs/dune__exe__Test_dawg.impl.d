@@ -1,0 +1,1 @@
+test/test_dawg.ml: Alcotest Array Bioseq Char Dawg List Oracles Printf String

@@ -1,0 +1,1 @@
+test/test_pagestore.ml: Alcotest Bytes Pagestore

@@ -1,0 +1,1 @@
+test/test_paper_claims.ml: Alcotest Array Bioseq Experiments List Option Pagestore Printf Spine Suffix_tree

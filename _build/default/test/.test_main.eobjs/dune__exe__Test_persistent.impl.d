@@ -1,0 +1,1 @@
+test/test_persistent.ml: Alcotest Array Bioseq Filename Pagestore Spine String Sys

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Bioseq Bytes Char Domain List Printexc Printf Spine

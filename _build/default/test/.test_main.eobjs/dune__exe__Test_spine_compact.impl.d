@@ -1,0 +1,1 @@
+test/test_spine_compact.ml: Alcotest Array Bioseq Char List Oracles Printf Spine String

@@ -1,0 +1,1 @@
+test/test_spine_modules.ml: Alcotest Array Bioseq Bytes Char Filename List Oracles Pagestore Spine String Suffix_trie Sys

@@ -1,0 +1,1 @@
+test/test_spine_paper_example.ml: Alcotest Bioseq List Oracles Printf Spine String

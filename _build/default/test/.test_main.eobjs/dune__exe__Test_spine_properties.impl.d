@@ -1,0 +1,1 @@
+test/test_spine_properties.ml: Alcotest Array Bioseq Char Hashtbl List Oracles Printf QCheck QCheck_alcotest Spine String

@@ -1,0 +1,1 @@
+test/test_spine_stress.ml: Alcotest Array Bioseq Spine Suffix_tree

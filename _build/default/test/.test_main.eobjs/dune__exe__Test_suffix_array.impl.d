@@ -1,0 +1,1 @@
+test/test_suffix_array.ml: Alcotest Array Bioseq Char List Oracles Printf Spine String Suffix_array Suffix_tree

@@ -1,0 +1,1 @@
+test/test_suffix_tree.ml: Alcotest Array Bioseq Char List Oracles Printf String Suffix_tree

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Bioseq List Oracles Spine String

@@ -1,0 +1,1 @@
+test/test_xutil_report.ml: Alcotest Bytes Char List Pagestore Printf QCheck QCheck_alcotest Report Xutil

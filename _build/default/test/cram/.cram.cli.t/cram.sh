@@ -1,0 +1,14 @@
+  $ printf 'aaccacaaca' > data.txt
+  $ spine build --alphabet dna --text data.txt -o paper.idx | sed 's/in [0-9.]*s/in Xs/'
+  $ spine stats -i paper.idx
+  $ spine query -i paper.idx ac
+  $ spine query -i paper.idx accaa
+  $ spine approx -i paper.idx agca -k 1
+  $ printf '>q\nttaccacaat\n' > query.fa
+  $ spine match -i paper.idx -q query.fa --threshold 3
+  $ spine build --synthetic ECO --scale 0.001 -o eco.idx | sed 's/in [0-9.]*s/in Xs/'
+  $ spine build --synthetic NOPE -o x.idx
+  $ spine query -i paper.idx zz
+  $ printf '>r\nacgtacgtacgggttacgatacgaa\n' > ref.fa
+  $ printf '>q\nacgtacctacgggttacgttacgaa\n' > qry.fa
+  $ spine align -r ref.fa -q qry.fa --threshold 5

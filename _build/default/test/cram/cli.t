@@ -1,0 +1,69 @@
+The spine CLI end to end: build an index from a tiny text file, inspect
+it, query it exactly and approximately, and run the matching operation.
+
+  $ printf 'aaccacaaca' > data.txt
+  $ spine build --alphabet dna --text data.txt -o paper.idx | sed 's/in [0-9.]*s/in Xs/'
+  indexed 10 chars in Xs -> paper.idx
+
+  $ spine stats -i paper.idx
+  characters        10
+  nodes             11
+  vertebras         10
+  ribs              4
+  extribs           2
+  links             10
+  max PT            3
+  max LEL           3
+  max PRT           1
+  model bytes/char  11.70
+
+The paper's Section 4 example: "ac" occurs at positions 1, 4, 7.
+
+  $ spine query -i paper.idx ac
+  3 occurrence(s)
+    position 1
+    position 4
+    position 7
+
+The paper's false-positive example must be rejected.
+
+  $ spine query -i paper.idx accaa
+  0 occurrence(s)
+
+Approximate search: "agca" is within one substitution of "acca" (pos 1)
+and "aaca" (pos 6).
+
+  $ spine approx -i paper.idx agca -k 1
+  2 hit(s) within 1 mismatch(es)
+    position 1 (1 error(s), 4 chars)
+    position 6 (1 error(s), 4 chars)
+
+Maximal matching against a FASTA query.
+
+  $ printf '>q\nttaccacaat\n' > query.fa
+  $ spine match -i paper.idx -q query.fa --threshold 3
+  1 maximal match(es) >= 3 chars (checked 13 nodes, 3 suffix sets)
+    query 2..8  data: 1..7
+
+Synthetic corpus build round-trip.
+
+  $ spine build --synthetic ECO --scale 0.001 -o eco.idx | sed 's/in [0-9.]*s/in Xs/'
+  indexed 3500 chars in Xs -> eco.idx
+
+Unknown inputs fail cleanly.
+
+  $ spine build --synthetic NOPE -o x.idx
+  unknown corpus "NOPE"
+  [1]
+  $ spine query -i paper.idx zz
+  pattern contains characters outside the alphabet
+  [1]
+
+Alignment between two small FASTA sequences.
+
+  $ printf '>r\nacgtacgtacgggttacgatacgaa\n' > ref.fa
+  $ printf '>q\nacgtacctacgggttacgttacgaa\n' > qry.fa
+  $ spine align -r ref.fa -q qry.fa --threshold 5
+  anchors 6  unique 4  chained 2  bases 17  coverage 68.0%
+    ref 7..17 = query 7..17 (11)
+    ref 19..24 = query 19..24 (6)

@@ -1,0 +1,114 @@
+(* Tests for the alignment pipeline: anchors, MUM filtering, chaining. *)
+
+let dna = Bioseq.Alphabet.dna
+
+let seq s = Bioseq.Packed_seq.of_string dna s
+
+let test_engines_agree () =
+  let rng = Bioseq.Rng.create 71 in
+  for _ = 1 to 8 do
+    let reference =
+      Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng)
+        (2000 + Bioseq.Rng.int rng 4000)
+    in
+    let query = Bioseq.Synthetic.mutate ~rate:0.1 (Bioseq.Rng.split rng) reference in
+    let a = Align.maximal_match_anchors ~engine:`Spine ~threshold:15 reference query in
+    let b =
+      Align.maximal_match_anchors ~engine:`Suffix_tree ~threshold:15 reference query
+    in
+    Alcotest.(check int) "same anchor count" (List.length a) (List.length b);
+    if a <> b then Alcotest.fail "anchor lists differ"
+  done
+
+let test_anchor_correctness () =
+  (* every anchor must be a genuine exact match of the stated length *)
+  let rng = Bioseq.Rng.create 72 in
+  let reference = Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng) 3000 in
+  let query = Bioseq.Synthetic.mutate ~rate:0.08 (Bioseq.Rng.split rng) reference in
+  let anchors = Align.maximal_match_anchors ~engine:`Spine ~threshold:12 reference query in
+  Alcotest.(check bool) "found anchors" true (anchors <> []);
+  List.iter
+    (fun { Align.ref_pos; query_pos; len } ->
+      Alcotest.(check bool) "length >= threshold" true (len >= 12);
+      for k = 0 to len - 1 do
+        if Bioseq.Packed_seq.get reference (ref_pos + k)
+           <> Bioseq.Packed_seq.get query (query_pos + k)
+        then Alcotest.failf "anchor mismatch at ref %d + %d" ref_pos k
+      done)
+    anchors
+
+let test_unique_filter () =
+  let anchors =
+    [ { Align.ref_pos = 0; query_pos = 0; len = 5 }
+    ; { Align.ref_pos = 10; query_pos = 20; len = 5 }
+    ; { Align.ref_pos = 10; query_pos = 30; len = 5 }  (* dup ref *)
+    ; { Align.ref_pos = 40; query_pos = 50; len = 5 }
+    ; { Align.ref_pos = 60; query_pos = 50; len = 5 }  (* dup query *)
+    ]
+  in
+  let unique = Align.unique_anchors anchors in
+  (* (10,20)/(10,30) share a reference position; (40,50)/(60,50) share a
+     query position; only (0,0) is unambiguous on both sides *)
+  Alcotest.(check int) "only unambiguous anchors survive" 1
+    (List.length unique);
+  Alcotest.(check int) "the survivor" 0 ((List.hd unique).Align.ref_pos)
+
+let test_chain_monotone () =
+  let anchors =
+    [ { Align.ref_pos = 0; query_pos = 0; len = 10 }
+    ; { Align.ref_pos = 50; query_pos = 40; len = 20 }
+    ; { Align.ref_pos = 30; query_pos = 70; len = 5 }   (* crossing *)
+    ; { Align.ref_pos = 100; query_pos = 90; len = 15 }
+    ]
+  in
+  let chain = Align.chain anchors in
+  (* the chain must be strictly increasing in both coordinates *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "monotone ref" true
+        (a.Align.ref_pos + a.Align.len <= b.Align.ref_pos);
+      Alcotest.(check bool) "monotone query" true
+        (a.Align.query_pos + a.Align.len <= b.Align.query_pos);
+      check rest
+    | _ -> ()
+  in
+  check chain;
+  (* the optimal chain here takes the three compatible anchors (45 bases) *)
+  Alcotest.(check int) "chain weight" 45
+    (List.fold_left (fun acc a -> acc + a.Align.len) 0 chain)
+
+let test_chain_empty_and_single () =
+  Alcotest.(check int) "empty" 0 (List.length (Align.chain []));
+  let one = [ { Align.ref_pos = 3; query_pos = 4; len = 7 } ] in
+  Alcotest.(check int) "single" 1 (List.length (Align.chain one))
+
+let test_identical_strings () =
+  (* aligning a string with itself: one full-length anchor chain *)
+  let s = seq "acgtacgggtacgtacgacgt" in
+  let chained, summary = Align.align ~threshold:5 s s in
+  Alcotest.(check bool) "full coverage" true (summary.Align.coverage > 0.99);
+  Alcotest.(check bool) "nonempty chain" true (chained <> [])
+
+let test_unrelated_strings () =
+  let rng = Bioseq.Rng.create 73 in
+  let a = Bioseq.Synthetic.uniform dna (Bioseq.Rng.split rng) 2000 in
+  let b = Bioseq.Synthetic.uniform dna (Bioseq.Rng.split rng) 2000 in
+  let _, summary = Align.align ~threshold:20 a b in
+  (* random 2 kb strings share no 20-mers with overwhelming probability *)
+  Alcotest.(check int) "no anchors" 0 summary.Align.anchors
+
+let suite =
+  [ Alcotest.test_case "engines produce identical anchors" `Quick
+      test_engines_agree
+  ; Alcotest.test_case "anchors are real exact matches" `Quick
+      test_anchor_correctness
+  ; Alcotest.test_case "MUM uniqueness filter" `Quick test_unique_filter
+  ; Alcotest.test_case "chain is monotone and optimal" `Quick
+      test_chain_monotone
+  ; Alcotest.test_case "chain degenerate inputs" `Quick
+      test_chain_empty_and_single
+  ; Alcotest.test_case "self alignment covers everything" `Quick
+      test_identical_strings
+  ; Alcotest.test_case "unrelated strings share nothing" `Quick
+      test_unrelated_strings
+  ]

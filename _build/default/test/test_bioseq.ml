@@ -1,0 +1,197 @@
+(* Tests for the sequence substrate: alphabets, packed sequences,
+   FASTA, deterministic RNG, and the synthetic generators. *)
+
+let test_alphabet_roundtrip () =
+  List.iter
+    (fun a ->
+      for code = 0 to Bioseq.Alphabet.size a - 1 do
+        let c = Bioseq.Alphabet.decode a code in
+        Alcotest.(check int)
+          (Printf.sprintf "%s roundtrip %d" (Bioseq.Alphabet.name a) code)
+          code (Bioseq.Alphabet.encode a c)
+      done)
+    [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein; Bioseq.Alphabet.byte ]
+
+let test_alphabet_bits () =
+  (* 4 symbols + separator needs 3 bits; the paper's 2-bit figure is the
+     payload width used in space accounting *)
+  Alcotest.(check int) "dna bits" 3 (Bioseq.Alphabet.bits Bioseq.Alphabet.dna);
+  Alcotest.(check int) "dna payload bits" 2
+    (Bioseq.Alphabet.payload_bits Bioseq.Alphabet.dna);
+  Alcotest.(check int) "protein bits" 5
+    (Bioseq.Alphabet.bits Bioseq.Alphabet.protein);
+  Alcotest.(check int) "protein payload bits" 5
+    (Bioseq.Alphabet.payload_bits Bioseq.Alphabet.protein);
+  Alcotest.(check int) "separator code" 4
+    (Bioseq.Alphabet.separator Bioseq.Alphabet.dna)
+
+let test_alphabet_errors () =
+  Alcotest.check_raises "duplicate symbols"
+    (Invalid_argument "Alphabet.make: duplicate symbol") (fun () ->
+      ignore (Bioseq.Alphabet.make "aa"));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Alphabet.make: empty alphabet") (fun () ->
+      ignore (Bioseq.Alphabet.make ""));
+  (match Bioseq.Alphabet.encode_opt Bioseq.Alphabet.dna 'z' with
+   | None -> ()
+   | Some _ -> Alcotest.fail "z should not encode")
+
+let test_packed_roundtrip () =
+  let rng = Bioseq.Rng.create 3 in
+  List.iter
+    (fun a ->
+      for _ = 1 to 20 do
+        let n = Bioseq.Rng.int rng 200 in
+        let codes =
+          Array.init n (fun _ -> Bioseq.Rng.int rng (Bioseq.Alphabet.size a))
+        in
+        let seq = Bioseq.Packed_seq.of_codes a codes in
+        Alcotest.(check int) "length" n (Bioseq.Packed_seq.length seq);
+        Array.iteri
+          (fun i c -> Alcotest.(check int) "get" c (Bioseq.Packed_seq.get seq i))
+          codes;
+        (* string roundtrip *)
+        let s = Bioseq.Packed_seq.to_string seq in
+        Alcotest.(check bool) "string roundtrip" true
+          (Bioseq.Packed_seq.equal seq (Bioseq.Packed_seq.of_string a s));
+        (* bit-packed roundtrip *)
+        let packed = Bioseq.Packed_seq.packed_bits seq in
+        let back = Bioseq.Packed_seq.of_packed_bits a ~len:n packed in
+        Alcotest.(check bool) "bit roundtrip" true
+          (Bioseq.Packed_seq.equal seq back)
+      done)
+    [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein ]
+
+let test_packed_growth () =
+  let seq = Bioseq.Packed_seq.create ~capacity:1 Bioseq.Alphabet.dna in
+  for i = 0 to 9999 do
+    Bioseq.Packed_seq.append seq (i mod 4)
+  done;
+  Alcotest.(check int) "length after growth" 10000 (Bioseq.Packed_seq.length seq);
+  Alcotest.(check int) "spot check" 3 (Bioseq.Packed_seq.get seq 4003)
+
+let test_rng_determinism () =
+  let a = Bioseq.Rng.create 42 and b = Bioseq.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Bioseq.Rng.int a 1000)
+      (Bioseq.Rng.int b 1000)
+  done;
+  let c = Bioseq.Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Bioseq.Rng.int a 1000 <> Bioseq.Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let rng = Bioseq.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Bioseq.Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v;
+    let f = Bioseq.Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_fasta_roundtrip () =
+  let dna = Bioseq.Alphabet.dna in
+  let records =
+    [ { Bioseq.Fasta.header = "chr1 test";
+        seq = Bioseq.Packed_seq.of_string dna "acgtacgtacgt" }
+    ; { Bioseq.Fasta.header = "chr2";
+        seq = Bioseq.Packed_seq.of_string dna (String.make 200 'g') }
+    ]
+  in
+  let text = Bioseq.Fasta.to_string records in
+  let parsed = Bioseq.Fasta.parse_string dna text in
+  Alcotest.(check int) "record count" 2 (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "header" a.Bioseq.Fasta.header b.Bioseq.Fasta.header;
+      Alcotest.(check bool) "seq" true
+        (Bioseq.Packed_seq.equal a.Bioseq.Fasta.seq b.Bioseq.Fasta.seq))
+    records parsed
+
+let test_fasta_tolerance () =
+  let dna = Bioseq.Alphabet.dna in
+  (* upper case, Ns, CRLF line endings *)
+  let text = ">x desc\r\nACGT\r\nNNacgtNN\r\n" in
+  match Bioseq.Fasta.parse_string dna text with
+  | [ { Bioseq.Fasta.header; seq } ] ->
+    Alcotest.(check string) "header" "x desc" header;
+    Alcotest.(check string) "normalised seq" "acgtacgt"
+      (Bioseq.Packed_seq.to_string seq)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_fasta_errors () =
+  (match Bioseq.Fasta.parse_string Bioseq.Alphabet.dna "acgt\n" with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "data before header must be rejected")
+
+let test_generators_deterministic () =
+  let mk seed = Bioseq.Synthetic.genomic Bioseq.Alphabet.dna (Bioseq.Rng.create seed) 5000 in
+  Alcotest.(check bool) "same seed same string" true
+    (Bioseq.Packed_seq.equal (mk 9) (mk 9));
+  Alcotest.(check bool) "different seed different string" false
+    (Bioseq.Packed_seq.equal (mk 9) (mk 10))
+
+let test_generator_lengths () =
+  let rng = Bioseq.Rng.create 4 in
+  List.iter
+    (fun n ->
+      let u = Bioseq.Synthetic.uniform Bioseq.Alphabet.dna (Bioseq.Rng.split rng) n in
+      let m = Bioseq.Synthetic.markov Bioseq.Alphabet.dna (Bioseq.Rng.split rng) n in
+      let g = Bioseq.Synthetic.genomic Bioseq.Alphabet.dna (Bioseq.Rng.split rng) n in
+      Alcotest.(check int) "uniform length" n (Bioseq.Packed_seq.length u);
+      Alcotest.(check int) "markov length" n (Bioseq.Packed_seq.length m);
+      Alcotest.(check int) "genomic length" n (Bioseq.Packed_seq.length g))
+    [ 0; 1; 100; 12345 ]
+
+let test_fibonacci_and_periodic () =
+  let fib = Bioseq.Synthetic.fibonacci Bioseq.Alphabet.dna 13 in
+  (* the fibonacci word begins a b a a b a b a a b a a b *)
+  Alcotest.(check string) "fibonacci prefix" "acaacacaacaac"
+    (Bioseq.Packed_seq.to_string fib);
+  let p = Bioseq.Synthetic.periodic Bioseq.Alphabet.dna ~period:"acg" 8 in
+  Alcotest.(check string) "periodic" "acgacgac" (Bioseq.Packed_seq.to_string p)
+
+let test_mutate_rate () =
+  let rng = Bioseq.Rng.create 6 in
+  let s = Bioseq.Synthetic.uniform Bioseq.Alphabet.dna (Bioseq.Rng.split rng) 20000 in
+  let m = Bioseq.Synthetic.mutate ~rate:0.1 (Bioseq.Rng.split rng) s in
+  let diffs = ref 0 in
+  Bioseq.Packed_seq.iteri s ~f:(fun i c ->
+      if Bioseq.Packed_seq.get m i <> c then incr diffs);
+  (* expected ~ rate * (1 - 1/sigma) * n = 1500; allow wide tolerance *)
+  if !diffs < 1000 || !diffs > 2000 then
+    Alcotest.failf "unexpected mutation count %d" !diffs
+
+let test_corpus () =
+  Alcotest.(check bool) "find eco" true (Bioseq.Corpus.find "eco" <> None);
+  Alcotest.(check bool) "find unknown" true (Bioseq.Corpus.find "nope" = None);
+  let s = Bioseq.Corpus.load ~scale:0.001 Bioseq.Corpus.eco in
+  Alcotest.(check int) "scaled length" 3500 (Bioseq.Packed_seq.length s);
+  let s2 = Bioseq.Corpus.load ~scale:0.001 Bioseq.Corpus.eco in
+  Alcotest.(check bool) "deterministic" true (Bioseq.Packed_seq.equal s s2);
+  Alcotest.(check int) "clamped minimum" 1000
+    (Bioseq.Corpus.scaled_length ~scale:0.0000001 Bioseq.Corpus.eco)
+
+let suite =
+  [ Alcotest.test_case "alphabet roundtrip" `Quick test_alphabet_roundtrip
+  ; Alcotest.test_case "alphabet bits/separator" `Quick test_alphabet_bits
+  ; Alcotest.test_case "alphabet error handling" `Quick test_alphabet_errors
+  ; Alcotest.test_case "packed seq roundtrips" `Quick test_packed_roundtrip
+  ; Alcotest.test_case "packed seq growth" `Quick test_packed_growth
+  ; Alcotest.test_case "rng determinism" `Quick test_rng_determinism
+  ; Alcotest.test_case "rng bounds" `Quick test_rng_bounds
+  ; Alcotest.test_case "fasta roundtrip" `Quick test_fasta_roundtrip
+  ; Alcotest.test_case "fasta tolerance (case, N, CRLF)" `Quick
+      test_fasta_tolerance
+  ; Alcotest.test_case "fasta malformed input" `Quick test_fasta_errors
+  ; Alcotest.test_case "generators deterministic" `Quick
+      test_generators_deterministic
+  ; Alcotest.test_case "generator exact lengths" `Quick test_generator_lengths
+  ; Alcotest.test_case "fibonacci & periodic words" `Quick
+      test_fibonacci_and_periodic
+  ; Alcotest.test_case "mutation rate" `Quick test_mutate_rate
+  ; Alcotest.test_case "corpus profiles" `Quick test_corpus
+  ]

@@ -1,0 +1,105 @@
+(* The streaming cursor: state after arbitrary advance/drop_front
+   sequences must describe exactly the explicit character window, with
+   the node at the window's first-occurrence end. *)
+
+let byte = Bioseq.Alphabet.byte
+
+let codes_of s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+(* explicit reference window *)
+type model = { mutable buf : string }
+
+let check_against_oracle s cursor model =
+  let w = model.buf in
+  Alcotest.(check int) (Printf.sprintf "length of %S" w) (String.length w)
+    (Spine.Cursor.length cursor);
+  if w = "" then Alcotest.(check int) "root" 0 (Spine.Cursor.node cursor)
+  else begin
+    match Oracles.first_occurrence s w with
+    | None -> Alcotest.failf "model window %S not a substring of %S" w s
+    | Some p ->
+      Alcotest.(check (option int)) (Printf.sprintf "first occ of %S" w)
+        (Some p) (Spine.Cursor.first_occurrence cursor);
+      Alcotest.(check int) "node" (p + String.length w)
+        (Spine.Cursor.node cursor)
+  end
+
+let test_random_walks () =
+  let rng = Bioseq.Rng.create 111 in
+  for _ = 1 to 25 do
+    let s = Oracles.random_string rng 3 (20 + Bioseq.Rng.int rng 120) in
+    let idx = Spine.Index.of_string byte s in
+    let cursor = Spine.Cursor.create idx in
+    let model = { buf = "" } in
+    for _ = 1 to 150 do
+      match Bioseq.Rng.int rng 3 with
+      | 0 | 1 ->
+        (* try to advance with a random character *)
+        let ch = Char.chr (Char.code 'a' + Bioseq.Rng.int rng 3) in
+        let expected = Oracles.contains s (model.buf ^ String.make 1 ch) in
+        let ok = Spine.Cursor.advance_char cursor ch in
+        Alcotest.(check bool)
+          (Printf.sprintf "advance %C after %S" ch model.buf) expected ok;
+        if ok then model.buf <- model.buf ^ String.make 1 ch;
+        check_against_oracle s cursor model
+      | _ ->
+        if model.buf <> "" then begin
+          Spine.Cursor.drop_front cursor;
+          model.buf <- String.sub model.buf 1 (String.length model.buf - 1);
+          check_against_oracle s cursor model
+        end
+    done
+  done
+
+let test_longest_extension_is_matching_statistics () =
+  let rng = Bioseq.Rng.create 112 in
+  for _ = 1 to 20 do
+    let s = Oracles.random_string rng 3 (20 + Bioseq.Rng.int rng 100) in
+    let q = Oracles.random_string rng 3 (10 + Bioseq.Rng.int rng 60) in
+    let idx = Spine.Index.of_string byte s in
+    let cursor = Spine.Cursor.create idx in
+    let ms = Oracles.matching_statistics s q in
+    String.iteri
+      (fun i ch ->
+        Spine.Cursor.longest_extension cursor (Char.code ch);
+        Alcotest.(check int)
+          (Printf.sprintf "ms at %d of %S vs %S" i q s)
+          ms.(i) (Spine.Cursor.length cursor))
+      q
+  done
+
+let test_occurrences_at_cursor () =
+  let s = "aaccacaaca" in
+  let idx = Spine.Index.of_string byte s in
+  let cursor = Spine.Cursor.create idx in
+  Alcotest.(check (list int)) "empty match" [] (Spine.Cursor.occurrences cursor);
+  assert (Spine.Cursor.advance_char cursor 'a');
+  assert (Spine.Cursor.advance_char cursor 'c');
+  Alcotest.(check (list int)) "ac occurrences" [ 1; 4; 7 ]
+    (Spine.Cursor.occurrences cursor);
+  Spine.Cursor.drop_front cursor;
+  Alcotest.(check (list int)) "c occurrences"
+    (Oracles.occurrences s "c") (Spine.Cursor.occurrences cursor);
+  Spine.Cursor.reset cursor;
+  Alcotest.(check int) "reset" 0 (Spine.Cursor.length cursor)
+
+let test_errors () =
+  let idx = Spine.Index.of_string byte "abc" in
+  let cursor = Spine.Cursor.create idx in
+  Alcotest.check_raises "drop on empty"
+    (Invalid_argument "Cursor.drop_front: empty match") (fun () ->
+      Spine.Cursor.drop_front cursor);
+  ignore (Spine.Index.contains idx "x");
+  Alcotest.(check bool) "advance outside alphabet is false (byte alphabet \
+                         accepts all chars, so use a missing char)" false
+    (Spine.Cursor.advance_char cursor 'z')
+
+let suite =
+  [ Alcotest.test_case "random advance/drop walks vs oracle" `Quick
+      test_random_walks
+  ; Alcotest.test_case "longest_extension = matching statistics" `Quick
+      test_longest_extension_is_matching_statistics
+  ; Alcotest.test_case "occurrences at the cursor" `Quick
+      test_occurrences_at_cursor
+  ; Alcotest.test_case "error handling" `Quick test_errors
+  ]

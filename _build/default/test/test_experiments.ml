@@ -1,0 +1,55 @@
+(* Bit-rot guard: every registered experiment must run to completion at
+   a tiny scale. Output is redirected away so the test log stays
+   readable; correctness of the numbers is covered by the unit suites,
+   this only asserts the harness keeps working end to end. *)
+
+let tiny =
+  { Experiments.Config.scale = 0.001;
+    disk_scale = 0.0005;
+    threshold = 12;
+    buckets = 5 }
+
+let with_silenced_stdout f =
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 devnull Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close devnull
+  in
+  match f () with
+  | v -> restore (); v
+  | exception e -> restore (); raise e
+
+let test_experiment e () =
+  with_silenced_stdout (fun () -> e.Experiments.Registry.run tiny)
+
+let test_registry_complete () =
+  (* every table and figure of the paper has a registered experiment *)
+  let names =
+    List.map (fun e -> e.Experiments.Registry.name) Experiments.Registry.all
+  in
+  List.iter
+    (fun required ->
+      if not (List.mem required names) then
+        Alcotest.failf "experiment %s missing from the registry" required)
+    [ "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
+      "fig6"; "fig7"; "fig8"; "space"; "proteins"; "ablations" ];
+  (* lookups behave *)
+  Alcotest.(check bool) "find known" true
+    (Experiments.Registry.find "table5" <> None);
+  Alcotest.(check bool) "find unknown" true
+    (Experiments.Registry.find "table99" = None)
+
+let suite =
+  Alcotest.test_case "registry covers every table and figure" `Quick
+    test_registry_complete
+  :: List.map
+       (fun e ->
+         Alcotest.test_case
+           (Printf.sprintf "harness: %s runs" e.Experiments.Registry.name)
+           `Slow (test_experiment e))
+       Experiments.Registry.all

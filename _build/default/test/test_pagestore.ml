@@ -1,0 +1,205 @@
+(* Tests for the disk substrate: device cost model, buffer pool
+   replacement/pinning, paged arrays and the trace router. *)
+
+let mk_device ?(sync_writes = false) () =
+  Pagestore.Device.create ~sync_writes ~page_size:256 ()
+
+let page_of_byte b = Bytes.make 256 b
+
+let test_device_roundtrip () =
+  let d = mk_device () in
+  Pagestore.Device.write d 3 (page_of_byte 'x');
+  Pagestore.Device.write d 99 (page_of_byte 'y');
+  Alcotest.(check char) "page 3" 'x' (Bytes.get (Pagestore.Device.read d 3) 0);
+  Alcotest.(check char) "page 99" 'y' (Bytes.get (Pagestore.Device.read d 99) 0);
+  Alcotest.(check char) "unwritten page is zero" '\000'
+    (Bytes.get (Pagestore.Device.read d 7) 10);
+  Alcotest.(check int) "pages allocated" 2 (Pagestore.Device.pages_allocated d)
+
+let test_device_counters () =
+  let d = mk_device () in
+  for i = 0 to 9 do Pagestore.Device.write d i (page_of_byte 'a') done;
+  for _ = 1 to 5 do ignore (Pagestore.Device.read d 0) done;
+  let s = Pagestore.Device.stats d in
+  Alcotest.(check int) "writes" 10 s.Pagestore.Device.writes;
+  Alcotest.(check int) "reads" 5 s.Pagestore.Device.reads;
+  (* sequential writes 1..9 plus repeated reads of page 0 *)
+  if s.Pagestore.Device.sequential < 9 then
+    Alcotest.failf "expected sequential accesses, got %d"
+      s.Pagestore.Device.sequential;
+  Pagestore.Device.reset_stats d;
+  Alcotest.(check int) "reset" 0 (Pagestore.Device.stats d).Pagestore.Device.reads
+
+let test_device_sync_cost () =
+  let plain = mk_device () in
+  let sync = mk_device ~sync_writes:true () in
+  (* interleave non-adjacent pages so no write takes the sequential
+     fast path on either device *)
+  Pagestore.Device.write plain 0 (page_of_byte 'a');
+  Pagestore.Device.write plain 100 (page_of_byte 'a');
+  Pagestore.Device.write sync 0 (page_of_byte 'a');
+  Pagestore.Device.write sync 100 (page_of_byte 'a');
+  let pe = (Pagestore.Device.stats plain).Pagestore.Device.elapsed_us in
+  let se = (Pagestore.Device.stats sync).Pagestore.Device.elapsed_us in
+  if se <= pe then Alcotest.fail "sync writes must cost more"
+
+let test_device_bad_write () =
+  let d = mk_device () in
+  Alcotest.check_raises "short page"
+    (Invalid_argument "Device.write: data is not exactly one page")
+    (fun () -> Pagestore.Device.write d 0 (Bytes.create 8))
+
+let test_pool_hit_miss () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:4 d in
+  (* touch 4 distinct pages, then re-touch: all hits *)
+  for i = 0 to 3 do
+    Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ())
+  done;
+  for i = 0 to 3 do
+    Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ())
+  done;
+  let s = Pagestore.Buffer_pool.stats p in
+  Alcotest.(check int) "misses" 4 s.Pagestore.Buffer_pool.misses;
+  Alcotest.(check int) "hits" 4 s.Pagestore.Buffer_pool.hits
+
+let test_pool_lru_eviction () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:3 d in
+  let touch i = Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ()) in
+  touch 0; touch 1; touch 2;
+  touch 0;          (* 1 is now least-recently used *)
+  touch 3;          (* evicts 1 *)
+  touch 0;          (* must still be resident: hit *)
+  let before = (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses in
+  touch 1;          (* must miss: it was evicted *)
+  let after = (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses in
+  Alcotest.(check int) "page 1 was evicted" (before + 1) after
+
+let test_pool_fifo_vs_lru () =
+  (* under FIFO, re-touching a page does not protect it *)
+  let run replacement =
+    let d = mk_device () in
+    let p = Pagestore.Buffer_pool.create ~replacement ~frames:2 d in
+    let touch i = Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ()) in
+    touch 0; touch 1;
+    touch 0;        (* LRU: protects 0; FIFO: no effect *)
+    touch 2;        (* LRU evicts 1; FIFO evicts 0 *)
+    touch 0;
+    (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses
+  in
+  (* LRU: misses 0,1,2 = 3. FIFO: misses 0,1,2,0 = 4. *)
+  Alcotest.(check int) "lru misses" 3 (run `Lru);
+  Alcotest.(check int) "fifo misses" 4 (run `Fifo)
+
+let test_pool_pinning () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~pin:(fun page -> page = 0) ~frames:2 d in
+  let touch i = Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ()) in
+  touch 0;
+  (* stream many pages through; page 0 must survive *)
+  for i = 1 to 20 do touch i done;
+  let before = (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses in
+  touch 0;
+  let after = (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses in
+  Alcotest.(check int) "pinned page survived streaming" before after
+
+let test_pool_writeback () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:2 d in
+  Pagestore.Buffer_pool.with_page p 5 ~dirty:true (fun b -> Bytes.set b 0 'z');
+  (* not yet on the device *)
+  Alcotest.(check char) "not written yet" '\000'
+    (Bytes.get (Pagestore.Device.read d 5) 0);
+  Pagestore.Buffer_pool.flush p;
+  Alcotest.(check char) "after flush" 'z'
+    (Bytes.get (Pagestore.Device.read d 5) 0);
+  (* eviction also writes back *)
+  Pagestore.Buffer_pool.with_page p 6 ~dirty:true (fun b -> Bytes.set b 1 'q');
+  Pagestore.Buffer_pool.with_page p 7 ~dirty:false (fun _ -> ());
+  Pagestore.Buffer_pool.with_page p 8 ~dirty:false (fun _ -> ());
+  Alcotest.(check char) "after eviction" 'q'
+    (Bytes.get (Pagestore.Device.read d 6) 1)
+
+let test_pool_drop_rereads () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:4 d in
+  Pagestore.Buffer_pool.with_page p 1 ~dirty:true (fun b -> Bytes.set b 0 'k');
+  Pagestore.Buffer_pool.drop p;
+  (* contents must persist through the drop *)
+  Pagestore.Buffer_pool.with_page p 1 ~dirty:false (fun b ->
+      Alcotest.(check char) "reread after drop" 'k' (Bytes.get b 0))
+
+let test_paged_array_fields () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:8 d in
+  let a = Pagestore.Paged_array.create p ~base_page:0 ~record_size:12 in
+  Alcotest.(check int) "records per page" (256 / 12)
+    (Pagestore.Paged_array.records_per_page a);
+  for i = 0 to 99 do
+    Pagestore.Paged_array.set_u32 a i 0 (i * 1000);
+    Pagestore.Paged_array.set_u16 a i 4 (i * 3);
+    Pagestore.Paged_array.set_u8 a i 6 (i mod 256)
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check int) "u32" (i * 1000) (Pagestore.Paged_array.get_u32 a i 0);
+    Alcotest.(check int) "u16" (i * 3) (Pagestore.Paged_array.get_u16 a i 4);
+    Alcotest.(check int) "u8" (i mod 256) (Pagestore.Paged_array.get_u8 a i 6)
+  done;
+  Alcotest.(check int) "length" 100 (Pagestore.Paged_array.length a);
+  (* fields must stay within the record *)
+  Alcotest.check_raises "field outside record"
+    (Invalid_argument "Paged_array: field outside record") (fun () ->
+      ignore (Pagestore.Paged_array.get_u32 a 0 10))
+
+let test_paged_array_persistence () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:2 d in
+  let a = Pagestore.Paged_array.create p ~base_page:10 ~record_size:8 in
+  for i = 0 to 199 do
+    Pagestore.Paged_array.set_u32 a i 0 (i * 7)
+  done;
+  Pagestore.Buffer_pool.flush p;
+  Pagestore.Buffer_pool.drop p;
+  for i = 0 to 199 do
+    Alcotest.(check int) "persisted" (i * 7) (Pagestore.Paged_array.get_u32 a i 0)
+  done
+
+let test_trace_router () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:8 d in
+  let r =
+    Pagestore.Trace_router.create p
+      [ { Pagestore.Trace_router.structure = 0; base_page = 0; record_bytes = 8 }
+      ; { Pagestore.Trace_router.structure = 1; base_page = 1000; record_bytes = 32 }
+      ]
+  in
+  (* 256-byte pages: 32 records of 8B per page; 8 records of 32B *)
+  Alcotest.(check int) "structure 0 record 0" 0
+    (Pagestore.Trace_router.page_of r ~structure:0 ~index:0);
+  Alcotest.(check int) "structure 0 record 33" 1
+    (Pagestore.Trace_router.page_of r ~structure:0 ~index:33);
+  Alcotest.(check int) "structure 1 record 9" 1001
+    (Pagestore.Trace_router.page_of r ~structure:1 ~index:9);
+  (* unknown structures are ignored, not fatal *)
+  Pagestore.Trace_router.route r ~structure:5 ~index:0 ~write:false;
+  Pagestore.Trace_router.route r ~structure:0 ~index:0 ~write:true;
+  Alcotest.(check int) "one pool access" 1
+    ((Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses)
+
+let suite =
+  [ Alcotest.test_case "device read/write roundtrip" `Quick test_device_roundtrip
+  ; Alcotest.test_case "device counters" `Quick test_device_counters
+  ; Alcotest.test_case "device sync-write cost" `Quick test_device_sync_cost
+  ; Alcotest.test_case "device rejects bad writes" `Quick test_device_bad_write
+  ; Alcotest.test_case "pool hits and misses" `Quick test_pool_hit_miss
+  ; Alcotest.test_case "pool LRU eviction order" `Quick test_pool_lru_eviction
+  ; Alcotest.test_case "pool FIFO vs LRU" `Quick test_pool_fifo_vs_lru
+  ; Alcotest.test_case "pool pinning" `Quick test_pool_pinning
+  ; Alcotest.test_case "pool writeback on flush/evict" `Quick test_pool_writeback
+  ; Alcotest.test_case "pool drop rereads device" `Quick test_pool_drop_rereads
+  ; Alcotest.test_case "paged array fields" `Quick test_paged_array_fields
+  ; Alcotest.test_case "paged array persistence" `Quick
+      test_paged_array_persistence
+  ; Alcotest.test_case "trace router mapping" `Quick test_trace_router
+  ]

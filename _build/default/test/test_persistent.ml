@@ -1,0 +1,128 @@
+(* The file-backed index: parity with the in-memory implementations,
+   durability across close/open cycles, and behaviour under tiny buffer
+   pools (true disk residency). *)
+
+let dna = Bioseq.Alphabet.dna
+
+let with_tmp f =
+  let path = Filename.temp_file "spine_persistent" ".db" in
+  let result = try f path with e -> (try Sys.remove path with _ -> ()); raise e in
+  (try Sys.remove path with _ -> ());
+  result
+
+let test_parity_with_memory () =
+  with_tmp (fun path ->
+      let rng = Bioseq.Rng.create 201 in
+      let seq = Bioseq.Synthetic.genomic dna rng 15_000 in
+      let p = Spine.Persistent.create ~path dna in
+      Spine.Persistent.append_seq p seq;
+      let m = Spine.Index.of_seq seq in
+      Alcotest.(check int) "length" (Spine.Index.length m)
+        (Spine.Persistent.length p);
+      for _ = 1 to 50 do
+        let len = 2 + Bioseq.Rng.int rng 10 in
+        let pos = Bioseq.Rng.int rng (15_000 - len) in
+        let pat = Array.init len (fun k -> Bioseq.Packed_seq.get seq (pos + k)) in
+        Alcotest.(check (list int)) "occurrences parity"
+          (Spine.Index.occurrences m pat) (Spine.Persistent.occurrences p pat)
+      done;
+      Alcotest.(check (array int)) "rib distribution parity"
+        (Spine.Index.rib_distribution m) (Spine.Persistent.rib_distribution p);
+      let q = Bioseq.Synthetic.mutate ~rate:0.15 rng seq in
+      let ms_m, _ = Spine.Index.matching_statistics m q in
+      let ms_p, _ = Spine.Persistent.matching_statistics p q in
+      Alcotest.(check (array int)) "ms parity" ms_m ms_p;
+      Spine.Persistent.close p)
+
+let test_close_reopen () =
+  with_tmp (fun path ->
+      let rng = Bioseq.Rng.create 202 in
+      let seq = Bioseq.Synthetic.genomic dna rng 8_000 in
+      let p = Spine.Persistent.create ~path dna in
+      Spine.Persistent.append_seq p seq;
+      let pat = Array.init 10 (fun k -> Bioseq.Packed_seq.get seq (3_000 + k)) in
+      let before = Spine.Persistent.occurrences p pat in
+      let bpc_before = Spine.Persistent.bytes_per_char p in
+      Spine.Persistent.close p;
+      (* everything must come back from the file alone *)
+      let p2 = Spine.Persistent.open_ ~path () in
+      Alcotest.(check int) "length after reopen" 8_000
+        (Spine.Persistent.length p2);
+      Alcotest.(check (list int)) "occurrences after reopen" before
+        (Spine.Persistent.occurrences p2 pat);
+      Alcotest.(check (float 0.01)) "space accounting after reopen"
+        bpc_before (Spine.Persistent.bytes_per_char p2);
+      (* and the index must still be extensible online *)
+      Spine.Persistent.append_string p2 "acgtacgt";
+      Alcotest.(check int) "extended" 8_008 (Spine.Persistent.length p2);
+      Alcotest.(check bool) "new content queryable" true
+        (Spine.Persistent.contains p2 "acgtacgt");
+      Spine.Persistent.close p2)
+
+let test_reopen_extend_reopen () =
+  with_tmp (fun path ->
+      let p = Spine.Persistent.create ~path dna in
+      Spine.Persistent.append_string p "aaccacaaca";
+      Spine.Persistent.close p;
+      let p2 = Spine.Persistent.open_ ~path () in
+      Spine.Persistent.append_string p2 "aaccacaaca";
+      Spine.Persistent.close p2;
+      let p3 = Spine.Persistent.open_ ~path () in
+      Alcotest.(check int) "two appends" 20 (Spine.Persistent.length p3);
+      (* the doubled string has the pattern across the seam *)
+      Alcotest.(check bool) "seam substring" true
+        (Spine.Persistent.contains p3 "aacaaacc");
+      Alcotest.(check bool) "paper false positive still rejected" false
+        (Spine.Persistent.contains p3 "accaa");
+      Spine.Persistent.close p3)
+
+let test_tiny_pool () =
+  (* a pool of 8 pages = 32 kB holding an index several times larger:
+     genuine paging, same answers *)
+  with_tmp (fun path ->
+      let rng = Bioseq.Rng.create 203 in
+      let seq = Bioseq.Synthetic.genomic dna rng 30_000 in
+      let p = Spine.Persistent.create ~frames:8 ~path dna in
+      Spine.Persistent.append_seq p seq;
+      let stats = Pagestore.Buffer_pool.stats (Spine.Persistent.pool p) in
+      if stats.Pagestore.Buffer_pool.evictions = 0 then
+        Alcotest.fail "expected evictions under a tiny pool";
+      let m = Spine.Index.of_seq seq in
+      for _ = 1 to 20 do
+        let len = 3 + Bioseq.Rng.int rng 8 in
+        let pos = Bioseq.Rng.int rng (30_000 - len) in
+        let pat = Array.init len (fun k -> Bioseq.Packed_seq.get seq (pos + k)) in
+        Alcotest.(check (list int)) "paged occurrences"
+          (Spine.Index.occurrences m pat) (Spine.Persistent.occurrences p pat)
+      done;
+      Spine.Persistent.close p)
+
+let test_errors () =
+  (match Spine.Persistent.open_ ~path:"/nonexistent/nope.db" () with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "open of missing file must fail");
+  with_tmp (fun path ->
+      let p = Spine.Persistent.create ~path dna in
+      Spine.Persistent.append_string p "acgt";
+      Spine.Persistent.close p;
+      (match Spine.Persistent.length p with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "use after close must be rejected"));
+  (* a file without metadata is rejected *)
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc (String.make 8192 'x');
+      close_out oc;
+      match Spine.Persistent.open_ ~path () with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage file accepted")
+
+let suite =
+  [ Alcotest.test_case "parity with the in-memory index" `Quick
+      test_parity_with_memory
+  ; Alcotest.test_case "close / reopen durability" `Quick test_close_reopen
+  ; Alcotest.test_case "reopen, extend online, reopen again" `Quick
+      test_reopen_extend_reopen
+  ; Alcotest.test_case "tiny pool pages for real" `Quick test_tiny_pool
+  ; Alcotest.test_case "error handling" `Quick test_errors
+  ]

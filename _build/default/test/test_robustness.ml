@@ -1,0 +1,75 @@
+(* Robustness: serializer fuzzing (random corruption must fail loudly,
+   never crash or hang) and data-race freedom of concurrent read-only
+   queries across OCaml 5 domains. *)
+
+let dna = Bioseq.Alphabet.dna
+
+let test_serializer_fuzz () =
+  let rng = Bioseq.Rng.create 401 in
+  let seq = Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng) 600 in
+  let idx = Spine.Index.of_seq seq in
+  let original = Spine.Serialize.to_bytes idx in
+  for _ = 1 to 600 do
+    let data = Bytes.copy original in
+    (* corrupt 1-4 random bytes *)
+    for _ = 0 to Bioseq.Rng.int rng 4 do
+      Bytes.set data
+        (Bioseq.Rng.int rng (Bytes.length data))
+        (Char.chr (Bioseq.Rng.int rng 256))
+    done;
+    match Spine.Serialize.of_bytes data with
+    | _loaded ->
+      (* corruption may go unnoticed when it hits payload fields that
+         stay in range — that is acceptable; crashing is not *)
+      ()
+    | exception Failure _ -> ()
+    | exception e ->
+      Alcotest.failf "unexpected exception from corrupted input: %s"
+        (Printexc.to_string e)
+  done;
+  (* truncations at every length must raise Failure *)
+  for len = 0 to min 120 (Bytes.length original - 1) do
+    match Spine.Serialize.of_bytes (Bytes.sub original 0 len) with
+    | _ -> Alcotest.failf "truncation to %d bytes accepted" len
+    | exception Failure _ -> ()
+    | exception e ->
+      Alcotest.failf "unexpected exception on truncation: %s"
+        (Printexc.to_string e)
+  done
+
+let test_parallel_queries () =
+  (* read-only queries never mutate the index, so concurrent domains
+     must all see correct answers *)
+  let rng = Bioseq.Rng.create 402 in
+  let seq = Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng) 20_000 in
+  let idx = Spine.Index.of_seq seq in
+  let queries =
+    Array.init 64 (fun _ ->
+        let len = 3 + Bioseq.Rng.int rng 10 in
+        let pos = Bioseq.Rng.int rng (20_000 - len) in
+        Array.init len (fun k -> Bioseq.Packed_seq.get seq (pos + k)))
+  in
+  let expected = Array.map (fun q -> Spine.Index.occurrences idx q) queries in
+  let worker seed () =
+    let r = Bioseq.Rng.create seed in
+    let ok = ref true in
+    for _ = 1 to 300 do
+      let i = Bioseq.Rng.int r (Array.length queries) in
+      if Spine.Index.occurrences idx queries.(i) <> expected.(i) then
+        ok := false
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker (500 + d))) in
+  List.iteri
+    (fun d dom ->
+      Alcotest.(check bool) (Printf.sprintf "domain %d" d) true
+        (Domain.join dom))
+    domains
+
+let suite =
+  [ Alcotest.test_case "serializer fuzz: corrupt input fails loudly" `Quick
+      test_serializer_fuzz
+  ; Alcotest.test_case "concurrent read-only queries across domains" `Quick
+      test_parallel_queries
+  ]

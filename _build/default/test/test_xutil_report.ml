@@ -1,0 +1,129 @@
+(* Tests for the small substrates: Int_vec, Stopwatch, table/bar
+   formatting — plus a qcheck model test of the buffer pool (random
+   access traces vs a naive reference cache model). *)
+
+let test_int_vec_basics () =
+  let v = Xutil.Int_vec.create ~capacity:1 () in
+  for i = 0 to 999 do Xutil.Int_vec.push v (i * 2) done;
+  Alcotest.(check int) "length" 1000 (Xutil.Int_vec.length v);
+  Alcotest.(check int) "get" 500 (Xutil.Int_vec.get v 250);
+  Xutil.Int_vec.set v 250 7;
+  Alcotest.(check int) "set" 7 (Xutil.Int_vec.get v 250);
+  Alcotest.(check int) "pop" 1998 (Xutil.Int_vec.pop v);
+  Alcotest.(check int) "length after pop" 999 (Xutil.Int_vec.length v);
+  Xutil.Int_vec.truncate v 10;
+  Alcotest.(check int) "truncate" 10 (Xutil.Int_vec.length v);
+  Alcotest.(check int) "fold" 90 (Xutil.Int_vec.fold v ~init:0 ~f:( + ));
+  ignore (Xutil.Int_vec.blit_to_array v);
+  Xutil.Int_vec.clear v;
+  Alcotest.(check int) "clear" 0 (Xutil.Int_vec.length v)
+
+let test_int_vec_binary_search () =
+  let v = Xutil.Int_vec.create () in
+  List.iter (Xutil.Int_vec.push v) [ 2; 5; 9; 14; 77 ];
+  List.iter
+    (fun (x, expect) ->
+      Alcotest.(check (option int)) (Printf.sprintf "search %d" x) expect
+        (Xutil.Int_vec.binary_search v x))
+    [ (2, Some 0); (5, Some 1); (77, Some 4); (3, None); (100, None);
+      (0, None) ];
+  let empty = Xutil.Int_vec.create () in
+  Alcotest.(check (option int)) "empty" None
+    (Xutil.Int_vec.binary_search empty 1)
+
+let test_int_vec_errors () =
+  let v = Xutil.Int_vec.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Int_vec.pop: empty")
+    (fun () -> ignore (Xutil.Int_vec.pop v));
+  Alcotest.check_raises "truncate beyond" (Invalid_argument "Int_vec.truncate")
+    (fun () -> Xutil.Int_vec.truncate v 5)
+
+let test_stopwatch () =
+  let x, dt = Xutil.Stopwatch.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.0);
+  let x, _ = Xutil.Stopwatch.median_of 5 (fun () -> "ok") in
+  Alcotest.(check string) "median result" "ok" x
+
+let test_table_formatting () =
+  Alcotest.(check string) "fmt_int small" "999" (Report.Table.fmt_int 999);
+  Alcotest.(check string) "fmt_int grouped" "3,500,000"
+    (Report.Table.fmt_int 3_500_000);
+  Alcotest.(check string) "fmt_int negative" "-1,234"
+    (Report.Table.fmt_int (-1234));
+  Alcotest.(check string) "fmt_pct" "15.3%" (Report.Table.fmt_pct 0.153);
+  Alcotest.(check string) "fmt_float" "2.50" (Report.Table.fmt_float 2.5);
+  Alcotest.(check string) "fmt_float decimals" "2.500"
+    (Report.Table.fmt_float ~decimals:3 2.5)
+
+(* Reference cache model: LRU over an association list. Compared
+   against Buffer_pool on random traces (hits/misses must agree). *)
+let qcheck_pool_model =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 1 6)
+        (list_size (int_bound 300) (pair (int_bound 12) bool)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (frames, ops) ->
+        Printf.sprintf "frames=%d ops=%d" frames (List.length ops))
+      gen
+  in
+  QCheck.Test.make ~count:100 ~name:"buffer pool matches LRU model" arb
+    (fun (frames, ops) ->
+      let dev = Pagestore.Device.create ~page_size:64 () in
+      let pool = Pagestore.Buffer_pool.create ~frames dev in
+      (* model: most-recent-first list of resident pages *)
+      let model = ref [] in
+      let model_hits = ref 0 and model_misses = ref 0 in
+      List.iter
+        (fun (page, dirty) ->
+          Pagestore.Buffer_pool.with_page pool page ~dirty (fun _ -> ());
+          if List.mem page !model then begin
+            incr model_hits;
+            model := page :: List.filter (fun p -> p <> page) !model
+          end
+          else begin
+            incr model_misses;
+            let resident = page :: !model in
+            model :=
+              (if List.length resident > frames then
+                 List.filteri (fun i _ -> i < frames) resident
+               else resident)
+          end)
+        ops;
+      let s = Pagestore.Buffer_pool.stats pool in
+      s.Pagestore.Buffer_pool.hits = !model_hits
+      && s.Pagestore.Buffer_pool.misses = !model_misses)
+
+(* pool contents must always round-trip through eviction: write
+   distinct bytes to many pages through a tiny pool, then read back *)
+let qcheck_pool_integrity =
+  let gen = QCheck.Gen.(pair (int_range 1 4) (int_range 1 40)) in
+  let arb = QCheck.make ~print:(fun (f, p) -> Printf.sprintf "f=%d p=%d" f p) gen in
+  QCheck.Test.make ~count:100 ~name:"buffer pool preserves page contents" arb
+    (fun (frames, pages) ->
+      let dev = Pagestore.Device.create ~page_size:64 () in
+      let pool = Pagestore.Buffer_pool.create ~frames dev in
+      for p = 0 to pages - 1 do
+        Pagestore.Buffer_pool.with_page pool p ~dirty:true (fun b ->
+            Bytes.set b 0 (Char.chr (p land 0xFF)))
+      done;
+      let ok = ref true in
+      for p = 0 to pages - 1 do
+        Pagestore.Buffer_pool.with_page pool p ~dirty:false (fun b ->
+            if Bytes.get b 0 <> Char.chr (p land 0xFF) then ok := false)
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "int_vec basics" `Quick test_int_vec_basics
+  ; Alcotest.test_case "int_vec binary search" `Quick
+      test_int_vec_binary_search
+  ; Alcotest.test_case "int_vec errors" `Quick test_int_vec_errors
+  ; Alcotest.test_case "stopwatch" `Quick test_stopwatch
+  ; Alcotest.test_case "table formatting" `Quick test_table_formatting
+  ; QCheck_alcotest.to_alcotest qcheck_pool_model
+  ; QCheck_alcotest.to_alcotest qcheck_pool_integrity
+  ]
