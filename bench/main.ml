@@ -146,9 +146,22 @@ let run_microbenches () =
         analyzed)
     tests
 
+(* With telemetry enabled, leave a machine-readable artifact of every
+   counter/histogram/span the run accumulated next to the tables. *)
+let emit_telemetry_artifact () =
+  if Telemetry.is_enabled () then begin
+    let path =
+      Option.value
+        (Sys.getenv_opt "SPINE_TELEMETRY_JSON")
+        ~default:"spine_telemetry.jsonl"
+    in
+    Telemetry.write_jsonl ~path (Telemetry.snapshot ());
+    Printf.printf "\ntelemetry artifact written to %s\n" path
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (match args with
   | [] ->
     Printf.printf
       "SPINE reproduction bench (scale %g, disk scale %g)\n"
@@ -160,6 +173,7 @@ let () =
     List.iter
       (fun name ->
         match Experiments.Registry.find name with
-        | Some e -> e.Experiments.Registry.run cfg
+        | Some e -> ignore (Experiments.Registry.run_one cfg e)
         | None -> Printf.eprintf "unknown experiment %S\n" name)
-      names
+      names);
+  emit_telemetry_artifact ()

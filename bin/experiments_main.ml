@@ -51,7 +51,7 @@ let main scale disk_scale threshold names list_flag =
       List.iter
         (fun name ->
           match Experiments.Registry.find name with
-          | Some e -> e.Experiments.Registry.run cfg
+          | Some e -> ignore (Experiments.Registry.run_one cfg e)
           | None ->
             Printf.eprintf "unknown experiment %S (try --list)\n" name;
             ok := 1)

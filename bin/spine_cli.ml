@@ -69,6 +69,23 @@ let index_arg ~doc =
   Arg.(required & opt (some string) None
        & info [ "index"; "i" ] ~docv:"FILE" ~doc)
 
+(* --stats turns telemetry collection on for the run and prints every
+   touched metric afterwards; SPINE_TELEMETRY=1 enables collection for
+   callers that scrape the table themselves. *)
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Collect telemetry during the run and print the touched \
+                 counters, histograms and spans afterwards.")
+
+let with_stats stats f =
+  if stats then Telemetry.set_enabled true;
+  let code = f () in
+  if stats then
+    Telemetry.print_table ~title:"telemetry" ~omit_zero:true
+      (Telemetry.snapshot ());
+  code
+
 (* --- build --- *)
 
 let build_cmd =
@@ -76,7 +93,8 @@ let build_cmd =
     Arg.(required & opt (some string) None
          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output index file.")
   in
-  let run alphabet fasta synthetic scale text out =
+  let run alphabet fasta synthetic scale text out stats =
+    with_stats stats @@ fun () ->
     match Result.bind (alphabet_of_string alphabet) (fun alphabet ->
         load_sequence ~alphabet ~fasta ~synthetic ~scale ~text)
     with
@@ -92,7 +110,7 @@ let build_cmd =
   in
   Cmd.v (Cmd.info "build" ~doc:"Build a SPINE index and save it.")
     Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
-          $ text_arg $ out)
+          $ text_arg $ out $ stats_arg)
 
 (* --- query --- *)
 
@@ -105,7 +123,8 @@ let query_cmd =
     Arg.(value & opt int 20
          & info [ "limit" ] ~docv:"N" ~doc:"Print at most N positions.")
   in
-  let run index pattern limit =
+  let run index pattern limit stats =
+    with_stats stats @@ fun () ->
     let idx = Spine.Serialize.of_file index in
     let alphabet = Spine.Index.alphabet idx in
     match
@@ -125,7 +144,8 @@ let query_cmd =
       0
   in
   Cmd.v (Cmd.info "query" ~doc:"Find all occurrences of a pattern.")
-    Term.(const run $ index_arg ~doc:"Index file." $ pattern $ limit)
+    Term.(const run $ index_arg ~doc:"Index file." $ pattern $ limit
+          $ stats_arg)
 
 (* --- stats --- *)
 
@@ -164,7 +184,8 @@ let match_cmd =
     Arg.(value & opt int 20
          & info [ "threshold" ] ~docv:"LEN" ~doc:"Minimum match length.")
   in
-  let run index query_file threshold =
+  let run index query_file threshold stats =
+    with_stats stats @@ fun () ->
     let idx = Spine.Serialize.of_file index in
     let alphabet = Spine.Index.alphabet idx in
     match Bioseq.Fasta.read_file alphabet query_file with
@@ -191,7 +212,8 @@ let match_cmd =
   Cmd.v
     (Cmd.info "match"
        ~doc:"Find maximal matching substrings between index and query.")
-    Term.(const run $ index_arg ~doc:"Index file." $ query_file $ threshold)
+    Term.(const run $ index_arg ~doc:"Index file." $ query_file $ threshold
+          $ stats_arg)
 
 (* --- approx --- *)
 

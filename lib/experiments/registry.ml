@@ -51,6 +51,19 @@ let all =
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
+(* Run one experiment, and when telemetry is on append the metric
+   deltas it produced — every table's output is then accompanied by the
+   counters that explain it. *)
+let run_one cfg e =
+  let before = Telemetry.snapshot () in
+  let _, secs = Xutil.Stopwatch.time (fun () -> e.run cfg) in
+  if Telemetry.is_enabled () then
+    Telemetry.print_table
+      ~title:(Printf.sprintf "telemetry: %s" e.name)
+      ~omit_zero:true
+      (Telemetry.diff (Telemetry.snapshot ()) before);
+  secs
+
 let run_all cfg =
   List.iter
     (fun e ->
@@ -58,6 +71,6 @@ let run_all cfg =
       (* start each experiment from a settled heap so timings are not
          polluted by garbage from the previous one *)
       Gc.compact ();
-      let _, secs = Xutil.Stopwatch.time (fun () -> e.run cfg) in
+      let secs = run_one cfg e in
       Printf.printf "  [%s completed in %.1fs]\n%!" e.name secs)
     all

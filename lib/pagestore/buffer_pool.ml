@@ -1,6 +1,15 @@
 (* Frames form an intrusive doubly-linked LRU list (indices into the
    frame arrays). [head] is most recently used, [tail] least. *)
 
+(* Global telemetry mirrors of the per-pool stats: cheap aggregate
+   counters experiments read across every pool a run creates. *)
+let c_hits = Telemetry.counter "pool.hits"
+let c_misses = Telemetry.counter "pool.misses"
+let c_evictions = Telemetry.counter "pool.evictions"
+let c_pinned_evictions = Telemetry.counter "pool.pinned_evictions"
+let c_writebacks = Telemetry.counter "pool.writebacks"
+let c_flushes = Telemetry.counter "pool.flushes"
+
 type replacement = [ `Lru | `Fifo ]
 
 type t = {
@@ -20,6 +29,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable pinned_evictions : int;
   mutable writebacks : int;
 }
 
@@ -35,7 +45,8 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
     next = Array.make frames (-1);
     head = -1; tail = -1;
     table = Hashtbl.create (2 * frames);
-    hits = 0; misses = 0; evictions = 0; writebacks = 0 }
+    hits = 0; misses = 0; evictions = 0; pinned_evictions = 0;
+    writebacks = 0 }
 
 let device t = t.dev
 
@@ -63,7 +74,8 @@ let writeback t f =
   if t.dirty.(f) then begin
     Device.write t.dev t.page_of.(f) t.buffers.(f);
     t.dirty.(f) <- false;
-    t.writebacks <- t.writebacks + 1
+    t.writebacks <- t.writebacks + 1;
+    Telemetry.incr c_writebacks
   end
 
 (* Choose a victim frame: least-recently-used unpinned, falling back to
@@ -88,18 +100,26 @@ let frame_for t page =
   match Hashtbl.find_opt t.table page with
   | Some f ->
     t.hits <- t.hits + 1;
+    Telemetry.incr c_hits;
     (match t.replacement with `Lru -> touch t f | `Fifo -> ());
     f
   | None ->
     t.misses <- t.misses + 1;
+    Telemetry.incr c_misses;
     let f =
       let free = find_free t in
       if free >= 0 then free
       else begin
         let victim = find_victim t in
+        if t.pin t.page_of.(victim) then begin
+          (* every resident page was pinned: the policy's fallback *)
+          t.pinned_evictions <- t.pinned_evictions + 1;
+          Telemetry.incr c_pinned_evictions
+        end;
         writeback t victim;
         Hashtbl.remove t.table t.page_of.(victim);
         t.evictions <- t.evictions + 1;
+        Telemetry.incr c_evictions;
         unlink t victim;
         victim
       end
@@ -126,6 +146,7 @@ let with_page t page ~dirty f =
   result
 
 let flush t =
+  Telemetry.incr c_flushes;
   (* write back in page order, as any real writeback elevator would *)
   let dirty = ref [] in
   for f = 0 to t.frames - 1 do
@@ -146,15 +167,18 @@ let drop t =
   t.tail <- -1
 
 let reset_stats t =
-  t.hits <- 0; t.misses <- 0; t.evictions <- 0; t.writebacks <- 0
+  t.hits <- 0; t.misses <- 0; t.evictions <- 0;
+  t.pinned_evictions <- 0; t.writebacks <- 0
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  pinned_evictions : int;
   writebacks : int;
 }
 
 let stats (t : t) =
   { hits = t.hits; misses = t.misses;
-    evictions = t.evictions; writebacks = t.writebacks }
+    evictions = t.evictions; pinned_evictions = t.pinned_evictions;
+    writebacks = t.writebacks }

@@ -44,8 +44,13 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  pinned_evictions : int;
+      (** evictions that had to sacrifice a pinned page because every
+          resident frame was pinned — the failure mode of the paper's
+          static pin-the-top policy under an undersized pool *)
   writebacks : int;
 }
 
 val stats : t -> stats
 val reset_stats : t -> unit
+(** Zero every counter (frame contents are untouched). *)

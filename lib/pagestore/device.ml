@@ -1,3 +1,11 @@
+(* Device-level telemetry: page and byte traffic aggregated across
+   every device a run creates (the per-device [stats] record stays the
+   scoped view). *)
+let c_reads = Telemetry.counter "device.read_pages"
+let c_writes = Telemetry.counter "device.write_pages"
+let c_read_bytes = Telemetry.counter "device.read_bytes"
+let c_write_bytes = Telemetry.counter "device.write_bytes"
+
 type cost = {
   read_us : float;
   write_us : float;
@@ -58,6 +66,8 @@ let charge t page full_cost =
 
 let read t page =
   t.reads <- t.reads + 1;
+  Telemetry.incr c_reads;
+  Telemetry.add c_read_bytes t.page_size;
   charge t page t.cost.read_us;
   match t.backend with
   | Mem pages ->
@@ -81,6 +91,8 @@ let write t page data =
   if Bytes.length data <> t.page_size then
     invalid_arg "Device.write: data is not exactly one page";
   t.writes <- t.writes + 1;
+  Telemetry.incr c_writes;
+  Telemetry.add c_write_bytes t.page_size;
   charge t page t.cost.write_us;
   if t.sync_writes then t.elapsed_us <- t.elapsed_us +. t.cost.sync_us;
   if not (Hashtbl.mem t.written page) then Hashtbl.replace t.written page ();

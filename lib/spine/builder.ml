@@ -21,6 +21,19 @@
     The hand-validated construction trace for the paper's example string
     [aaccacaaca] (Figure 3) is enforced by the test suite. *)
 
+(* Construction telemetry: CASE frequencies (Section 3), edge-creation
+   counts (the paper's Table 2/space accounting inputs) and the
+   upstream link-chain length per appended character.  Shared across
+   every store instantiation — the registry is process-global. *)
+let c_case1 = Telemetry.counter "build.case1"
+let c_case2 = Telemetry.counter "build.case2"
+let c_case3 = Telemetry.counter "build.case3"
+let c_case4 = Telemetry.counter "build.case4"
+let c_ribs = Telemetry.counter "build.ribs_created"
+let c_extribs = Telemetry.counter "build.extribs_created"
+let c_links = Telemetry.counter "build.links_created"
+let h_upstream = Telemetry.histogram "build.upstream_hops"
+
 module Make (S : Store_sig.S) = struct
   (* CASE 4. [lel] is the LEL of the last traversed link: the length of
      the longest suffix terminating at the node whose rib [rib_dest]/
@@ -37,13 +50,16 @@ module Make (S : Store_sig.S) = struct
            LET-suffix, which is the extension of the longest previously
            extended suffix (PT of the last same-PRT edge) *)
         S.add_extrib t !cur ~dest:tail ~pt:lel ~prt:rib_pt ~anchor:rib_dest;
+        Telemetry.incr c_extribs;
         S.set_link t tail ~dest:!last_same_prt_dest ~lel:(!last_same_prt_pt + 1);
+        Telemetry.incr c_links;
         finished := true
       | Some (edest, ept, eprt, eanchor) ->
         let sibling = eprt = rib_pt && eanchor = rib_dest in
         if sibling && ept >= lel then begin
           (* a sibling extrib already extends this suffix length *)
           S.set_link t tail ~dest:edest ~lel:(lel + 1);
+          Telemetry.incr c_links;
           finished := true
         end
         else begin
@@ -58,41 +74,57 @@ module Make (S : Store_sig.S) = struct
   let append t c =
     S.append_char t c;
     let tail = S.length t in
-    if tail = 1 then S.set_link t 1 ~dest:0 ~lel:0
+    if tail = 1 then begin
+      S.set_link t 1 ~dest:0 ~lel:0;
+      Telemetry.incr c_links
+    end
     else begin
       let parent = tail - 1 in
       let m = ref (S.link_dest t parent) in
       let lel = ref (S.link_lel t parent) in
       let finished = ref false in
+      let hops = ref 0 in
       while not !finished do
         let mv = !m in
+        hops := !hops + 1;
         if S.char_at t mv = c then begin
           (* CASE 1: vertebra out of [mv] carries [c] *)
+          Telemetry.incr c_case1;
           S.set_link t tail ~dest:(mv + 1) ~lel:(!lel + 1);
+          Telemetry.incr c_links;
           finished := true
         end
         else
           match S.find_rib t mv c with
           | Some (dest, pt) ->
-            if pt >= !lel then
+            if pt >= !lel then begin
               (* CASE 2 *)
-              S.set_link t tail ~dest ~lel:(!lel + 1)
-            else
+              Telemetry.incr c_case2;
+              S.set_link t tail ~dest ~lel:(!lel + 1);
+              Telemetry.incr c_links
+            end
+            else begin
               (* CASE 4 *)
-              handle_extrib t tail ~rib_dest:dest ~rib_pt:pt ~lel:!lel;
+              Telemetry.incr c_case4;
+              handle_extrib t tail ~rib_dest:dest ~rib_pt:pt ~lel:!lel
+            end;
             finished := true
           | None ->
             (* CASE 3 *)
+            Telemetry.incr c_case3;
             S.add_rib t mv ~code:c ~dest:tail ~pt:!lel;
+            Telemetry.incr c_ribs;
             if mv = 0 then begin
               S.set_link t tail ~dest:0 ~lel:0;
+              Telemetry.incr c_links;
               finished := true
             end
             else begin
               lel := S.link_lel t mv;
               m := S.link_dest t mv
             end
-      done
+      done;
+      Telemetry.observe h_upstream !hops
     end
 
   let append_seq t seq =

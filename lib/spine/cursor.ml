@@ -36,6 +36,7 @@ let drop_front t =
     (* the k-suffix terminates at the first chain node whose LEL is
        below k *)
     while t.v <> 0 && t.len <= Fast_store.link_lel s t.v do
+      Telemetry.incr Search.c_link_hops;
       t.v <- Fast_store.link_dest s t.v
     done
   end

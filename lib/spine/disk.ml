@@ -42,7 +42,14 @@ let regions alphabet =
   in
   lt :: rts
 
+(* Span pair: [disk.build] covers pool setup + construction + flush;
+   the nested [disk.construct] isolates the index construction proper,
+   so the difference is the I/O overhead. *)
+let s_build = Telemetry.span "disk.build"
+let s_construct = Telemetry.span "disk.construct"
+
 let build ?(config = default_config) seq =
+  Telemetry.with_span s_build @@ fun () ->
   let alphabet = Bioseq.Packed_seq.alphabet seq in
   let device =
     Pagestore.Device.create ~cost:config.cost ~sync_writes:config.sync_writes
@@ -61,7 +68,9 @@ let build ?(config = default_config) seq =
   let trace ~structure ~index ~write =
     Pagestore.Trace_router.route router ~structure ~index ~write
   in
-  let index = Compact.of_seq ~trace seq in
+  let index =
+    Telemetry.with_span s_construct (fun () -> Compact.of_seq ~trace seq)
+  in
   Pagestore.Buffer_pool.flush pool;
   { index; device; pool; router }
 

@@ -10,6 +10,10 @@
     of suffixes, which is SPINE's advantage over the suffix tree's
     one-suffix-link-per-suffix walk (Section 4.1, Table 6). *)
 
+(* aliases taken before [Search] is shadowed by the applied functor *)
+let c_extrib_hops = Search.c_extrib_hops
+let c_link_hops = Search.c_link_hops
+
 module Make (S : Store_sig.S) = struct
   module Search = Search.Make (S)
 
@@ -40,6 +44,7 @@ module Make (S : Store_sig.S) = struct
       | None -> best
       | Some (edest, ept, eprt, eanchor) ->
         st.nodes <- st.nodes + 1;
+        Telemetry.incr c_extrib_hops;
         chase edest
           (if eprt = rib_pt && eanchor = rib_dest then max best ept else best)
     in
@@ -54,6 +59,7 @@ module Make (S : Store_sig.S) = struct
         | None -> assert false (* caller checked k <= max_threshold *)
         | Some (edest, ept, eprt, eanchor) ->
           st.nodes <- st.nodes + 1;
+          Telemetry.incr c_extrib_hops;
           if eprt = rib_pt && eanchor = rib_dest && ept >= k then edest
           else chase edest
       in
@@ -94,6 +100,7 @@ module Make (S : Store_sig.S) = struct
           (* one backward link hop dispatches every remaining suffix
              terminating at [v] *)
           st.suffixes <- st.suffixes + 1;
+          Telemetry.incr c_link_hops;
           st.len <- lel;
           st.v <- S.link_dest t st.v;
           attempt ()

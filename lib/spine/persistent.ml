@@ -55,6 +55,11 @@ module Q = Search.Make (P)
 module M = Matcher.Make (P)
 module St = Stats.Make (P)
 
+(* Build-phase spans over the disk-resident index lifecycle. *)
+let s_build = Telemetry.span "persistent.build"
+let s_flush = Telemetry.span "persistent.flush"
+let s_open = Telemetry.span "persistent.open"
+
 (* Page regions within the file. Metadata sits first (64 MB is room
    for ~8M overflow/anchor entries); each data region then gets 1 GB of
    sparse address space — enough for ~180M characters — keeping the
@@ -188,8 +193,9 @@ let metadata_bytes t =
 
 let flush t =
   check_open t;
-  blob_write t.pool (metadata_bytes t);
-  Pagestore.Buffer_pool.flush t.pool
+  Telemetry.with_span s_flush (fun () ->
+      blob_write t.pool (metadata_bytes t);
+      Pagestore.Buffer_pool.flush t.pool)
 
 let close t =
   flush t;
@@ -197,6 +203,7 @@ let close t =
   Pagestore.Device.close t.device
 
 let open_ ?frames ?pin_top_lt_pages ~path () =
+  Telemetry.with_span s_open @@ fun () ->
   if not (Sys.file_exists path) then
     failwith (Printf.sprintf "Persistent.open_: %s does not exist" path);
   let device, pool =
@@ -301,9 +308,12 @@ let append t code =
   B.append t.core code
 
 let append_string t s =
-  String.iter (fun ch -> append t (Bioseq.Alphabet.encode (alphabet t) ch)) s
+  Telemetry.with_span s_build (fun () ->
+      String.iter (fun ch -> append t (Bioseq.Alphabet.encode (alphabet t) ch)) s)
 
-let append_seq t seq = Bioseq.Packed_seq.iteri seq ~f:(fun _ c -> append t c)
+let append_seq t seq =
+  Telemetry.with_span s_build (fun () ->
+      Bioseq.Packed_seq.iteri seq ~f:(fun _ c -> append t c))
 
 let contains t s = check_open t; Q.contains t.core s
 let contains_codes t codes = check_open t; Q.contains_codes t.core codes

@@ -9,16 +9,33 @@
     admitting every node whose link points into the buffer with
     sufficient LEL, with buffer membership tested by binary search. *)
 
+(* Traversal telemetry, one counter per edge family (the profile the
+   packed-trie literature attributes disk wins to).  [link_hops] is
+   shared with the matcher's backward-link walk and the cursor's
+   suffix-drop loop. *)
+let c_vertebra_hops = Telemetry.counter "search.vertebra_hops"
+let c_rib_hops = Telemetry.counter "search.rib_hops"
+let c_extrib_hops = Telemetry.counter "search.extrib_hops"
+let c_link_hops = Telemetry.counter "search.link_hops"
+let c_scan_nodes = Telemetry.counter "search.scan_nodes"
+let c_occurrences = Telemetry.counter "search.occurrences_found"
+
 module Make (S : Store_sig.S) = struct
   (* One forward step from [node] with pathlength [pl] on character [c].
      Returns the destination node, or -1 when no valid edge exists. *)
   let step t node pl c =
-    if node < S.length t && S.char_at t node = c then node + 1
+    if node < S.length t && S.char_at t node = c then begin
+      Telemetry.incr c_vertebra_hops;
+      node + 1
+    end
     else
       match S.find_rib t node c with
       | None -> -1
       | Some (dest, pt) ->
-        if pl <= pt then dest
+        if pl <= pt then begin
+          Telemetry.incr c_rib_hops;
+          dest
+        end
         else begin
           (* chase the extrib chain for a child (same PRT) with
              sufficient threshold *)
@@ -26,6 +43,7 @@ module Make (S : Store_sig.S) = struct
             match S.find_extrib t cur with
             | None -> -1
             | Some (edest, ept, eprt, eanchor) ->
+              Telemetry.incr c_extrib_hops;
               if eprt = pt && eanchor = dest && ept >= pl then edest
               else chase edest
           in
@@ -74,10 +92,12 @@ module Make (S : Store_sig.S) = struct
       Array.iteri
         (fun j (first, _len) ->
           Xutil.Int_vec.push buffers.(j) first;
+          Telemetry.incr c_occurrences;
           add_target first j;
           if first < !min_first then min_first := first)
         firsts;
       for node = !min_first + 1 to S.length t do
+        Telemetry.incr c_scan_nodes;
         let d = S.link_dest t node in
         match Hashtbl.find_opt targets d with
         | None -> ()
@@ -88,6 +108,7 @@ module Make (S : Store_sig.S) = struct
               let _, len = firsts.(j) in
               if lel >= len then begin
                 Xutil.Int_vec.push buffers.(j) node;
+                Telemetry.incr c_occurrences;
                 add_target node j
               end)
             ids
@@ -116,12 +137,16 @@ module Make (S : Store_sig.S) = struct
       let len = Array.length codes in
       let buffer = Xutil.Int_vec.create () in
       Xutil.Int_vec.push buffer first;
+      Telemetry.incr c_occurrences;
       for node = first + 1 to S.length t do
+        Telemetry.incr c_scan_nodes;
         let lel = S.link_lel t node in
         if lel >= len then begin
           let d = S.link_dest t node in
           match Xutil.Int_vec.binary_search buffer d with
-          | Some _ -> Xutil.Int_vec.push buffer node
+          | Some _ ->
+            Xutil.Int_vec.push buffer node;
+            Telemetry.incr c_occurrences
           | None -> ()
         end
       done;

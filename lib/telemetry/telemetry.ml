@@ -1,0 +1,274 @@
+(* The registry is a plain hashtable keyed by metric name; metrics
+   themselves are mutable records so a hot-path update is one flag
+   check plus one in-place store — no allocation, no lookup. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "SPINE_TELEMETRY" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let is_enabled () = !enabled
+let set_enabled b = enabled := b
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(* 63 log2 buckets cover every positive OCaml int. *)
+let hist_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_counts : int array;
+  mutable h_total : int;
+  mutable h_sum : int;
+}
+
+type span = {
+  s_name : string;
+  mutable s_calls : int;
+  mutable s_total_ns : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Span of span
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make =
+  match Hashtbl.find_opt registry name with
+  | Some existing -> existing
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry name m;
+    m
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Telemetry: %S already registered as another kind" name)
+
+let counter name =
+  match register name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error name
+
+let incr c = if !enabled then c.c_value <- c.c_value + 1
+let add c n = if !enabled then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  match register name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | _ -> kind_error name
+
+let set g v = if !enabled then g.g_value <- v
+
+let histogram name =
+  match
+    register name (fun () ->
+        Histogram
+          { h_name = name;
+            h_counts = Array.make hist_buckets 0;
+            h_total = 0;
+            h_sum = 0 })
+  with
+  | Histogram h -> h
+  | _ -> kind_error name
+
+(* bucket 0 holds v <= 0; v >= 1 lands in bucket floor(log2 v) + 1 *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    !b
+  end
+
+let observe h v =
+  if !enabled then begin
+    let b = bucket_of v in
+    h.h_counts.(b) <- h.h_counts.(b) + 1;
+    h.h_total <- h.h_total + 1;
+    h.h_sum <- h.h_sum + v
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let span name =
+  match
+    register name (fun () -> Span { s_name = name; s_calls = 0; s_total_ns = 0 })
+  with
+  | Span s -> s
+  | _ -> kind_error name
+
+let with_span s f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Xutil.Stopwatch.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        s.s_calls <- s.s_calls + 1;
+        s.s_total_ns <- s.s_total_ns + (Xutil.Stopwatch.now_ns () - t0))
+      f
+  end
+
+(* --- snapshots --- *)
+
+type value =
+  | Count of int
+  | Level of float
+  | Dist of { counts : int array; total : int; sum : int }
+  | Timing of { calls : int; total_ns : int }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Counter c -> Count c.c_value
+        | Gauge g -> Level g.g_value
+        | Histogram h ->
+          Dist { counts = Array.copy h.h_counts; total = h.h_total; sum = h.h_sum }
+        | Span s -> Timing { calls = s.s_calls; total_ns = s.s_total_ns }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let diff later earlier =
+  List.map
+    (fun (name, v) ->
+      let v' =
+        match (v, List.assoc_opt name earlier) with
+        | Count a, Some (Count b) -> Count (a - b)
+        | Dist a, Some (Dist b) ->
+          Dist
+            { counts = Array.mapi (fun i x -> x - b.counts.(i)) a.counts;
+              total = a.total - b.total;
+              sum = a.sum - b.sum }
+        | Timing a, Some (Timing b) ->
+          Timing { calls = a.calls - b.calls; total_ns = a.total_ns - b.total_ns }
+        | _ -> v
+      in
+      (name, v'))
+    later
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.h_counts 0 hist_buckets 0;
+        h.h_total <- 0;
+        h.h_sum <- 0
+      | Span s ->
+        s.s_calls <- 0;
+        s.s_total_ns <- 0)
+    registry
+
+let find snap name = List.assoc_opt name snap
+
+(* --- exporters --- *)
+
+let is_zero = function
+  | Count 0 -> true
+  | Level 0.0 -> true
+  | Dist { total = 0; _ } -> true
+  | Timing { calls = 0; _ } -> true
+  | _ -> false
+
+let dist_detail counts =
+  let parts = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if counts.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      let range = if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi in
+      parts := Printf.sprintf "%s:%d" range counts.(i) :: !parts
+    end
+  done;
+  String.concat " " !parts
+
+let print_table ?(title = "telemetry") ?(omit_zero = false) snap =
+  let rows =
+    List.filter_map
+      (fun (name, v) ->
+        if omit_zero && is_zero v then None
+        else
+          Some
+            (match v with
+            | Count n -> [ name; "counter"; Report.Table.fmt_int n; "" ]
+            | Level x -> [ name; "gauge"; Report.Table.fmt_float x; "" ]
+            | Dist { counts; total; sum } ->
+              [ name; "histogram"; Report.Table.fmt_int total;
+                Printf.sprintf "sum=%d  %s" sum (dist_detail counts) ]
+            | Timing { calls; total_ns } ->
+              [ name; "span"; Report.Table.fmt_int calls;
+                Printf.sprintf "%.3f ms" (float_of_int total_ns /. 1e6) ]))
+      snap
+  in
+  if rows <> [] then
+    Report.Table.print ~title ~headers:[ "metric"; "kind"; "value"; "detail" ]
+      rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jsonl snap =
+  List.map
+    (fun (name, v) ->
+      let name = json_escape name in
+      match v with
+      | Count n ->
+        Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"counter\",\"value\":%d}" name n
+      | Level x ->
+        Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"gauge\",\"value\":%.17g}" name x
+      | Dist { counts; total; sum } ->
+        let buckets =
+          let parts = ref [] in
+          for i = hist_buckets - 1 downto 0 do
+            if counts.(i) > 0 then begin
+              let lo, hi = bucket_bounds i in
+              parts := Printf.sprintf "[%d,%d,%d]" lo hi counts.(i) :: !parts
+            end
+          done;
+          String.concat "," !parts
+        in
+        Printf.sprintf
+          "{\"metric\":\"%s\",\"kind\":\"histogram\",\"total\":%d,\"sum\":%d,\"buckets\":[%s]}"
+          name total sum buckets
+      | Timing { calls; total_ns } ->
+        Printf.sprintf
+          "{\"metric\":\"%s\",\"kind\":\"span\",\"calls\":%d,\"total_ns\":%d}"
+          name calls total_ns)
+    snap
+
+let write_jsonl ~path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (jsonl snap))

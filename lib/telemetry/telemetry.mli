@@ -1,0 +1,95 @@
+(** Process-global telemetry: named counters, gauges, log-bucketed
+    histograms and nestable phase spans.
+
+    Every layer of the repro registers its metrics once at module
+    initialisation and bumps them from the hot path.  Collection is
+    gated on a single global flag ({!set_enabled}, or the
+    [SPINE_TELEMETRY=1] environment variable): when disabled, each
+    update is one flag check and no allocation, so instrumented code
+    can stay instrumented in production builds.
+
+    Measurements are scoped with snapshots: take a {!snapshot} before
+    and after the region of interest and {!diff} them, or {!reset}
+    everything between experiments.  Two exporters are provided — a
+    human-readable table (through {!Report.Table}) and line-oriented
+    JSON for machine consumption. *)
+
+val is_enabled : unit -> bool
+val set_enabled : bool -> unit
+(** The global collection flag.  Initialised from the [SPINE_TELEMETRY]
+    environment variable ([1]/[true]/[yes]/[on] enable). *)
+
+(** {1 Metrics}
+
+    Creation functions are idempotent: asking twice for the same name
+    returns the same metric, so functor instantiations over different
+    stores share one set of counters.
+    @raise Invalid_argument if the name is already registered as a
+    different metric kind. *)
+
+type counter
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+(** [counter_value] reads the live value (test hook; snapshots are the
+    normal way to consume metrics). *)
+
+type gauge
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+type histogram
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+(** Log-bucketed: value [v >= 1] lands in bucket [floor(log2 v) + 1]
+    (i.e. the bucket covering [[2^(i-1), 2^i - 1]]); values [<= 0] land
+    in bucket 0. *)
+
+type span
+val span : string -> span
+val with_span : span -> (unit -> 'a) -> 'a
+(** [with_span s f] times [f ()] against the monotonic clock
+    ({!Xutil.Stopwatch.now_ns}) and accumulates into [s].  Spans nest
+    freely; a parent's total includes its children.  When collection is
+    disabled this is exactly [f ()]. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Count of int
+  | Level of float
+  | Dist of { counts : int array; total : int; sum : int }
+      (** [counts] indexed by log bucket, see {!observe}. *)
+  | Timing of { calls : int; total_ns : int }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] subtracts counter/histogram/span values;
+    gauges keep the later reading.  Metrics absent from [earlier] pass
+    through unchanged. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations persist). *)
+
+val find : snapshot -> string -> value option
+
+val bucket_bounds : int -> int * int
+(** [bucket_bounds i] is the inclusive [(lo, hi)] value range of
+    histogram bucket [i]. *)
+
+(** {1 Exporters} *)
+
+val print_table : ?title:string -> ?omit_zero:bool -> snapshot -> unit
+(** Render on stdout through {!Report.Table}.  [omit_zero] (default
+    [false]) drops metrics whose every value is zero — the CLI uses it
+    to print only what a run actually touched. *)
+
+val jsonl : snapshot -> string list
+(** One JSON object per metric, e.g.
+    [{"metric":"pool.hits","kind":"counter","value":42}]. *)
+
+val write_jsonl : path:string -> snapshot -> unit

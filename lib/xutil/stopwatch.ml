@@ -1,7 +1,13 @@
+(* All repro timings come from one monotonic source (clock_gettime
+   via bechamel's stub) so the experiment harness and the telemetry
+   spans agree and neither is disturbed by NTP wall-clock jumps. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, float_of_int (now_ns () - t0) /. 1e9)
 
 let median_of k f =
   if k < 1 then invalid_arg "Stopwatch.median_of";

@@ -1,8 +1,15 @@
-(** Wall-clock timing helper for the experiment harness. *)
+(** Monotonic timing helpers for the experiment harness and the
+    telemetry spans.  Everything reads the same monotonic clock, so the
+    two kinds of timing agree and neither is prone to NTP wall-clock
+    jumps. *)
+
+val now_ns : unit -> int
+(** Current monotonic clock reading in nanoseconds.  Only differences
+    are meaningful. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall
-    time in seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed
+    monotonic time in seconds. *)
 
 val median_of : int -> (unit -> 'a) -> 'a * float
 (** [median_of k f] runs [f] [k] times and returns the last result with

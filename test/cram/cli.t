@@ -45,6 +45,54 @@ Maximal matching against a FASTA query.
   1 maximal match(es) >= 3 chars (checked 13 nodes, 3 suffix sets)
     query 2..8  data: 1..7
 
+Telemetry via --stats: construction CASE frequencies for the running
+example, then per-edge-family traversal counts.  The pattern "acaaca"
+walks vertebras, takes a rib and chases an extrib chain; the matching
+operation additionally follows backward links.
+
+  $ spine build --alphabet dna --text data.txt -o paper.idx --stats | sed 's/in [0-9.]*s/in Xs/'
+  indexed 10 chars in Xs -> paper.idx
+  
+  telemetry
+  ---------
+    metric                 kind       value  detail           
+    ---------------------  ---------  -----  -----------------
+    build.case1            counter        4                   
+    build.case2            counter        2                   
+    build.case3            counter        4                   
+    build.case4            counter        2                   
+    build.extribs_created  counter        2                   
+    build.links_created    counter       10                   
+    build.ribs_created     counter        4                   
+    build.upstream_hops    histogram      9  sum=12  1:6 2-3:3
+
+  $ spine query -i paper.idx acaaca --stats
+  1 occurrence(s)
+    position 4
+  
+  telemetry
+  ---------
+    metric                    kind     value  detail
+    ------------------------  -------  -----  ------
+    search.extrib_hops        counter      1        
+    search.occurrences_found  counter      1        
+    search.rib_hops           counter      1        
+    search.vertebra_hops      counter      4        
+
+  $ spine match -i paper.idx -q query.fa --threshold 3 --stats
+  1 maximal match(es) >= 3 chars (checked 13 nodes, 3 suffix sets)
+    query 2..8  data: 1..7
+  
+  telemetry
+  ---------
+    metric                    kind     value  detail
+    ------------------------  -------  -----  ------
+    search.link_hops          counter      3        
+    search.occurrences_found  counter      1        
+    search.rib_hops           counter      1        
+    search.scan_nodes         counter      2        
+    search.vertebra_hops      counter      6        
+
 Synthetic corpus build round-trip.
 
   $ spine build --synthetic ECO --scale 0.001 -o eco.idx | sed 's/in [0-9.]*s/in Xs/'

@@ -121,6 +121,86 @@ let test_pool_writeback () =
   Alcotest.(check char) "after eviction" 'q'
     (Bytes.get (Pagestore.Device.read d 6) 1)
 
+let test_pool_pinned_eviction () =
+  let d = mk_device () in
+  (* every page the workload touches is pinned: the policy's fallback
+     must sacrifice a pinned page and say so *)
+  let p = Pagestore.Buffer_pool.create ~pin:(fun page -> page < 2) ~frames:2 d in
+  let touch i = Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ()) in
+  touch 0; touch 1;
+  Alcotest.(check int) "no pinned evictions while frames free" 0
+    (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.pinned_evictions;
+  touch 2;
+  let s = Pagestore.Buffer_pool.stats p in
+  Alcotest.(check int) "pinned eviction counted" 1
+    s.Pagestore.Buffer_pool.pinned_evictions;
+  Alcotest.(check int) "still counted as an eviction" 1
+    s.Pagestore.Buffer_pool.evictions;
+  (* page 2 is unpinned and is now the preferred victim: evicting it
+     must not touch the pinned counter *)
+  touch 10;
+  let s = Pagestore.Buffer_pool.stats p in
+  Alcotest.(check int) "unpinned eviction not pinned-counted" 1
+    s.Pagestore.Buffer_pool.pinned_evictions;
+  Alcotest.(check int) "eviction still counted" 2
+    s.Pagestore.Buffer_pool.evictions
+
+let test_pool_reset_stats () =
+  let d = mk_device () in
+  let p = Pagestore.Buffer_pool.create ~frames:2 d in
+  let touch ?(dirty = false) i =
+    Pagestore.Buffer_pool.with_page p i ~dirty (fun _ -> ())
+  in
+  touch ~dirty:true 0; touch 1; touch 0;
+  touch 2; touch 3;            (* evicts both, writing back dirty page 0 *)
+  let s = Pagestore.Buffer_pool.stats p in
+  if s.Pagestore.Buffer_pool.hits = 0 || s.Pagestore.Buffer_pool.misses = 0
+     || s.Pagestore.Buffer_pool.evictions = 0
+     || s.Pagestore.Buffer_pool.writebacks = 0
+  then Alcotest.fail "expected every stat class to be exercised";
+  Pagestore.Buffer_pool.reset_stats p;
+  let z = Pagestore.Buffer_pool.stats p in
+  Alcotest.(check int) "hits reset" 0 z.Pagestore.Buffer_pool.hits;
+  Alcotest.(check int) "misses reset" 0 z.Pagestore.Buffer_pool.misses;
+  Alcotest.(check int) "evictions reset" 0 z.Pagestore.Buffer_pool.evictions;
+  Alcotest.(check int) "pinned evictions reset" 0
+    z.Pagestore.Buffer_pool.pinned_evictions;
+  Alcotest.(check int) "writebacks reset" 0 z.Pagestore.Buffer_pool.writebacks;
+  (* counting resumes from zero after a reset *)
+  touch 0;
+  Alcotest.(check int) "fresh miss after reset" 1
+    (Pagestore.Buffer_pool.stats p).Pagestore.Buffer_pool.misses
+
+let test_pool_telemetry_consistency () =
+  (* the global telemetry mirror advances in lockstep with the pool's
+     own counters *)
+  let prev = Telemetry.is_enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled prev)
+    (fun () ->
+      let count name =
+        match Telemetry.find (Telemetry.snapshot ()) name with
+        | Some (Telemetry.Count n) -> n
+        | _ -> 0
+      in
+      let h0 = count "pool.hits" and m0 = count "pool.misses" in
+      let e0 = count "pool.evictions" in
+      let d = mk_device () in
+      let p = Pagestore.Buffer_pool.create ~frames:2 d in
+      let touch i =
+        Pagestore.Buffer_pool.with_page p i ~dirty:false (fun _ -> ())
+      in
+      touch 0; touch 1; touch 0; touch 2; touch 3;
+      let s = Pagestore.Buffer_pool.stats p in
+      Alcotest.(check int) "hits mirrored" s.Pagestore.Buffer_pool.hits
+        (count "pool.hits" - h0);
+      Alcotest.(check int) "misses mirrored" s.Pagestore.Buffer_pool.misses
+        (count "pool.misses" - m0);
+      Alcotest.(check int) "evictions mirrored"
+        s.Pagestore.Buffer_pool.evictions
+        (count "pool.evictions" - e0))
+
 let test_pool_drop_rereads () =
   let d = mk_device () in
   let p = Pagestore.Buffer_pool.create ~frames:4 d in
@@ -197,6 +277,11 @@ let suite =
   ; Alcotest.test_case "pool FIFO vs LRU" `Quick test_pool_fifo_vs_lru
   ; Alcotest.test_case "pool pinning" `Quick test_pool_pinning
   ; Alcotest.test_case "pool writeback on flush/evict" `Quick test_pool_writeback
+  ; Alcotest.test_case "pool pinned eviction counter" `Quick
+      test_pool_pinned_eviction
+  ; Alcotest.test_case "pool reset_stats" `Quick test_pool_reset_stats
+  ; Alcotest.test_case "pool telemetry mirror" `Quick
+      test_pool_telemetry_consistency
   ; Alcotest.test_case "pool drop rereads device" `Quick test_pool_drop_rereads
   ; Alcotest.test_case "paged array fields" `Quick test_paged_array_fields
   ; Alcotest.test_case "paged array persistence" `Quick
