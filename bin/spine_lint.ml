@@ -1,0 +1,133 @@
+(* spine-lint entry point: scan the .cmt files under a build dir and
+   report rule violations.  Exit 0 when clean, 1 on unsuppressed
+   findings, 2 on environmental failure (no build dir / no cmts). *)
+
+open Cmdliner
+
+let print_table findings =
+  let header = [ "RULE"; "SEVERITY"; "WHERE"; "MESSAGE" ] in
+  let rows = Lint.table_rows findings in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    Report.Say.line
+      (String.concat "  " (List.map2 pad widths row) |> String.trim
+      |> fun s -> "  " ^ s)
+  in
+  line header;
+  List.iter line rows
+
+let run_lint build_dir source_root all_paths format errors_only demote
+    show_suppressed =
+  let demote =
+    if errors_only then
+      List.filter
+        (fun r -> Lint.default_severity r = Lint.Warning)
+        Lint.all_rules
+    else List.filter_map Lint.rule_of_id demote
+  in
+  match Lint.run ~all_paths ~demote ~build_dir ~source_root () with
+  | Error msg ->
+    prerr_endline ("spine-lint: " ^ msg);
+    2
+  | Ok res ->
+    let blocking =
+      if errors_only then
+        List.filter (fun f -> f.Lint.severity = Lint.Error) res.findings
+      else res.Lint.findings
+    in
+    (match format with
+    | "jsonl" -> List.iter Report.Say.line (Lint.jsonl res.Lint.findings)
+    | _ ->
+      if res.Lint.findings = [] then
+        Report.Say.printf "spine-lint: %d files scanned, no findings%s\n"
+          res.Lint.files_scanned
+          (match List.length res.Lint.suppressed with
+          | 0 -> ""
+          | n -> Printf.sprintf " (%d suppressed)" n)
+      else begin
+        print_table res.Lint.findings;
+        Report.Say.printf "spine-lint: %d finding(s) in %d files scanned\n"
+          (List.length res.Lint.findings)
+          res.Lint.files_scanned
+      end;
+      if show_suppressed && res.Lint.suppressed <> [] then begin
+        Report.Say.line "suppressed:";
+        print_table res.Lint.suppressed
+      end);
+    if blocking = [] then 0 else 1
+
+let build_dir_arg =
+  let doc = "Directory scanned (recursively) for .cmt files." in
+  Arg.(value & opt string "_build/default" & info [ "build-dir" ] ~doc)
+
+let source_root_arg =
+  let doc =
+    "Directory the source paths recorded in the .cmt files resolve \
+     against; also where the .mli existence checks look."
+  in
+  Arg.(value & opt string "." & info [ "source-root" ] ~doc)
+
+let all_paths_arg =
+  let doc =
+    "Disable path scoping and apply every rule to every scanned file \
+     (used by the fixture tests)."
+  in
+  Arg.(value & flag & info [ "all-paths" ] ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,table) or $(b,jsonl)." in
+  Arg.(
+    value
+    & opt (enum [ ("table", "table"); ("jsonl", "jsonl") ]) "table"
+    & info [ "format" ] ~doc)
+
+let errors_only_arg =
+  let doc = "Only fail (exit 1) on error-severity findings." in
+  Arg.(value & flag & info [ "errors-only" ] ~doc)
+
+let demote_arg =
+  let doc = "Downgrade $(docv) to warning severity (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "demote" ] ~docv:"RULE" ~doc)
+
+let show_suppressed_arg =
+  let doc = "Also list suppressed findings." in
+  Arg.(value & flag & info [ "show-suppressed" ] ~doc)
+
+let rules_cmd =
+  let run_rules () =
+    List.iter
+      (fun r ->
+        Report.Say.printf "%-14s %-7s %s\n" (Lint.rule_id r)
+          (Lint.severity_id (Lint.default_severity r))
+          (Lint.rule_doc r))
+      Lint.all_rules;
+    0
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List the rules, severities and what they enforce")
+    Term.(const run_rules $ const ())
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Scan a build dir's .cmt files for violations")
+    Term.(
+      const run_lint $ build_dir_arg $ source_root_arg $ all_paths_arg
+      $ format_arg $ errors_only_arg $ demote_arg $ show_suppressed_arg)
+
+let main_cmd =
+  let doc = "static analysis for the SPINE repo's typed ASTs" in
+  Cmd.group
+    ~default:
+      Term.(
+        const run_lint $ build_dir_arg $ source_root_arg $ all_paths_arg
+        $ format_arg $ errors_only_arg $ demote_arg $ show_suppressed_arg)
+    (Cmd.info "spine-lint" ~doc)
+    [ check_cmd; rules_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -106,6 +106,11 @@ let find name =
   let target = String.uppercase_ascii name in
   List.find_opt (fun c -> String.uppercase_ascii c.name = target) all
 
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Corpus.find_exn: unknown corpus %S" name)
+
 let scaled_length ~scale c =
   max 1000 (int_of_float (float_of_int c.paper_length *. scale))
 

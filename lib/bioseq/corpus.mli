@@ -53,6 +53,12 @@ val all : t list
 val find : string -> t option
 (** Case-insensitive lookup by name. *)
 
+val find_exn : string -> t
+(** Like {!find} but for corpora known to exist (the experiment
+    harness's own tables).
+    @raise Invalid_argument naming the missing corpus, instead of the
+    anonymous [Option.get] failure. *)
+
 val scaled_length : scale:float -> t -> int
 (** [scaled_length ~scale c] is [c.paper_length] scaled and clamped to at
     least 1000 characters. *)

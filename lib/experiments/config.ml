@@ -20,9 +20,12 @@ type t = {
 let default =
   { scale = 0.1; disk_scale = 0.02; threshold = 20; buckets = 10 }
 
+(* malformed values fall back silently by design: the harness should
+   run, not die, under a typo'd environment — but only a parse failure
+   may be swallowed, not arbitrary exceptions *)
 let env_float name fallback =
   match Sys.getenv_opt name with
-  | Some v -> (try float_of_string v with _ -> fallback)
+  | Some v -> (match float_of_string_opt v with Some f -> f | None -> fallback)
   | None -> fallback
 
 let from_env () =

@@ -10,7 +10,7 @@
    accesses are the traffic Figure 8 characterises. *)
 let buffer_policy (cfg : Config.t) =
   let data =
-    Data.load ~scale:cfg.Config.disk_scale (Option.get (Bioseq.Corpus.find "CEL"))
+    Data.load ~scale:cfg.Config.disk_scale (Bioseq.Corpus.find_exn "CEL")
   in
   let n = Bioseq.Packed_seq.length data in
   (* a pool well under the Link Table footprint, so upstream accesses
@@ -54,11 +54,11 @@ let buffer_policy (cfg : Config.t) =
    hashtable-of-records store, on construction time, search time, and
    space. *)
 let layout (cfg : Config.t) =
-  let seq = Data.load ~scale:cfg.Config.scale (Option.get (Bioseq.Corpus.find "ECO")) in
+  let seq = Data.load ~scale:cfg.Config.scale (Bioseq.Corpus.find_exn "ECO") in
   let query =
     Data.homologous_query ~scale:cfg.Config.scale
-      ~data_corpus:(Option.get (Bioseq.Corpus.find "ECO"))
-      (Option.get (Bioseq.Corpus.find "CEL"))
+      ~data_corpus:(Bioseq.Corpus.find_exn "ECO")
+      (Bioseq.Corpus.find_exn "CEL")
   in
   let n = Bioseq.Packed_seq.length seq in
   let fast_idx, fast_build =
@@ -100,11 +100,11 @@ let layout (cfg : Config.t) =
 (* Occurrence resolution (Section 4): deferred single-scan batching of
    all matches vs an immediate backbone scan per match. *)
 let scan (cfg : Config.t) =
-  let seq = Data.load ~scale:cfg.Config.scale (Option.get (Bioseq.Corpus.find "ECO")) in
+  let seq = Data.load ~scale:cfg.Config.scale (Bioseq.Corpus.find_exn "ECO") in
   let query =
     Data.homologous_query ~scale:cfg.Config.scale
-      ~data_corpus:(Option.get (Bioseq.Corpus.find "ECO"))
-      (Option.get (Bioseq.Corpus.find "CEL"))
+      ~data_corpus:(Bioseq.Corpus.find_exn "ECO")
+      (Bioseq.Corpus.find_exn "CEL")
   in
   let idx = Spine.Compact.of_seq seq in
   let threshold = max 12 (cfg.Config.threshold - 6) in

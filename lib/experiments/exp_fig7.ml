@@ -18,7 +18,7 @@ let run (cfg : Config.t) =
   let rows =
     List.map
       (fun name ->
-        let corpus = Option.get (Bioseq.Corpus.find name) in
+        let corpus = Bioseq.Corpus.find_exn name in
         let seq = Data.load ~scale:cfg.Config.disk_scale corpus in
         let n = Bioseq.Packed_seq.length seq in
         let config =

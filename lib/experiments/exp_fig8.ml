@@ -8,7 +8,7 @@ let genomes = [ "ECO"; "CEL"; "HC21" ]
 let run (cfg : Config.t) =
   List.iter
     (fun name ->
-      let corpus = Option.get (Bioseq.Corpus.find name) in
+      let corpus = Bioseq.Corpus.find_exn name in
       let seq = Data.load ~scale:cfg.Config.scale corpus in
       let idx = Spine.Compact.of_seq seq in
       let hist = Spine.Compact.link_histogram idx ~buckets:cfg.Config.buckets in
@@ -33,6 +33,6 @@ let run (cfg : Config.t) =
       for b = 1 to Array.length hist - 1 do
         if hist.(b) > hist.(b - 1) then decays := false
       done;
-      Printf.printf "  monotone decay along the backbone: %s\n"
+      Report.Say.printf "  monotone decay along the backbone: %s\n"
         (if !decays then "yes" else "no (minor local bumps)"))
     genomes

@@ -37,7 +37,7 @@ let run (cfg : Config.t) =
         let n_spine = List.length spine_matches in
         let n_st = List.length st_matches in
         if n_spine <> n_st then
-          Printf.printf "  WARNING: match count mismatch %d vs %d\n" n_spine n_st;
+          Report.Say.printf "  WARNING: match count mismatch %d vs %d\n" n_spine n_st;
         [ dname; qname;
           Report.Table.fmt_float st_time;
           Report.Table.fmt_float spine_time;

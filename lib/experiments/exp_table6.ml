@@ -7,7 +7,7 @@ let pairs = [ ("CEL", "ECO"); ("HC21", "ECO"); ("HC21", "CEL") ]
 
 let paper = [ (3515, 2119); (3514, 2163); (15077, 8701) ]
 
-let corpus name = Option.get (Bioseq.Corpus.find name)
+let corpus name = Bioseq.Corpus.find_exn name
 
 let run (cfg : Config.t) =
   let rows =

@@ -16,12 +16,12 @@ let run (cfg : Config.t) =
       (fun (dname, qname) (p_st, p_spine) ->
         let data =
           Data.load ~scale:cfg.Config.disk_scale
-            (Option.get (Bioseq.Corpus.find dname))
+            (Bioseq.Corpus.find_exn dname)
         in
         let query =
           Data.homologous_query ~scale:cfg.Config.disk_scale
-            ~data_corpus:(Option.get (Bioseq.Corpus.find dname))
-            (Option.get (Bioseq.Corpus.find qname))
+            ~data_corpus:(Bioseq.Corpus.find_exn dname)
+            (Bioseq.Corpus.find_exn qname)
         in
         let n = Bioseq.Packed_seq.length data in
         let config =

@@ -67,10 +67,10 @@ let run_one cfg e =
 let run_all cfg =
   List.iter
     (fun e ->
-      Printf.printf "\n=== %s: %s ===\n%!" e.name e.description;
+      Report.Say.printf "\n=== %s: %s ===\n%!" e.name e.description;
       (* start each experiment from a settled heap so timings are not
          polluted by garbage from the previous one *)
       Gc.compact ();
       let secs = run_one cfg e in
-      Printf.printf "  [%s completed in %.1fs]\n%!" e.name secs)
+      Report.Say.printf "  [%s completed in %.1fs]\n%!" e.name secs)
     all

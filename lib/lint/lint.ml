@@ -1,0 +1,488 @@
+(* The driver reads the typed ASTs the compiler already produced
+   ([.cmt] files, via compiler-libs) instead of re-parsing sources:
+   every identifier below is a fully resolved [Path.t], so `open`
+   tricks, aliases and shadowing cannot hide a violation, and the
+   instantiated types at polymorphic-comparison call sites are
+   available to tell an [int] equality (which the compiler
+   specialises) from an [int option] one (which drops to the generic
+   runtime walk). *)
+
+type severity = Error | Warning
+
+type rule =
+  | Poly_compare
+  | Obj_magic
+  | Catch_all
+  | Direct_stdout
+  | Missing_mli
+  | Partial_call
+
+let all_rules =
+  [ Poly_compare; Obj_magic; Catch_all; Direct_stdout; Missing_mli;
+    Partial_call ]
+
+let rule_id = function
+  | Poly_compare -> "poly-compare"
+  | Obj_magic -> "obj-magic"
+  | Catch_all -> "catch-all"
+  | Direct_stdout -> "stdout"
+  | Missing_mli -> "missing-mli"
+  | Partial_call -> "partial-call"
+
+let rule_of_id s =
+  match String.lowercase_ascii s with
+  | "poly-compare" | "l1" -> Some Poly_compare
+  | "obj-magic" | "l2" -> Some Obj_magic
+  | "catch-all" | "l3" -> Some Catch_all
+  | "stdout" | "l4" -> Some Direct_stdout
+  | "missing-mli" | "l5" -> Some Missing_mli
+  | "partial-call" | "l6" -> Some Partial_call
+  | _ -> None
+
+let rule_doc = function
+  | Poly_compare ->
+    "no polymorphic compare/=/Hashtbl.hash or polymorphic Hashtbl on \
+     hot-path libraries (lib/spine, lib/pagestore, lib/bioseq)"
+  | Obj_magic -> "no Obj.magic/Obj.repr/Obj.obj in library code"
+  | Catch_all -> "no catch-all `try ... with _ ->` swallowing exceptions"
+  | Direct_stdout ->
+    "no direct stdout printing from library code; route through \
+     lib/report or lib/telemetry"
+  | Missing_mli ->
+    "every module in lib/spine and lib/pagestore has a .mli interface"
+  | Partial_call ->
+    "no partial stdlib calls (List.hd, List.tl, Option.get) in library code"
+
+let default_severity = function
+  | Poly_compare | Obj_magic | Catch_all | Missing_mli -> Error
+  | Direct_stdout | Partial_call -> Warning
+
+let severity_id = function Error -> "error" | Warning -> "warning"
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type result = {
+  findings : finding list;
+  suppressed : finding list;
+  files_scanned : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rule scoping by source path                                         *)
+
+let hot_prefixes = [ "lib/spine/"; "lib/pagestore/"; "lib/bioseq/" ]
+let stdout_exempt = [ "lib/report/"; "lib/telemetry/" ]
+let mli_prefixes = [ "lib/spine/"; "lib/pagestore/" ]
+
+let starts_with_any prefixes file =
+  List.exists (fun p -> String.starts_with ~prefix:p file) prefixes
+
+let rule_in_scope ~all_paths rule file =
+  all_paths
+  ||
+  match rule with
+  | Poly_compare -> starts_with_any hot_prefixes file
+  | Obj_magic | Catch_all | Partial_call ->
+    String.starts_with ~prefix:"lib/" file
+  | Direct_stdout ->
+    String.starts_with ~prefix:"lib/" file
+    && not (starts_with_any stdout_exempt file)
+  | Missing_mli -> starts_with_any mli_prefixes file
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification                                           *)
+
+(* [Stdlib.Hashtbl.find] and friends flattened to ["Stdlib";"Hashtbl";
+   "find"]; [None] for applications/extra-type paths we never match. *)
+let path_parts p =
+  let rec go p acc =
+    match p with
+    | Path.Pident id -> Some (Ident.name id :: acc)
+    | Path.Pdot (q, s) -> go q (s :: acc)
+    | _ -> None
+  in
+  go p []
+
+let poly_ops = [ "="; "<>"; "<"; ">"; "<="; ">="; "compare" ]
+
+let stdout_names =
+  [ "print_string"; "print_bytes"; "print_char"; "print_int";
+    "print_float"; "print_endline"; "print_newline" ]
+
+let classify_partial = function
+  | [ "Stdlib"; "List"; "hd" ] -> Some "List.hd raises Failure on []"
+  | [ "Stdlib"; "List"; "tl" ] -> Some "List.tl raises Failure on []"
+  | [ "Stdlib"; "Option"; "get" ] ->
+    Some "Option.get raises Invalid_argument on None"
+  | _ -> None
+
+let classify_stdout = function
+  | [ "Stdlib"; name ] when List.mem name stdout_names ->
+    Some (Printf.sprintf "%s writes directly to stdout" name)
+  | [ "Stdlib"; "Printf"; "printf" ] ->
+    Some "Printf.printf writes directly to stdout"
+  | [ "Stdlib"; "Format"; ("printf" | "print_string" | "print_newline") as f ]
+    ->
+    Some (Printf.sprintf "Format.%s writes directly to stdout" f)
+  | _ -> None
+
+let classify_obj = function
+  | [ "Stdlib"; "Obj"; ("magic" | "repr" | "obj") as f ] ->
+    Some (Printf.sprintf "Obj.%s defeats the type system" f)
+  | _ -> None
+
+(* every value of the polymorphic Hashtbl interface hashes or compares
+   generically; the specialised [Hashtbl.Make] tables resolve to their
+   own module path and sail through *)
+let classify_hashtbl = function
+  | [ "Stdlib"; "Hashtbl"; "hash" ] ->
+    Some "Hashtbl.hash is the generic structural hash"
+  | [ "Stdlib"; "Hashtbl"; f ] ->
+    Some
+      (Printf.sprintf
+         "polymorphic Hashtbl.%s hashes keys generically (use a \
+          Hashtbl.Make-specialised table, e.g. Xutil.Int_tbl)"
+         f)
+  | _ -> None
+
+let is_poly_op p =
+  match path_parts p with
+  | Some [ "Stdlib"; op ] -> List.mem op poly_ops
+  | _ -> false
+
+(* cmt files store environments as summaries; rebuild enough of the
+   typing env (from the load path recorded at compile time) to expand
+   aliases like [Xutil.Int_tbl.key = int] before judging a comparison *)
+let expand_type env ty =
+  match Envaux.env_of_only_summary env with
+  | exception Envaux.Error _ -> ty
+  | exception Env.Error _ -> ty
+  | exception Persistent_env.Error _ -> ty
+  | env -> (
+    match Ctype.expand_head env ty with
+    | ty' -> ty'
+    | exception Ctype.Cannot_expand -> ty
+    | exception Ctype.Escape _ -> ty
+    | exception Env.Error _ -> ty
+    | exception Persistent_env.Error _ -> ty)
+
+(* argument types at which the compiler emits a specialised (non-
+   generic) comparison: flagging [a = b] on ints would be noise *)
+let specializable env ty =
+  match Types.get_desc (expand_type env ty) with
+  | Types.Tconstr (p, [], _) ->
+    List.exists (Path.same p)
+      [ Predef.path_int; Predef.path_char; Predef.path_bool;
+        Predef.path_unit; Predef.path_string; Predef.path_bytes;
+        Predef.path_float; Predef.path_int32; Predef.path_int64;
+        Predef.path_nativeint ]
+  | _ -> false
+
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* ------------------------------------------------------------------ *)
+(* Typedtree walk                                                      *)
+
+type raw = { r_rule : rule; r_loc : Location.t; r_msg : string }
+
+let collect_structure ~wants str =
+  let found = ref [] in
+  let record r_rule loc r_msg =
+    if wants r_rule then found := { r_rule; r_loc = loc; r_msg } :: !found
+  in
+  (* comparison operators judged benign at their application site (the
+     argument type is specialisable); the ident visit skips them *)
+  let cleared : (Location.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let open Typedtree in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_apply (f, args) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, _) when is_poly_op p ->
+        Hashtbl.replace cleared f.exp_loc ();
+        let first_arg =
+          List.find_map
+            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+            args
+        in
+        (match first_arg with
+        | Some a when specializable a.exp_env a.exp_type -> ()
+        | Some a ->
+          record Poly_compare f.exp_loc
+            (Printf.sprintf
+               "polymorphic %s at type %s drops to the generic runtime \
+                comparison (compare via a monomorphic function)"
+               (Path.last p)
+               (type_to_string a.exp_type))
+        | None ->
+          record Poly_compare f.exp_loc
+            (Printf.sprintf "polymorphic %s" (Path.last p)))
+      | _ -> ())
+    | Texp_ident (p, _, _) when not (Hashtbl.mem cleared e.exp_loc) -> (
+      match path_parts p with
+      | None -> ()
+      | Some parts -> (
+        (match classify_hashtbl parts with
+        | Some msg -> record Poly_compare e.exp_loc msg
+        | None ->
+          if is_poly_op p then
+            record Poly_compare e.exp_loc
+              (Printf.sprintf
+                 "polymorphic %s passed as a first-class function \
+                  (hashes/compares generically at every call)"
+                 (Path.last p)));
+        (match classify_obj parts with
+        | Some msg -> record Obj_magic e.exp_loc msg
+        | None -> ());
+        (match classify_stdout parts with
+        | Some msg ->
+          record Direct_stdout e.exp_loc
+            (msg ^ " from library code (route through Report or Telemetry)")
+        | None -> ());
+        match classify_partial parts with
+        | Some msg ->
+          record Partial_call e.exp_loc
+            (msg ^ "; match the shape explicitly")
+        | None -> ()))
+    | Texp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          match c.c_lhs.pat_desc with
+          | Tpat_any ->
+            record Catch_all c.c_lhs.pat_loc
+              "catch-all handler swallows every exception, including \
+               the ones that signal bugs (match the specific exceptions)"
+          | _ -> ())
+        cases
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.structure iter str;
+  List.rev !found
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                                *)
+
+type suppressions = {
+  by_line : (int, rule list) Hashtbl.t;
+  file_wide : rule list;
+}
+
+let no_suppressions = { by_line = Hashtbl.create 1; file_wide = [] }
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_directive line =
+  match find_substring line "spine-lint:" with
+  | None -> None
+  | Some i ->
+    let rest =
+      let tail = String.sub line (i + 11) (String.length line - i - 11) in
+      match find_substring tail "*)" with
+      | Some j -> String.sub tail 0 j
+      | None -> tail
+    in
+    let tokens =
+      String.split_on_char ' ' rest
+      |> List.concat_map (String.split_on_char ',')
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    (match tokens with
+    | directive :: rules
+      when directive = "allow" || directive = "allow-file" ->
+      Some (directive, List.filter_map rule_of_id rules)
+    | _ -> None)
+
+let load_suppressions path =
+  match In_channel.open_text path with
+  | exception Sys_error _ -> no_suppressions
+  | ic ->
+    let by_line = Hashtbl.create 8 in
+    let file_wide = ref [] in
+    let rec go n =
+      match In_channel.input_line ic with
+      | None -> ()
+      | Some line ->
+        (match parse_directive line with
+        | Some ("allow", rules) -> Hashtbl.replace by_line n rules
+        | Some ("allow-file", rules) -> file_wide := rules @ !file_wide
+        | _ -> ());
+        go (n + 1)
+    in
+    go 1;
+    In_channel.close ic;
+    { by_line; file_wide = !file_wide }
+
+(* a finding is waived by a directive on its own line or on the line
+   directly above, or by a file-wide directive *)
+let is_suppressed sup rule line =
+  List.mem rule sup.file_wide
+  || List.mem rule
+       (Option.value ~default:[] (Hashtbl.find_opt sup.by_line line))
+  || List.mem rule
+       (Option.value ~default:[] (Hashtbl.find_opt sup.by_line (line - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+
+let walk_cmts root =
+  let out = ref [] in
+  let rec go dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.iter
+        (fun entry ->
+          let p = Filename.concat dir entry in
+          match Sys.is_directory p with
+          | exception Sys_error _ -> ()
+          | true -> go p
+          | false -> if Filename.check_suffix p ".cmt" then out := p :: !out)
+        entries
+  in
+  go root;
+  List.sort String.compare !out
+
+let run ?(all_paths = false) ?(demote = []) ~build_dir ~source_root () =
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
+    Stdlib.Error (Printf.sprintf "build dir %S does not exist" build_dir)
+  else begin
+    let cmts = walk_cmts build_dir in
+    if cmts = [] then
+      Stdlib.Error
+        (Printf.sprintf
+           "no .cmt files under %S (build first: dune build @check)"
+           build_dir)
+    else begin
+      let flagged = ref [] and waived = ref [] and scanned = ref 0 in
+      (* a module built in several modes leaves several cmts; scan once *)
+      let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+      let emit sup rule (line, col) file message =
+        let severity =
+          if List.mem rule demote then Warning else default_severity rule
+        in
+        let f = { rule; severity; file; line; col; message } in
+        if is_suppressed sup rule line then waived := f :: !waived
+        else flagged := f :: !flagged
+      in
+      List.iter
+        (fun cmt_path ->
+          match Cmt_format.read_cmt cmt_path with
+          | exception (Cmt_format.Error _ | Sys_error _ | Failure _) -> ()
+          | cmt -> (
+            match cmt.Cmt_format.cmt_sourcefile with
+            | None -> ()
+            | Some src ->
+              let src_on_disk = Filename.concat source_root src in
+              let wants r = rule_in_scope ~all_paths r src in
+              if
+                List.exists wants all_rules
+                && Sys.file_exists src_on_disk
+                && not (Hashtbl.mem seen src)
+              then begin
+                Hashtbl.replace seen src ();
+                incr scanned;
+                let sup = load_suppressions src_on_disk in
+                (* L5 is a file-level property, not a tree walk *)
+                if wants Missing_mli && Filename.check_suffix src ".ml" then begin
+                  let mli =
+                    Filename.chop_suffix src_on_disk ".ml" ^ ".mli"
+                  in
+                  if not (Sys.file_exists mli) then
+                    emit sup Missing_mli (1, 0) src
+                      (Printf.sprintf
+                         "module %s has no .mli interface"
+                         (Filename.basename src))
+                end;
+                match cmt.Cmt_format.cmt_annots with
+                | Cmt_format.Implementation str ->
+                  (* point cmi resolution at the load path recorded
+                     when this module was compiled, so alias expansion
+                     in [specializable] can see through .mli types;
+                     dune records the entries relative to the build
+                     context root, so anchor them to [build_dir] *)
+                  Load_path.init ~auto_include:Load_path.no_auto_include
+                    (List.map
+                       (fun p ->
+                         if Filename.is_relative p then
+                           Filename.concat build_dir p
+                         else p)
+                       cmt.Cmt_format.cmt_loadpath);
+                  Envaux.reset_cache ();
+                  List.iter
+                    (fun { r_rule; r_loc; r_msg } ->
+                      let pos = r_loc.Location.loc_start in
+                      emit sup r_rule
+                        ( pos.Lexing.pos_lnum,
+                          pos.Lexing.pos_cnum - pos.Lexing.pos_bol )
+                        src r_msg)
+                    (collect_structure ~wants str)
+                | _ -> ()
+              end))
+        cmts;
+      let order a b =
+        match String.compare a.file b.file with
+        | 0 -> (
+          match compare a.line b.line with
+          | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+          | c -> c)
+        | c -> c
+      in
+      Stdlib.Ok
+        {
+          findings = List.sort order !flagged;
+          suppressed = List.sort order !waived;
+          files_scanned = !scanned;
+        }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters (formatting only; printing is the caller's business)      *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jsonl findings =
+  List.map
+    (fun f ->
+      Printf.sprintf
+        "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+        (rule_id f.rule) (severity_id f.severity) (json_escape f.file)
+        f.line f.col (json_escape f.message))
+    findings
+
+let table_rows findings =
+  List.map
+    (fun f ->
+      [ rule_id f.rule; severity_id f.severity;
+        Printf.sprintf "%s:%d:%d" f.file f.line f.col; f.message ])
+    findings

@@ -1,0 +1,89 @@
+(** spine-lint: static analysis over the typed ASTs in [_build].
+
+    The driver walks the [.cmt] files dune leaves next to every
+    compiled module (via [compiler-libs]) and enforces the repo's
+    hot-path and correctness invariants — the compile-time counterpart
+    of the telemetry subsystem.  Rules are scoped by source path: the
+    hot-path rules only fire inside [lib/spine], [lib/pagestore] and
+    [lib/bioseq]; the hygiene rules cover all of [lib/].
+
+    Any finding can be silenced at the offending line (or the line
+    above it) with
+
+    {v (* spine-lint: allow <rule> [<rule> ...] *) v}
+
+    or for a whole file with [(* spine-lint: allow-file <rule> *)].
+    Suppressed findings are still collected and reported separately so
+    the waiver surface stays visible.  See docs/STATIC_ANALYSIS.md. *)
+
+type severity = Error | Warning
+
+type rule =
+  | Poly_compare
+      (** L1: no polymorphic [compare]/[=]/[Hashtbl.hash]/[Hashtbl] on
+          hot-path libraries.  Comparisons whose argument type the
+          compiler specialises (int, char, bool, unit, string, bytes,
+          float, int32, int64, nativeint) are fine. *)
+  | Obj_magic     (** L2: no [Obj.magic]/[Obj.repr]/[Obj.obj]. *)
+  | Catch_all     (** L3: no [try ... with _ ->] swallowing exceptions. *)
+  | Direct_stdout
+      (** L4: no direct stdout printing from library code; route
+          through [lib/report] or [lib/telemetry]. *)
+  | Missing_mli
+      (** L5: every module in [lib/spine] and [lib/pagestore] has a
+          [.mli]. *)
+  | Partial_call
+      (** L6: no [List.hd]/[List.tl]/[Option.get] in library code. *)
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** Stable kebab-case id used in output and suppression comments:
+    ["poly-compare"], ["obj-magic"], ["catch-all"], ["stdout"],
+    ["missing-mli"], ["partial-call"]. *)
+
+val rule_of_id : string -> rule option
+val rule_doc : rule -> string
+val default_severity : rule -> severity
+val severity_id : severity -> string
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  file : string;  (** source path relative to the repo root *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+type result = {
+  findings : finding list;    (** unsuppressed, sorted by file/line *)
+  suppressed : finding list;
+  files_scanned : int;        (** [.cmt] files read *)
+}
+
+val run :
+  ?all_paths:bool ->
+  ?demote:rule list ->
+  build_dir:string ->
+  source_root:string ->
+  unit ->
+  (result, string) Stdlib.result
+(** Scan every [.cmt] under [build_dir].  [source_root] is the
+    directory the cmt-recorded source paths (and the [.mli] existence
+    checks of rule L5) resolve against — with dune this is the build
+    context root, since both cmts and copied sources live there.
+    [all_paths] disables path scoping so fixture trees outside [lib/]
+    can be linted (tests use this).  [demote] downgrades the listed
+    rules to [Warning].  [Error _] is returned only for environmental
+    failures (unreadable build dir), never for findings. *)
+
+val jsonl : finding list -> string list
+(** One JSON object per finding, in the style of the telemetry
+    exporter:
+    [{"rule":"poly-compare","severity":"error","file":"...","line":3,
+      "col":10,"message":"..."}]. *)
+
+val table_rows : finding list -> string list list
+(** [[rule; severity; file:line:col; message]] rows for
+    {!Report.Table.print}-style rendering. *)

@@ -25,7 +25,7 @@ type t = {
   next : int array;
   mutable head : int;
   mutable tail : int;
-  table : (int, int) Hashtbl.t; (* page id -> frame *)
+  table : int Xutil.Int_tbl.t;  (* page id -> frame *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -44,7 +44,7 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
     prev = Array.make frames (-1);
     next = Array.make frames (-1);
     head = -1; tail = -1;
-    table = Hashtbl.create (2 * frames);
+    table = Xutil.Int_tbl.create (2 * frames);
     hits = 0; misses = 0; evictions = 0; pinned_evictions = 0;
     writebacks = 0 }
 
@@ -86,7 +86,9 @@ let find_victim t =
     if f < 0 then fallback
     else if t.in_use.(f) > 0 then scan t.prev.(f) fallback
     else if not (t.pin t.page_of.(f)) then Some f
-    else scan t.prev.(f) (if fallback = None then Some f else fallback)
+    else
+      scan t.prev.(f)
+        (match fallback with None -> Some f | Some _ -> fallback)
   in
   match scan t.tail None with
   | Some f -> f
@@ -97,7 +99,7 @@ let find_free t =
   go 0
 
 let frame_for t page =
-  match Hashtbl.find_opt t.table page with
+  match Xutil.Int_tbl.find_opt t.table page with
   | Some f ->
     t.hits <- t.hits + 1;
     Telemetry.incr c_hits;
@@ -117,7 +119,7 @@ let frame_for t page =
           Telemetry.incr c_pinned_evictions
         end;
         writeback t victim;
-        Hashtbl.remove t.table t.page_of.(victim);
+        Xutil.Int_tbl.remove t.table t.page_of.(victim);
         t.evictions <- t.evictions + 1;
         Telemetry.incr c_evictions;
         unlink t victim;
@@ -128,7 +130,7 @@ let frame_for t page =
     Bytes.blit data 0 t.buffers.(f) 0 (Bytes.length data);
     t.page_of.(f) <- page;
     t.dirty.(f) <- false;
-    Hashtbl.replace t.table page f;
+    Xutil.Int_tbl.replace t.table page f;
     push_front t f;
     f
 
@@ -158,7 +160,7 @@ let flush t =
 
 let drop t =
   flush t;
-  Hashtbl.reset t.table;
+  Xutil.Int_tbl.reset t.table;
   Array.fill t.page_of 0 t.frames (-1);
   Array.fill t.dirty 0 t.frames false;
   Array.fill t.prev 0 t.frames (-1);

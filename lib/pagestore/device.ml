@@ -17,7 +17,7 @@ let default_cost =
   { read_us = 8000.0; write_us = 9000.0; sequential_us = 100.0; sync_us = 4000.0 }
 
 type backend =
-  | Mem of (int, Bytes.t) Hashtbl.t
+  | Mem of Bytes.t Xutil.Int_tbl.t
   | File of Unix.file_descr
 
 type t = {
@@ -26,7 +26,7 @@ type t = {
   sync_writes : bool;
   backend : backend;
   mutable allocated : int;      (* distinct pages written (file backend) *)
-  written : (int, unit) Hashtbl.t;
+  written : unit Xutil.Int_tbl.t;
   mutable last_page : int;      (* previously accessed page, -2 = none *)
   mutable reads : int;
   mutable writes : int;
@@ -38,11 +38,11 @@ let make ?(cost = default_cost) ?(sync_writes = false) ~page_size backend =
   if page_size <= 0 then invalid_arg "Device.create: page_size must be positive";
   { page_size; cost; sync_writes; backend;
     allocated = 0;
-    written = Hashtbl.create 1024;
+    written = Xutil.Int_tbl.create 1024;
     last_page = -2; reads = 0; writes = 0; sequential = 0; elapsed_us = 0.0 }
 
 let create ?cost ?sync_writes ~page_size () =
-  make ?cost ?sync_writes ~page_size (Mem (Hashtbl.create 1024))
+  make ?cost ?sync_writes ~page_size (Mem (Xutil.Int_tbl.create 1024))
 
 let create_file ?cost ?sync_writes ~page_size ~path () =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
@@ -71,7 +71,7 @@ let read t page =
   charge t page t.cost.read_us;
   match t.backend with
   | Mem pages ->
-    (match Hashtbl.find_opt pages page with
+    (match Xutil.Int_tbl.find_opt pages page with
      | Some data -> Bytes.copy data
      | None -> Bytes.make t.page_size '\000')
   | File fd ->
@@ -95,9 +95,10 @@ let write t page data =
   Telemetry.add c_write_bytes t.page_size;
   charge t page t.cost.write_us;
   if t.sync_writes then t.elapsed_us <- t.elapsed_us +. t.cost.sync_us;
-  if not (Hashtbl.mem t.written page) then Hashtbl.replace t.written page ();
+  if not (Xutil.Int_tbl.mem t.written page) then
+    Xutil.Int_tbl.replace t.written page ();
   match t.backend with
-  | Mem pages -> Hashtbl.replace pages page (Bytes.copy data)
+  | Mem pages -> Xutil.Int_tbl.replace pages page (Bytes.copy data)
   | File fd ->
     ignore (Unix.lseek fd (page * t.page_size) Unix.SEEK_SET);
     let rec drain off =
@@ -121,4 +122,4 @@ let stats (t : t) =
   { reads = t.reads; writes = t.writes;
     sequential = t.sequential; elapsed_us = t.elapsed_us }
 
-let pages_allocated t = Hashtbl.length t.written
+let pages_allocated t = Xutil.Int_tbl.length t.written

@@ -17,7 +17,7 @@ let create pool regions =
   let arr = Array.make (max_id + 1) None in
   List.iter
     (fun r ->
-      if arr.(r.structure) <> None then
+      if Option.is_some arr.(r.structure) then
         invalid_arg "Trace_router.create: duplicate structure id";
       if r.record_bytes <= 0 then
         invalid_arg "Trace_router.create: bad record size";

@@ -1,0 +1,2 @@
+let printf fmt = Printf.printf fmt
+let line s = print_endline s

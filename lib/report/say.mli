@@ -1,0 +1,10 @@
+(** The sanctioned stdout channel for harness prose.
+
+    Library code must not write to stdout directly (spine-lint rule
+    [stdout]): everything user-visible flows through [lib/report] so
+    output stays greppable and a future sink swap (pager, file, JSONL
+    mirror) is one change.  Tables and bars have {!Table} and {!Bar};
+    the odd connective sentence between them uses this module. *)
+
+val printf : ('a, out_channel, unit) format -> 'a
+val line : string -> unit

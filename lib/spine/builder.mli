@@ -1,0 +1,36 @@
+(** Online SPINE construction (Section 3 of the paper).
+
+    One {!Make.append} call per data character.  The link chain of the
+    new node's parent is traversed upstream; at each visited node a rib
+    is created unless a forward edge for the new character already
+    exists, in which case the traversal stops and the new node's link is
+    installed according to the paper's four cases (see the
+    implementation for the case-by-case commentary).  The
+    hand-validated construction trace for the paper's example string
+    [aaccacaaca] (Figure 3) is enforced by the test suite. *)
+
+(** Construction telemetry: CASE frequencies (Section 3), edge-creation
+    counts (the paper's Table 2/space accounting inputs) and the
+    upstream link-chain length per appended character.  Shared across
+    every store instantiation — the registry is process-global. *)
+
+val c_case1 : Telemetry.counter
+val c_case2 : Telemetry.counter
+val c_case3 : Telemetry.counter
+val c_case4 : Telemetry.counter
+val c_ribs : Telemetry.counter
+val c_extribs : Telemetry.counter
+val c_links : Telemetry.counter
+val h_upstream : Telemetry.histogram
+
+module Make (S : Store_sig.S) : sig
+  val append : S.t -> int -> unit
+  (** [append t c] extends the index by the alphabet code [c]:
+      amortised O(1) over the whole string (Theorem 1). *)
+
+  val append_seq : S.t -> Bioseq.Packed_seq.t -> unit
+
+  val append_string : S.t -> string -> unit
+  (** Encodes each character with the store's alphabet; raises
+      [Invalid_argument] on characters outside it. *)
+end

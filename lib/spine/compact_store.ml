@@ -145,9 +145,9 @@ module Core (B : BYTES) = struct
     rts : B.t array;                 (* index 0..3 = RT1..RT4 *)
     freelist : int array;            (* per RT, head row + 1, 0 = none *)
     live_rows : int array;
-    overflow : (int, int) Hashtbl.t; (* label-field key -> true value *)
+    overflow : int Xutil.Int_tbl.t;  (* label-field key -> true value *)
     mutable overflow_count : int;
-    anchors : (int, int) Hashtbl.t;  (* row key -> extrib anchor *)
+    anchors : int Xutil.Int_tbl.t;   (* row key -> extrib anchor *)
     mutable migrations : int;
     trace : trace option;
   }
@@ -156,11 +156,11 @@ module Core (B : BYTES) = struct
      allocates the root's LT entry. Restoring a persisted instance
      passes the saved side tables and counters back in. *)
   let make ?trace ?(freelist = [| 0; 0; 0; 0 |]) ?(live_rows = [| 0; 0; 0; 0 |])
-      ?(overflow = Hashtbl.create 16) ?(anchors = Hashtbl.create 16)
+      ?(overflow = Xutil.Int_tbl.create 16) ?(anchors = Xutil.Int_tbl.create 16)
       ?(migrations = 0) ~seq ~lt ~rts alphabet =
     { seq; lo = layout_of alphabet; lt; rts;
       freelist; live_rows; overflow;
-      overflow_count = Hashtbl.length overflow;
+      overflow_count = Xutil.Int_tbl.length overflow;
       anchors; migrations; trace }
 
   let init_root t = ignore (B.alloc t.lt lt_entry_bytes)
@@ -205,21 +205,21 @@ module Core (B : BYTES) = struct
   let read_label t raw key =
     if raw = overflow_sentinel then begin
       touch t ~structure:5 ~index:0 ~write:false;
-      Hashtbl.find t.overflow key
+      Xutil.Int_tbl.find t.overflow key
     end
     else raw
 
   let write_label t set key v =
     if v >= overflow_sentinel then begin
       set overflow_sentinel;
-      if not (Hashtbl.mem t.overflow key) then
+      if not (Xutil.Int_tbl.mem t.overflow key) then
         t.overflow_count <- t.overflow_count + 1;
-      Hashtbl.replace t.overflow key v;
+      Xutil.Int_tbl.replace t.overflow key v;
       touch t ~structure:5 ~index:0 ~write:true
     end
     else begin
-      if Hashtbl.mem t.overflow key then begin
-        Hashtbl.remove t.overflow key;
+      if Xutil.Int_tbl.mem t.overflow key then begin
+        Xutil.Int_tbl.remove t.overflow key;
         t.overflow_count <- t.overflow_count - 1
       end;
       set v
@@ -294,11 +294,11 @@ module Core (B : BYTES) = struct
 
   let row_anchor t table row =
     touch t ~structure:5 ~index:0 ~write:false;
-    Hashtbl.find t.anchors (anchor_key ~table ~row)
+    Xutil.Int_tbl.find t.anchors (anchor_key ~table ~row)
 
   let set_row_anchor t table row v =
     touch t ~structure:5 ~index:0 ~write:true;
-    Hashtbl.replace t.anchors (anchor_key ~table ~row) v
+    Xutil.Int_tbl.replace t.anchors (anchor_key ~table ~row) v
 
   let alloc_row t table =
     t.live_rows.(table) <- t.live_rows.(table) + 1;
@@ -317,17 +317,17 @@ module Core (B : BYTES) = struct
     (* drop side-table entries still keyed to this row *)
     for slot = 0 to t.lo.slot_capacity.(table) - 1 do
       let key = rt_label_key ~table ~row ~slot in
-      if Hashtbl.mem t.overflow key then begin
-        Hashtbl.remove t.overflow key;
+      if Xutil.Int_tbl.mem t.overflow key then begin
+        Xutil.Int_tbl.remove t.overflow key;
         t.overflow_count <- t.overflow_count - 1
       end
     done;
     let prt_key = rt_label_key ~table ~row ~slot:63 in
-    if Hashtbl.mem t.overflow prt_key then begin
-      Hashtbl.remove t.overflow prt_key;
+    if Xutil.Int_tbl.mem t.overflow prt_key then begin
+      Xutil.Int_tbl.remove t.overflow prt_key;
       t.overflow_count <- t.overflow_count - 1
     end;
-    Hashtbl.remove t.anchors (anchor_key ~table ~row);
+    Xutil.Int_tbl.remove t.anchors (anchor_key ~table ~row);
     B.set_u32 t.rts.(table) (row_off t table row) t.freelist.(table);
     t.freelist.(table) <- row + 1
 
@@ -503,7 +503,7 @@ module Core (B : BYTES) = struct
       rt_bytes = !live;
       rt_slack_bytes = !total - !live;
       (* 8 bytes per overflow entry and per extrib anchor *)
-      overflow_bytes = (t.overflow_count + Hashtbl.length t.anchors) * 8;
+      overflow_bytes = (t.overflow_count + Xutil.Int_tbl.length t.anchors) * 8;
       string_bytes =
         (length t * Bioseq.Alphabet.payload_bits (alphabet t) + 7) / 8;
       migrations = t.migrations }

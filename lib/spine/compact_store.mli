@@ -1,0 +1,139 @@
+(** The paper's Section 5 node layout: Link Table + Rib Tables.
+
+    Every node owns one 6-byte Link Table (LT) entry — exactly the
+    {LD/PTR, LEL} columns of the paper's Figure 5; only nodes with
+    downstream edges own a row in one of the Rib Tables (RTs),
+    segregated by fanout so that space is paid per edge actually
+    present.  Numeric labels are 2 bytes with an overflow side table
+    for the rare values above 65534, and character labels are
+    bit-packed.  See the implementation header for the exact byte
+    layouts.
+
+    The storage logic is written once, in {!Core}, over the {!BYTES}
+    byte-table abstraction: this module instantiates it with in-memory
+    growable byte buffers (plus the [trace] callback whose replay
+    drives the disk experiments), while {!Persistent} instantiates the
+    same code over buffer-pool pages of a real file. *)
+
+type trace = structure:int -> index:int -> write:bool -> unit
+(** Reports every logical record access with its structure id (0 = LT,
+    1-4 = RT1..RT4, 5 = side tables) and row index. *)
+
+(** Byte-table abstraction the layout code is written against:
+    little-endian fixed-width accessors over one growable region. *)
+module type BYTES = sig
+  type t
+
+  val used : t -> int
+  (** Bytes allocated so far. *)
+
+  val alloc : t -> int -> int
+  (** [alloc t n] reserves [n] more bytes, returning their offset. *)
+
+  val get_u8 : t -> int -> int
+  val set_u8 : t -> int -> int -> unit
+  val get_u16 : t -> int -> int
+  val set_u16 : t -> int -> int -> unit
+  val get_u32 : t -> int -> int
+  val set_u32 : t -> int -> int -> unit
+end
+
+(** The in-memory instantiation's byte table. *)
+module Btab : sig
+  include BYTES
+
+  val create : int -> t
+  (** [create capacity] allocates an empty table (capacity is a size
+      hint). *)
+end
+
+val lt_entry_bytes : int
+val overflow_sentinel : int
+
+(** Layout constants derived from the alphabet, shared by every
+    instantiation (and by the Disk trace router). *)
+type layout = {
+  slot_capacity : int array;
+  row_bytes : int array;
+  cl_area_off : int array;
+  prt_off : int array;
+  cl_bits : int;
+}
+
+val layout_of : Bioseq.Alphabet.t -> layout
+
+type space = {
+  lt_bytes : int;
+  rt_bytes : int;         (** live rows only *)
+  rt_slack_bytes : int;   (** freelisted rows still occupying storage *)
+  overflow_bytes : int;   (** overflow labels + extrib anchors *)
+  string_bytes : int;     (** the bit-packed vertebra labels *)
+  migrations : int;
+}
+
+(** The store logic, written once over {!BYTES}.  The state record is
+    exposed so {!Persistent} can serialize the side tables and
+    per-table counters; treat the fields as read-only outside this
+    module and {!Persistent}. *)
+module Core (B : BYTES) : sig
+  type t = {
+    seq : Bioseq.Packed_seq.t;
+    lo : layout;
+    lt : B.t;
+    rts : B.t array;                 (** index 0..3 = RT1..RT4 *)
+    freelist : int array;            (** per RT, head row + 1, 0 = none *)
+    live_rows : int array;
+    overflow : int Xutil.Int_tbl.t;  (** label-field key -> true value *)
+    mutable overflow_count : int;
+    anchors : int Xutil.Int_tbl.t;   (** row key -> extrib anchor *)
+    mutable migrations : int;
+    trace : trace option;
+  }
+
+  val make :
+    ?trace:trace ->
+    ?freelist:int array ->
+    ?live_rows:int array ->
+    ?overflow:int Xutil.Int_tbl.t ->
+    ?anchors:int Xutil.Int_tbl.t ->
+    ?migrations:int ->
+    seq:Bioseq.Packed_seq.t ->
+    lt:B.t ->
+    rts:B.t array ->
+    Bioseq.Alphabet.t ->
+    t
+  (** Wire up an instance over existing tables; restoring a persisted
+      instance passes the saved side tables and counters back in. *)
+
+  val init_root : t -> unit
+  (** Allocate the root's LT entry (fresh instances only). *)
+
+  (* the {!Store_sig.S} surface *)
+  val alphabet : t -> Bioseq.Alphabet.t
+  val length : t -> int
+  val sequence : t -> Bioseq.Packed_seq.t
+  val char_at : t -> int -> int
+  val append_char : t -> int -> unit
+  val link_dest : t -> int -> int
+  val link_lel : t -> int -> int
+  val set_link : t -> int -> dest:int -> lel:int -> unit
+  val find_rib : t -> int -> int -> (int * int) option
+  val add_rib : t -> int -> code:int -> dest:int -> pt:int -> unit
+  val find_extrib : t -> int -> (int * int * int * int) option
+  val add_extrib :
+    t -> int -> dest:int -> pt:int -> prt:int -> anchor:int -> unit
+  val fold_ribs :
+    t -> int -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+
+  (* accounting *)
+  val space : t -> space
+  val bytes_per_char : t -> float
+  val live_rows : t -> int -> int
+  val row_bytes : t -> int -> int
+  val rows_allocated : t -> int -> int
+  val overflow_count : t -> int
+end
+
+include module type of Core (Btab)
+
+val create : ?capacity:int -> ?trace:trace -> Bioseq.Alphabet.t -> t

@@ -3,17 +3,20 @@
 
     Links are dense (every node has one) and live in flat vectors; ribs
     and extribs are sparse (Table 4: under 35 % of nodes carry any) and
-    live in hashtables keyed by [(node << code_bits) | code].  Rib
-    payloads are packed into a single immediate integer to avoid
+    live in int-specialised hashtables ({!Xutil.Int_tbl} — no generic
+    hashing on the lookup path) keyed by [(node << code_bits) | code].
+    Rib payloads are packed into a single immediate integer to avoid
     allocating on the construction hot path. *)
+
+module Tbl = Xutil.Int_tbl
 
 type t = {
   seq : Bioseq.Packed_seq.t;
   code_bits : int;
   link_dest : Xutil.Int_vec.t;       (* entry per node; slot 0 unused *)
   link_lel : Xutil.Int_vec.t;
-  ribs : (int, int) Hashtbl.t;       (* key (node << bits) | code *)
-  extribs : (int, int * int * int * int) Hashtbl.t;
+  ribs : int Tbl.t;                  (* key (node << bits) | code *)
+  extribs : (int * int * int * int) Tbl.t;
   (* node -> dest, pt, prt, anchor (parent rib's destination) *)
 }
 
@@ -26,8 +29,8 @@ let create ?(capacity = 1024) alphabet =
   { seq = Bioseq.Packed_seq.create ~capacity alphabet;
     code_bits = Bioseq.Alphabet.bits alphabet;
     link_dest; link_lel;
-    ribs = Hashtbl.create (max 16 (capacity / 4));
-    extribs = Hashtbl.create 64 }
+    ribs = Tbl.create (max 16 (capacity / 4));
+    extribs = Tbl.create 64 }
 
 let alphabet t = Bioseq.Packed_seq.alphabet t.seq
 let length t = Bioseq.Packed_seq.length t.seq
@@ -53,17 +56,17 @@ let unpack v = (v lsr 31, v land 0x7FFF_FFFF)
 let rib_key t node code = (node lsl t.code_bits) lor code
 
 let find_rib t node code =
-  match Hashtbl.find_opt t.ribs (rib_key t node code) with
+  match Tbl.find_opt t.ribs (rib_key t node code) with
   | None -> None
   | Some v -> Some (unpack v)
 
 let add_rib t node ~code ~dest ~pt =
-  Hashtbl.replace t.ribs (rib_key t node code) (pack ~dest ~pt)
+  Tbl.replace t.ribs (rib_key t node code) (pack ~dest ~pt)
 
-let find_extrib t node = Hashtbl.find_opt t.extribs node
+let find_extrib t node = Tbl.find_opt t.extribs node
 
 let add_extrib t node ~dest ~pt ~prt ~anchor =
-  Hashtbl.replace t.extribs node (dest, pt, prt, anchor)
+  Tbl.replace t.extribs node (dest, pt, prt, anchor)
 
 let fold_ribs t node ~init ~f =
   let nsyms = Bioseq.Alphabet.size (alphabet t) in
@@ -82,13 +85,13 @@ let fold_ribs t node ~init ~f =
 let model_bytes t =
   let n = length t in
   let lt_bytes = (4 + 2) * (n + 1) in
-  let rib_bytes = (4 + 2) * Hashtbl.length t.ribs in
+  let rib_bytes = (4 + 2) * Tbl.length t.ribs in
   (* dest + PT + PRT + 4-byte anchor (the chain-attribution correction) *)
-  let extrib_bytes = (4 + 2 + 2 + 4) * Hashtbl.length t.extribs in
+  let extrib_bytes = (4 + 2 + 2 + 4) * Tbl.length t.extribs in
   let cl_bytes =
     (n * Bioseq.Alphabet.payload_bits (alphabet t) + 7) / 8
   in
   lt_bytes + rib_bytes + extrib_bytes + cl_bytes
 
-let rib_count t = Hashtbl.length t.ribs
-let extrib_count t = Hashtbl.length t.extribs
+let rib_count t = Tbl.length t.ribs
+let extrib_count t = Tbl.length t.extribs

@@ -1,0 +1,69 @@
+(** Streaming matching over a SPINE index (Section 4 of the paper).
+
+    Computes matching statistics of a query against the indexed string,
+    maintaining the invariant that the current state [(v, len)] is the
+    {e termination node} of the current match (the end of its first
+    occurrence in the data string) together with its length.  On a
+    failed extension the matcher first tries shorter suffixes that
+    terminate at the same node (bounded by the rib's pathlength
+    thresholds), then follows the backward link — one check per {e set}
+    of suffixes, which is SPINE's advantage over the suffix tree's
+    one-suffix-link-per-suffix walk (Section 4.1, Table 6). *)
+
+val c_extrib_hops : Telemetry.counter
+(** = {!Search.c_extrib_hops}; alias taken before [Search] is shadowed
+    inside {!Make}. *)
+
+val c_link_hops : Telemetry.counter
+(** = {!Search.c_link_hops}. *)
+
+module Make (S : Store_sig.S) : sig
+  type stats = {
+    nodes_checked : int;
+    (** nodes examined during extensions, threshold retries and link
+        hops — the unit of the paper's Table 6 *)
+    suffixes_checked : int;
+    (** backward-link traversals: each one dispatches a whole set of
+        candidate suffixes at once *)
+  }
+
+  (** Exposed concretely so {!Cursor} can wrap the streaming state;
+      treat [nodes]/[suffixes] as read-only. *)
+  type state = {
+    t : S.t;
+    mutable v : int;      (** termination node of the current match *)
+    mutable len : int;    (** current match length *)
+    mutable nodes : int;
+    mutable suffixes : int;
+  }
+
+  val make : S.t -> state
+
+  val consume : state -> int -> unit
+  (** Consume one query character, updating the state to the longest
+      suffix of (current match + c) present in the data string. *)
+
+  val stats_of : state -> stats
+
+  val matching_statistics :
+    S.t -> Bioseq.Packed_seq.t -> int array * stats
+  (** [ms.(i)] is the length of the longest substring of the data
+      string ending at query position [i]. *)
+
+  type mmatch = {
+    query_end : int;
+    length : int;
+    data_ends : int list;  (** 0-based end positions, ascending *)
+  }
+
+  val maximal_matches :
+    ?immediate:bool ->
+    S.t -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * stats
+  (** The paper's complex matching operation: stream the query through
+      the index recording a match at every right-maximal position of
+      length at least [threshold], then resolve every occurrence of all
+      reported matches in ONE deferred sequential backbone scan
+      (Section 4's batched target-node-buffer strategy).
+      [~immediate:true] is the ablation mode: a separate scan per
+      match. *)
+end

@@ -185,10 +185,10 @@ let metadata_bytes t =
     u32 t.core.P.live_rows.(table)
   done;
   u32 t.core.P.migrations;
-  u32 (Hashtbl.length t.core.P.overflow);
-  Hashtbl.iter (fun k v -> u32 k; u32 v) t.core.P.overflow;
-  u32 (Hashtbl.length t.core.P.anchors);
-  Hashtbl.iter (fun k v -> u32 k; u32 v) t.core.P.anchors;
+  u32 (Xutil.Int_tbl.length t.core.P.overflow);
+  Xutil.Int_tbl.iter (fun k v -> u32 k; u32 v) t.core.P.overflow;
+  u32 (Xutil.Int_tbl.length t.core.P.anchors);
+  Xutil.Int_tbl.iter (fun k v -> u32 k; u32 v) t.core.P.anchors;
   Buffer.to_bytes buf
 
 let flush t =
@@ -262,17 +262,17 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
     live_rows.(table) <- u32 ()
   done;
   let migrations = u32 () in
-  let overflow = Hashtbl.create 16 in
+  let overflow = Xutil.Int_tbl.create 16 in
   let n_ov = u32 () in
   for _ = 1 to n_ov do
     let k = u32 () in
-    Hashtbl.replace overflow k (u32 ())
+    Xutil.Int_tbl.replace overflow k (u32 ())
   done;
-  let anchors = Hashtbl.create 16 in
+  let anchors = Xutil.Int_tbl.create 16 in
   let n_an = u32 () in
   for _ = 1 to n_an do
     let k = u32 () in
-    Hashtbl.replace anchors k (u32 ())
+    Xutil.Int_tbl.replace anchors k (u32 ())
   done;
   (* rebuild the in-memory sequence mirror from the code region *)
   let seq_tab =

@@ -61,7 +61,7 @@ module Make (S : Store_sig.S) = struct
     in
     go 0 0
 
-  let contains_codes t codes = find_first t codes <> None
+  let contains_codes t codes = Option.is_some (find_first t codes)
 
   let encode t s =
     let alphabet = S.alphabet t in
@@ -83,10 +83,12 @@ module Make (S : Store_sig.S) = struct
     let k = Array.length firsts in
     let buffers = Array.init k (fun _ -> Xutil.Int_vec.create ()) in
     if k > 0 then begin
-      let targets : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+      let targets : int list Xutil.Int_tbl.t = Xutil.Int_tbl.create 64 in
       let add_target node j =
-        let prev = Option.value ~default:[] (Hashtbl.find_opt targets node) in
-        Hashtbl.replace targets node (j :: prev)
+        let prev =
+          Option.value ~default:[] (Xutil.Int_tbl.find_opt targets node)
+        in
+        Xutil.Int_tbl.replace targets node (j :: prev)
       in
       let min_first = ref max_int in
       Array.iteri
@@ -99,7 +101,7 @@ module Make (S : Store_sig.S) = struct
       for node = !min_first + 1 to S.length t do
         Telemetry.incr c_scan_nodes;
         let d = S.link_dest t node in
-        match Hashtbl.find_opt targets d with
+        match Xutil.Int_tbl.find_opt targets d with
         | None -> ()
         | Some ids ->
           let lel = S.link_lel t node in

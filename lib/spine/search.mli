@@ -1,0 +1,58 @@
+(** Valid-path search over a SPINE index (Section 4 of the paper).
+
+    A path is valid when it starts at the root and every rib/extrib it
+    takes satisfies the pathlength-threshold constraint; valid paths
+    spell exactly the substrings of the data string, and the node a
+    valid path ends on is the end of the substring's {e first}
+    occurrence.  Remaining occurrences are recovered with the paper's
+    target-node-buffer scan: one sequential pass over the backbone,
+    admitting every node whose link points into the buffer with
+    sufficient LEL. *)
+
+(** Traversal telemetry, one counter per edge family.  [c_link_hops] is
+    shared with the matcher's backward-link walk and the cursor's
+    suffix-drop loop. *)
+
+val c_vertebra_hops : Telemetry.counter
+val c_rib_hops : Telemetry.counter
+val c_extrib_hops : Telemetry.counter
+val c_link_hops : Telemetry.counter
+val c_scan_nodes : Telemetry.counter
+val c_occurrences : Telemetry.counter
+
+module Make (S : Store_sig.S) : sig
+  val step : S.t -> int -> int -> int -> int
+  (** [step t node pl c]: one forward step from [node] with pathlength
+      [pl] on character [c].  Returns the destination node, or [-1]
+      when no valid edge exists. *)
+
+  val find_first : S.t -> int array -> int option
+  (** End node of the first occurrence of the code array, or [None]. *)
+
+  val contains_codes : S.t -> int array -> bool
+
+  val encode : S.t -> string -> int array option
+  (** [None] if any character is outside the store's alphabet. *)
+
+  val contains : S.t -> string -> bool
+
+  val occurrences_batch : S.t -> (int * int) array -> Xutil.Int_vec.t array
+  (** [occurrences_batch t firsts] resolves every occurrence of several
+      patterns — given as [(first-occurrence end node, length)] pairs —
+      in one deferred sequential backbone scan, returning one ascending
+      end-node buffer per pattern. *)
+
+  val end_nodes : S.t -> int array -> int list
+  (** All end nodes of the pattern, ascending (hashtable-backed buffer
+      membership). *)
+
+  val end_nodes_binary : S.t -> int array -> int list
+  (** Faithful single-pattern variant testing buffer membership by
+      binary search on the sorted target-node buffer, exactly as
+      described in the paper; the ablation bench compares the two. *)
+
+  val occurrences : S.t -> int array -> int list
+  (** 0-based start positions, ascending. *)
+
+  val first_occurrence : S.t -> int array -> int option
+end

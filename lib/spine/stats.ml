@@ -59,7 +59,7 @@ module Make (S : Store_sig.S) = struct
     let ribs = ref 0 and extribs = ref 0 in
     for node = 0 to n do
       ribs := S.fold_ribs t node ~init:!ribs ~f:(fun acc _ _ _ -> acc + 1);
-      if S.find_extrib t node <> None then incr extribs
+      if Option.is_some (S.find_extrib t node) then incr extribs
     done;
     { vertebras = n; ribs = !ribs; extribs = !extribs; links = n }
 

@@ -1,3 +1,6 @@
+(* spine-lint: allow-file missing-mli — signature-only module; an .mli
+   would duplicate the module type verbatim *)
+
 (** Storage abstraction for the SPINE index.
 
     The SPINE algorithms (online construction, valid-path search,

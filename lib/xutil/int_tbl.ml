@@ -1,0 +1,12 @@
+(* The polymorphic [Hashtbl] calls the generic [caml_hash] runtime
+   primitive on every operation; for the dense int keys of the hot
+   paths (node ids, page ids, rib keys) a single multiplicative hash
+   is both faster and collision-free enough.  The constant is the
+   SplitMix64 multiplier; taking the product's high bits keeps the
+   entropy that [Hashtbl]'s low-bit bucket masking actually uses. *)
+include Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+  let hash x = (x * 0x2545F4914F6CDD1D) lsr 31
+end)

@@ -1,0 +1,10 @@
+(** Hashtable specialised to [int] keys.
+
+    The polymorphic [Hashtbl] pays a call to the generic structural
+    hash (and polymorphic equality) on every probe; this table hashes
+    with one integer multiply and compares keys monomorphically, which
+    is what the SPINE hot paths (rib lookup, target-node buffers,
+    buffer-pool frame lookup, overflow labels) want.  Drop-in
+    replacement for the int-keyed subset of [Hashtbl]. *)
+
+include Hashtbl.S with type key = int

@@ -1,0 +1,57 @@
+spine-lint drives off compiled .cmt files, so build a tiny library
+tree with ocamlc directly (a nested dune project is not possible from
+inside a cram test).  Compiling from the tree root makes ocamlc record
+the dune-style relative source path in the cmt.
+
+  $ mkdir -p lib/demo
+  $ cat > lib/demo/bad.ml <<'EOF'
+  > let cast (x : int) : string = Obj.magic x
+  > let first xs = List.hd xs
+  > let swallow f = try f () with _ -> ()
+  > EOF
+  $ ocamlc -bin-annot -w -a -c lib/demo/bad.ml
+
+  $ spine-lint check --build-dir lib/demo --source-root .
+    RULE          SEVERITY  WHERE                 MESSAGE
+    obj-magic     error     lib/demo/bad.ml:1:30  Obj.magic defeats the type system
+    partial-call  warning   lib/demo/bad.ml:2:15  List.hd raises Failure on []; match the shape explicitly
+    catch-all     error     lib/demo/bad.ml:3:30  catch-all handler swallows every exception, including the ones that signal bugs (match the specific exceptions)
+  spine-lint: 3 finding(s) in 1 files scanned
+  [1]
+
+The rule list:
+
+  $ spine-lint rules
+  poly-compare   error   no polymorphic compare/=/Hashtbl.hash or polymorphic Hashtbl on hot-path libraries (lib/spine, lib/pagestore, lib/bioseq)
+  obj-magic      error   no Obj.magic/Obj.repr/Obj.obj in library code
+  catch-all      error   no catch-all `try ... with _ ->` swallowing exceptions
+  stdout         warning no direct stdout printing from library code; route through lib/report or lib/telemetry
+  missing-mli    error   every module in lib/spine and lib/pagestore has a .mli interface
+  partial-call   warning no partial stdlib calls (List.hd, List.tl, Option.get) in library code
+
+JSONL output:
+
+  $ spine-lint check --build-dir lib/demo --source-root . --format jsonl
+  {"rule":"obj-magic","severity":"error","file":"lib/demo/bad.ml","line":1,"col":30,"message":"Obj.magic defeats the type system"}
+  {"rule":"partial-call","severity":"warning","file":"lib/demo/bad.ml","line":2,"col":15,"message":"List.hd raises Failure on []; match the shape explicitly"}
+  {"rule":"catch-all","severity":"error","file":"lib/demo/bad.ml","line":3,"col":30,"message":"catch-all handler swallows every exception, including the ones that signal bugs (match the specific exceptions)"}
+  [1]
+
+The errors-only gate: partial-call is warning severity, so once the
+error-severity findings are waived the run passes while still listing
+the waivers.
+
+  $ cat > lib/demo/bad.ml <<'EOF'
+  > (* spine-lint: allow-file obj-magic catch-all *)
+  > let cast (x : int) : string = Obj.magic x
+  > let first xs = List.hd xs
+  > let swallow f = try f () with _ -> ()
+  > EOF
+  $ spine-lint check --build-dir lib/demo --source-root . --errors-only --show-suppressed
+    RULE          SEVERITY  WHERE                 MESSAGE
+    partial-call  warning   lib/demo/bad.ml:2:15  List.hd raises Failure on []; match the shape explicitly
+  spine-lint: 1 finding(s) in 1 files scanned
+  suppressed:
+    RULE       SEVERITY  WHERE                 MESSAGE
+    obj-magic  error     lib/demo/bad.ml:1:30  Obj.magic defeats the type system
+    catch-all  error     lib/demo/bad.ml:3:30  catch-all handler swallows every exception, including the ones that signal bugs (match the specific exceptions)

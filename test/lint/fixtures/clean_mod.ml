@@ -1,0 +1,8 @@
+(* Clean fixture: nothing here should trip any rule. *)
+
+let add (a : int) (b : int) = a + b
+let same (a : string) (b : string) = a = b
+
+let safe_head = function
+  | [] -> None
+  | x :: _ -> Some x

@@ -1,0 +1,3 @@
+val add : int -> int -> int
+val same : string -> string -> bool
+val safe_head : 'a list -> 'a option

@@ -1,0 +1,3 @@
+(* L5 fixture: deliberately has no .mli. *)
+
+let answer = 42

@@ -1,0 +1,3 @@
+(* L2 fixture: Obj.magic. *)
+
+let cast (x : int) : string = Obj.magic x

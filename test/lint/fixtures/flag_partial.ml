@@ -1,0 +1,5 @@
+(* L6 fixture: partial stdlib calls. *)
+
+let first xs = List.hd xs
+let rest xs = List.tl xs
+let force x = Option.get x

@@ -1,0 +1,9 @@
+(* L1 fixture: polymorphic comparison at a non-specialisable type,
+   first-class polymorphic hash, and a polymorphic hashtable. *)
+
+type pair = { a : int; b : int }
+
+let eq (x : pair) (y : pair) = x = y
+let ok (x : int) (y : int) = x = y
+let hash = Hashtbl.hash
+let table () : (pair, int) Hashtbl.t = Hashtbl.create 8

@@ -1,0 +1,4 @@
+(* L4 fixture: direct stdout printing. *)
+
+let hello () = print_endline "hello"
+let greet name = Printf.printf "hi %s\n" name

@@ -1,0 +1,136 @@
+(* Per-rule coverage for spine-lint, driven over the compiled fixture
+   library in ./fixtures: every rule must fire on its flagged fixture,
+   stay quiet on the clean one, and respect suppression comments. *)
+
+let result =
+  lazy
+    (match
+       Lint.run ~all_paths:true ~build_dir:"fixtures" ~source_root:"../.." ()
+     with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "lint run failed: %s" e)
+
+let in_file file f = Filename.basename f.Lint.file = file
+
+let findings_in file rule =
+  List.filter
+    (fun f -> f.Lint.rule = rule && in_file file f)
+    (Lazy.force result).Lint.findings
+
+let count file rule = List.length (findings_in file rule)
+
+let check_int what expected actual = Alcotest.(check int) what expected actual
+
+let test_poly_compare () =
+  check_int "record =, first-class hash and Hashtbl.create flagged" 3
+    (count "flag_poly.ml" Lint.Poly_compare);
+  Alcotest.(check bool)
+    "int = on line 7 is specialised, not flagged" false
+    (List.exists (fun f -> f.Lint.line = 7)
+       (findings_in "flag_poly.ml" Lint.Poly_compare))
+
+let test_obj_magic () =
+  check_int "Obj.magic flagged" 1 (count "flag_obj.ml" Lint.Obj_magic)
+
+let test_catch_all () =
+  let fs = findings_in "flag_catch.ml" Lint.Catch_all in
+  check_int "only the catch-all handler flagged" 1 (List.length fs);
+  check_int "flagged on the catch-all line" 4 (List.hd fs).Lint.line
+
+let test_stdout () =
+  check_int "print_endline and Printf.printf flagged" 2
+    (count "flag_stdout.ml" Lint.Direct_stdout)
+
+let test_partial_call () =
+  check_int "List.hd, List.tl and Option.get flagged" 3
+    (count "flag_partial.ml" Lint.Partial_call)
+
+let test_missing_mli () =
+  check_int "mli-less module flagged" 1
+    (count "flag_missing.ml" Lint.Missing_mli);
+  check_int "module with an mli not flagged" 0
+    (count "clean_mod.ml" Lint.Missing_mli)
+
+let test_clean () =
+  let offending =
+    List.filter (in_file "clean_mod.ml") (Lazy.force result).Lint.findings
+  in
+  check_int "clean fixture has no findings" 0 (List.length offending)
+
+let test_suppressed () =
+  let r = Lazy.force result in
+  let hits rule l =
+    List.length
+      (List.filter
+         (fun f -> f.Lint.rule = rule && in_file "suppressed_mod.ml" f)
+         l)
+  in
+  check_int "no unsuppressed findings in the suppression fixture" 0
+    (List.length (List.filter (in_file "suppressed_mod.ml") r.Lint.findings));
+  check_int "line waiver recorded as suppressed" 1
+    (hits Lint.Obj_magic r.Lint.suppressed);
+  check_int "same-line waiver recorded as suppressed" 1
+    (hits Lint.Catch_all r.Lint.suppressed);
+  check_int "file-wide waiver recorded as suppressed" 1
+    (hits Lint.Missing_mli r.Lint.suppressed)
+
+let test_demote () =
+  match
+    Lint.run ~all_paths:true ~demote:[ Lint.Obj_magic ]
+      ~build_dir:"fixtures" ~source_root:"../.." ()
+  with
+  | Error e -> Alcotest.failf "lint run failed: %s" e
+  | Ok r ->
+    List.iter
+      (fun f ->
+        if f.Lint.rule = Lint.Obj_magic then
+          Alcotest.(check string)
+            "demoted rule reports as warning" "warning"
+            (Lint.severity_id f.Lint.severity))
+      r.Lint.findings
+
+let test_rule_ids () =
+  List.iter
+    (fun r ->
+      match Lint.rule_of_id (Lint.rule_id r) with
+      | Some r' when r' = r -> ()
+      | _ -> Alcotest.failf "rule id %s does not round-trip" (Lint.rule_id r))
+    Lint.all_rules;
+  Alcotest.(check bool)
+    "unknown id rejected" true
+    (Lint.rule_of_id "no-such-rule" = None)
+
+let test_exporters () =
+  let f =
+    { Lint.rule = Lint.Obj_magic; severity = Lint.Error;
+      file = "lib/x.ml"; line = 3; col = 10; message = "say \"hi\"" }
+  in
+  (match Lint.jsonl [ f ] with
+  | [ line ] ->
+    Alcotest.(check string)
+      "jsonl line"
+      "{\"rule\":\"obj-magic\",\"severity\":\"error\",\"file\":\"lib/x.ml\",\"line\":3,\"col\":10,\"message\":\"say \\\"hi\\\"\"}"
+      line
+  | l -> Alcotest.failf "expected one jsonl line, got %d" (List.length l));
+  match Lint.table_rows [ f ] with
+  | [ [ rule; sev; where; _msg ] ] ->
+    Alcotest.(check string) "rule cell" "obj-magic" rule;
+    Alcotest.(check string) "severity cell" "error" sev;
+    Alcotest.(check string) "where cell" "lib/x.ml:3:10" where
+  | _ -> Alcotest.fail "expected one 4-column row"
+
+let () =
+  Alcotest.run "spine_lint"
+    [ ( "rules",
+        [ Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "stdout" `Quick test_stdout;
+          Alcotest.test_case "partial-call" `Quick test_partial_call;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli ] );
+      ( "behaviour",
+        [ Alcotest.test_case "clean module" `Quick test_clean;
+          Alcotest.test_case "suppressions" `Quick test_suppressed;
+          Alcotest.test_case "demotion" `Quick test_demote;
+          Alcotest.test_case "rule ids" `Quick test_rule_ids;
+          Alcotest.test_case "exporters" `Quick test_exporters ] ) ]
