@@ -22,16 +22,23 @@ open Toolkit
 
 let bench_scale = 0.01      (* corpus fraction for micro-bench inputs *)
 
+(* A malformed scale is an operator mistake worth a clear message, not
+   a Failure backtrace from float_of_string. *)
+let env_scale name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v ->
+    (match float_of_string_opt v with
+     | Some f -> f
+     | None ->
+       Printf.eprintf
+         "bench: %s=%S is not a number (expected e.g. %s=0.05)\n" name v name;
+       exit 2)
+
 let cfg =
   { Experiments.Config.default with
-    Experiments.Config.scale =
-      (match Sys.getenv_opt "SPINE_SCALE" with
-       | Some v -> float_of_string v
-       | None -> 0.05);
-    disk_scale =
-      (match Sys.getenv_opt "SPINE_DISK_SCALE" with
-       | Some v -> float_of_string v
-       | None -> 0.005) }
+    Experiments.Config.scale = env_scale "SPINE_SCALE" 0.05;
+    disk_scale = env_scale "SPINE_DISK_SCALE" 0.005 }
 
 (* --- micro-bench inputs (memoized through Experiments.Data) --- *)
 
@@ -112,6 +119,8 @@ let tests =
              (Lazy.force spine_fast) ~threshold:16 (query ())))
   ]
 
+(* Returns (name, estimated ns/run) per test so the trajectory artifact
+   records what was printed. *)
 let run_microbenches () =
   print_newline ();
   print_endline "Bechamel micro-benchmarks (one group per table/figure)";
@@ -122,15 +131,15 @@ let run_microbenches () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results =
         Benchmark.all benchmark_cfg [ Instance.monotonic_clock ]
           (Test.make_grouped ~name:"g" [ test ])
       in
       let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           let ns =
             match Analyze.OLS.estimates ols_result with
             | Some (e :: _) -> e
@@ -142,8 +151,15 @@ let run_microbenches () =
             else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
             else Printf.sprintf "%8.0f ns" ns
           in
-          Printf.printf "  %-42s %s/run\n%!" name pretty)
-        analyzed)
+          Printf.printf "  %-42s %s/run\n%!" name pretty;
+          (* drop the synthetic "g/" grouping prefix from the stable name *)
+          let name =
+            if String.length name > 2 && String.sub name 0 2 = "g/" then
+              String.sub name 2 (String.length name - 2)
+            else name
+          in
+          (name, ns) :: acc)
+        analyzed [])
     tests
 
 (* With telemetry enabled, leave a machine-readable artifact of every
@@ -159,21 +175,81 @@ let emit_telemetry_artifact () =
     Printf.printf "\ntelemetry artifact written to %s\n" path
   end
 
+(* With tracing enabled (SPINE_TRACE=1), leave the buffered event ring
+   as a Chrome trace next to the tables. *)
+let emit_trace_artifact () =
+  if Trace.is_enabled () then begin
+    let path =
+      Option.value (Sys.getenv_opt "SPINE_TRACE_JSON")
+        ~default:"spine_trace.json"
+    in
+    Trace.write_chrome ~path;
+    Printf.printf "trace artifact written to %s (%d event(s), %d dropped)\n"
+      path (List.length (Trace.events ())) (Trace.dropped ())
+  end
+
+(* The machine-readable run trajectory: config, wall time per
+   experiment, and the Bechamel per-run estimates.  CI uploads it so
+   successive runs can be diffed without scraping stdout. *)
+let emit_bench_artifact ~experiments ~micro =
+  let path =
+    Option.value (Sys.getenv_opt "SPINE_BENCH_JSON") ~default:"BENCH_spine.json"
+  in
+  let buf = Buffer.create 4096 in
+  let json_float f =
+    (* NaN (a failed OLS fit) has no JSON literal *)
+    if Float.is_nan f then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6g" f
+  in
+  let row kind (name, value) =
+    Printf.sprintf "    {\"name\": %S, \"%s\": %s}" name kind
+      (json_float value)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"spine-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": {\"scale\": %s, \"disk_scale\": %s, \"bench_scale\": %s},\n"
+       (json_float cfg.Experiments.Config.scale)
+       (json_float cfg.Experiments.Config.disk_scale)
+       (json_float bench_scale));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (row "wall_s") experiments));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"micro\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (row "ns_per_run") micro));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "bench trajectory written to %s\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (match args with
-  | [] ->
-    Printf.printf
-      "SPINE reproduction bench (scale %g, disk scale %g)\n"
-      cfg.Experiments.Config.scale cfg.Experiments.Config.disk_scale;
-    Experiments.Registry.run_all cfg;
-    run_microbenches ()
-  | [ "micro" ] -> run_microbenches ()
-  | names ->
-    List.iter
-      (fun name ->
-        match Experiments.Registry.find name with
-        | Some e -> ignore (Experiments.Registry.run_one cfg e)
-        | None -> Printf.eprintf "unknown experiment %S\n" name)
-      names);
-  emit_telemetry_artifact ()
+  let experiments, micro =
+    match args with
+    | [] ->
+      Printf.printf
+        "SPINE reproduction bench (scale %g, disk scale %g)\n"
+        cfg.Experiments.Config.scale cfg.Experiments.Config.disk_scale;
+      let experiments = Experiments.Registry.run_all cfg in
+      (experiments, run_microbenches ())
+    | [ "micro" ] -> ([], run_microbenches ())
+    | names ->
+      let experiments =
+        List.filter_map
+          (fun name ->
+            match Experiments.Registry.find name with
+            | Some e -> Some (name, Experiments.Registry.run_one cfg e)
+            | None -> Printf.eprintf "unknown experiment %S\n" name; None)
+          names
+      in
+      (experiments, [])
+  in
+  emit_bench_artifact ~experiments ~micro;
+  emit_telemetry_artifact ();
+  emit_trace_artifact ()

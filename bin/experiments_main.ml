@@ -45,7 +45,7 @@ let main scale disk_scale threshold names list_flag =
   end
   else
     match names with
-    | [] -> Experiments.Registry.run_all cfg; 0
+    | [] -> ignore (Experiments.Registry.run_all cfg); 0
     | names ->
       let ok = ref 0 in
       List.iter

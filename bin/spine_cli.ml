@@ -316,9 +316,160 @@ let align_cmd =
        ~doc:"MUM-anchor alignment skeleton between two FASTA sequences.")
     Term.(const run $ alphabet_arg' $ reference $ query_file $ threshold)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let seq_str =
+    Arg.(value & opt (some string) None
+         & info [ "seq" ] ~docv:"STRING"
+             ~doc:"Index this literal string (alternative to --fasta, \
+                   --synthetic, --text).")
+  in
+  let queries =
+    Arg.(value & opt_all string []
+         & info [ "query"; "q" ] ~docv:"PATTERN"
+             ~doc:"Pattern to search after building (repeatable); each \
+                   query is traced as its own operation.")
+  in
+  let disk =
+    Arg.(value & flag
+         & info [ "disk" ]
+             ~doc:"Build and query through the simulated disk stack so \
+                   the trace includes page faults, evictions and device \
+                   transfers.")
+  in
+  let out =
+    Arg.(value & opt string "spine_trace.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output file.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Trace format: chrome (trace-event JSON for Perfetto / \
+                   chrome://tracing) or jsonl.")
+  in
+  let sample =
+    Arg.(value & opt (some float) None
+         & info [ "sample" ] ~docv:"RATE"
+             ~doc:"Per-operation sampling probability in [0,1] \
+                   (overrides SPINE_TRACE_SAMPLE).")
+  in
+  let slow_us =
+    Arg.(value & opt (some int) None
+         & info [ "slow-us" ] ~docv:"US"
+             ~doc:"Slow-operation threshold in microseconds (overrides \
+                   SPINE_TRACE_SLOW_US).")
+  in
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Event ring capacity (overrides SPINE_TRACE_CAPACITY).")
+  in
+  let frames =
+    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.frames
+         & info [ "frames" ] ~docv:"N"
+             ~doc:"Buffer-pool frames for --disk; small values make \
+                   query-time page faults visible in the trace.")
+  in
+  let page_size =
+    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.page_size
+         & info [ "page-size" ] ~docv:"BYTES"
+             ~doc:"Device page size for --disk.")
+  in
+  let encode_pattern alphabet pattern =
+    match
+      Array.init (String.length pattern)
+        (fun i -> Bioseq.Alphabet.encode alphabet pattern.[i])
+    with
+    | codes -> Some codes
+    | exception Invalid_argument _ -> None
+  in
+  let run alphabet fasta synthetic scale text seq_str queries disk out format
+      sample slow_us capacity frames page_size =
+    match
+      Result.bind (alphabet_of_string alphabet) (fun alphabet ->
+          match seq_str with
+          | Some s ->
+            let seq = Bioseq.Packed_seq.create alphabet in
+            String.iter
+              (fun c ->
+                match Bioseq.Alphabet.encode_opt alphabet c with
+                | Some code -> Bioseq.Packed_seq.append seq code
+                | None -> ())
+              s;
+            Ok seq
+          | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text)
+    with
+    | Error e -> prerr_endline e; 1
+    | Ok seq ->
+      Trace.set_enabled true;
+      Option.iter Trace.set_sample_rate sample;
+      Option.iter Trace.set_slow_us slow_us;
+      Option.iter Trace.set_capacity capacity;
+      Trace.reset ();
+      let alphabet = Bioseq.Packed_seq.alphabet seq in
+      let occurrences_of =
+        if disk then begin
+          let config =
+            { Spine.Disk.default_config with
+              Spine.Disk.frames; page_size }
+          in
+          let d =
+            Trace.with_op "build"
+              [ Trace.Int ("length", Bioseq.Packed_seq.length seq) ]
+              (fun () -> Spine.Disk.build ~config seq)
+          in
+          fun codes -> Spine.Compact.occurrences d.Spine.Disk.index codes
+        end
+        else begin
+          let idx =
+            Trace.with_op "build"
+              [ Trace.Int ("length", Bioseq.Packed_seq.length seq) ]
+              (fun () -> Spine.Index.of_seq seq)
+          in
+          fun codes -> Spine.Index.occurrences idx codes
+        end
+      in
+      let bad = ref false in
+      List.iter
+        (fun pattern ->
+          match encode_pattern alphabet pattern with
+          | None ->
+            Printf.eprintf "pattern %S is outside the alphabet\n" pattern;
+            bad := true
+          | Some codes ->
+            let occs =
+              Trace.with_op "query" [ Trace.Str ("pattern", pattern) ]
+                (fun () -> occurrences_of codes)
+            in
+            Printf.printf "query %s: %d occurrence(s)\n" pattern
+              (List.length occs))
+        queries;
+      (match format with
+       | `Chrome -> Trace.write_chrome ~path:out
+       | `Jsonl -> Trace.write_jsonl ~path:out);
+      Printf.printf "trace: %d event(s), %d dropped -> %s\n"
+        (List.length (Trace.events ())) (Trace.dropped ()) out;
+      (match Trace.slow_rows () with
+       | [] -> ()
+       | rows ->
+         Report.Table.print ~title:"slow operations"
+           ~headers:[ "op"; "name"; "ms"; "sampled"; "args" ] rows);
+      if !bad then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Build (and optionally query) under per-operation event \
+             tracing and export the trace.")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ seq_str $ queries $ disk $ out $ format $ sample
+          $ slow_us $ capacity $ frames $ page_size)
+
 let main_cmd =
   let doc = "SPINE string index (ICDE 2004 reproduction)" in
   Cmd.group (Cmd.info "spine" ~doc)
-    [ build_cmd; query_cmd; stats_cmd; match_cmd; approx_cmd; align_cmd ]
+    [ build_cmd; query_cmd; stats_cmd; match_cmd; approx_cmd; align_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

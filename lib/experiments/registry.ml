@@ -64,13 +64,16 @@ let run_one cfg e =
       (Telemetry.diff (Telemetry.snapshot ()) before);
   secs
 
+(* Returns the (name, wall seconds) trajectory so callers can persist
+   it (bench/main.ml writes it into BENCH_spine.json). *)
 let run_all cfg =
-  List.iter
+  List.map
     (fun e ->
       Report.Say.printf "\n=== %s: %s ===\n%!" e.name e.description;
       (* start each experiment from a settled heap so timings are not
          polluted by garbage from the previous one *)
       Gc.compact ();
       let secs = run_one cfg e in
-      Report.Say.printf "  [%s completed in %.1fs]\n%!" e.name secs)
+      Report.Say.printf "  [%s completed in %.1fs]\n%!" e.name secs;
+      (e.name, secs))
     all

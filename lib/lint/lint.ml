@@ -16,10 +16,11 @@ type rule =
   | Direct_stdout
   | Missing_mli
   | Partial_call
+  | Raw_clock
 
 let all_rules =
   [ Poly_compare; Obj_magic; Catch_all; Direct_stdout; Missing_mli;
-    Partial_call ]
+    Partial_call; Raw_clock ]
 
 let rule_id = function
   | Poly_compare -> "poly-compare"
@@ -28,6 +29,7 @@ let rule_id = function
   | Direct_stdout -> "stdout"
   | Missing_mli -> "missing-mli"
   | Partial_call -> "partial-call"
+  | Raw_clock -> "raw-clock"
 
 let rule_of_id s =
   match String.lowercase_ascii s with
@@ -37,6 +39,7 @@ let rule_of_id s =
   | "stdout" | "l4" -> Some Direct_stdout
   | "missing-mli" | "l5" -> Some Missing_mli
   | "partial-call" | "l6" -> Some Partial_call
+  | "raw-clock" | "l7" -> Some Raw_clock
   | _ -> None
 
 let rule_doc = function
@@ -52,9 +55,12 @@ let rule_doc = function
     "every module in lib/spine and lib/pagestore has a .mli interface"
   | Partial_call ->
     "no partial stdlib calls (List.hd, List.tl, Option.get) in library code"
+  | Raw_clock ->
+    "no raw clock reads (Unix.gettimeofday, Unix.time, Sys.time) in \
+     library code; time through Xutil.Stopwatch's monotonic clock"
 
 let default_severity = function
-  | Poly_compare | Obj_magic | Catch_all | Missing_mli -> Error
+  | Poly_compare | Obj_magic | Catch_all | Missing_mli | Raw_clock -> Error
   | Direct_stdout | Partial_call -> Warning
 
 let severity_id = function Error -> "error" | Warning -> "warning"
@@ -89,7 +95,7 @@ let rule_in_scope ~all_paths rule file =
   ||
   match rule with
   | Poly_compare -> starts_with_any hot_prefixes file
-  | Obj_magic | Catch_all | Partial_call ->
+  | Obj_magic | Catch_all | Partial_call | Raw_clock ->
     String.starts_with ~prefix:"lib/" file
   | Direct_stdout ->
     String.starts_with ~prefix:"lib/" file
@@ -136,6 +142,22 @@ let classify_stdout = function
 let classify_obj = function
   | [ "Stdlib"; "Obj"; ("magic" | "repr" | "obj") as f ] ->
     Some (Printf.sprintf "Obj.%s defeats the type system" f)
+  | _ -> None
+
+(* wall clocks jump (NTP) and Sys.time measures CPU, not elapsed, time;
+   every repro timing must come from the one monotonic source *)
+let classify_raw_clock = function
+  | [ "Unix"; ("gettimeofday" | "time") as f ]
+  | [ "UnixLabels"; ("gettimeofday" | "time") as f ] ->
+    Some
+      (Printf.sprintf
+         "Unix.%s reads the adjustable wall clock (use \
+          Xutil.Stopwatch.now_ns)"
+         f)
+  | [ "Stdlib"; "Sys"; "time" ] ->
+    Some
+      "Sys.time measures processor time, not elapsed time (use \
+       Xutil.Stopwatch.now_ns)"
   | _ -> None
 
 (* every value of the polymorphic Hashtbl interface hashes or compares
@@ -245,6 +267,9 @@ let collect_structure ~wants str =
         | Some msg ->
           record Direct_stdout e.exp_loc
             (msg ^ " from library code (route through Report or Telemetry)")
+        | None -> ());
+        (match classify_raw_clock parts with
+        | Some msg -> record Raw_clock e.exp_loc msg
         | None -> ());
         match classify_partial parts with
         | Some msg ->

@@ -34,13 +34,17 @@ type rule =
           [.mli]. *)
   | Partial_call
       (** L6: no [List.hd]/[List.tl]/[Option.get] in library code. *)
+  | Raw_clock
+      (** L7: no [Unix.gettimeofday]/[Unix.time]/[Sys.time] in library
+          code; timings come from [Xutil.Stopwatch]'s monotonic
+          clock. *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
 (** Stable kebab-case id used in output and suppression comments:
     ["poly-compare"], ["obj-magic"], ["catch-all"], ["stdout"],
-    ["missing-mli"], ["partial-call"]. *)
+    ["missing-mli"], ["partial-call"], ["raw-clock"]. *)
 
 val rule_of_id : string -> rule option
 val rule_doc : rule -> string

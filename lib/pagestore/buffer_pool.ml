@@ -108,6 +108,10 @@ let frame_for t page =
   | None ->
     t.misses <- t.misses + 1;
     Telemetry.incr c_misses;
+    (* the fault span covers victim selection, the eviction writeback
+       and the device read — everything the miss made the caller pay *)
+    let tr = Trace.on () in
+    if tr then Trace.begin_span "pool.fault" [ Trace.Int ("page", page) ];
     let f =
       let free = find_free t in
       if free >= 0 then free
@@ -118,6 +122,10 @@ let frame_for t page =
           t.pinned_evictions <- t.pinned_evictions + 1;
           Telemetry.incr c_pinned_evictions
         end;
+        if tr then
+          Trace.instant "pool.evict"
+            [ Trace.Int ("page", t.page_of.(victim));
+              Trace.Int ("dirty", if t.dirty.(victim) then 1 else 0) ];
         writeback t victim;
         Xutil.Int_tbl.remove t.table t.page_of.(victim);
         t.evictions <- t.evictions + 1;
@@ -132,6 +140,7 @@ let frame_for t page =
     t.dirty.(f) <- false;
     Xutil.Int_tbl.replace t.table page f;
     push_front t f;
+    if tr then Trace.end_span ();
     f
 
 let with_page t page ~dirty f =

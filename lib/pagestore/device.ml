@@ -68,6 +68,9 @@ let read t page =
   t.reads <- t.reads + 1;
   Telemetry.incr c_reads;
   Telemetry.add c_read_bytes t.page_size;
+  if Trace.on () then
+    Trace.instant "device.read"
+      [ Trace.Int ("page", page); Trace.Int ("bytes", t.page_size) ];
   charge t page t.cost.read_us;
   match t.backend with
   | Mem pages ->
@@ -93,6 +96,9 @@ let write t page data =
   t.writes <- t.writes + 1;
   Telemetry.incr c_writes;
   Telemetry.add c_write_bytes t.page_size;
+  if Trace.on () then
+    Trace.instant "device.write"
+      [ Trace.Int ("page", page); Trace.Int ("bytes", t.page_size) ];
   charge t page t.cost.write_us;
   if t.sync_writes then t.elapsed_us <- t.elapsed_us +. t.cost.sync_us;
   if not (Xutil.Int_tbl.mem t.written page) then

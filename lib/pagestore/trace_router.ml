@@ -44,6 +44,12 @@ let route t ~structure ~index ~write =
   | Some r ->
     let per_page = max 1 (t.page_size / r.record_bytes) in
     let page = r.base_page + (index / per_page) in
+    (* the attribution record: which structure's record landed on which
+       page — the link between a traversal step and its page fault *)
+    if Trace.on () then
+      Trace.instant "router.access"
+        [ Trace.Int ("structure", structure); Trace.Int ("index", index);
+          Trace.Int ("page", page); Trace.Int ("write", if write then 1 else 0) ];
     Buffer_pool.with_page t.pool page ~dirty:write (fun _ -> ())
 
 let pool t = t.pool

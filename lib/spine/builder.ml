@@ -34,6 +34,15 @@ let c_extribs = Telemetry.counter "build.extribs_created"
 let c_links = Telemetry.counter "build.links_created"
 let h_upstream = Telemetry.histogram "build.upstream_hops"
 
+(* Trace events mirror the counters but keep the per-step context the
+   aggregates lose: which node each CASE fired at and where every new
+   edge went, inside the enclosing operation's timeline. *)
+let ev_case = [| "build.case1"; "build.case2"; "build.case3"; "build.case4" |]
+
+let trace_case k ~node ~tail =
+  Trace.instant ev_case.(k - 1)
+    [ Trace.Int ("node", node); Trace.Int ("tail", tail) ]
+
 module Make (S : Store_sig.S) = struct
   (* CASE 4. [lel] is the LEL of the last traversed link: the length of
      the longest suffix terminating at the node whose rib [rib_dest]/
@@ -51,6 +60,10 @@ module Make (S : Store_sig.S) = struct
            extended suffix (PT of the last same-PRT edge) *)
         S.add_extrib t !cur ~dest:tail ~pt:lel ~prt:rib_pt ~anchor:rib_dest;
         Telemetry.incr c_extribs;
+        if Trace.on () then
+          Trace.instant "build.extrib"
+            [ Trace.Int ("node", !cur); Trace.Int ("dest", tail);
+              Trace.Int ("pt", lel); Trace.Int ("prt", rib_pt) ];
         S.set_link t tail ~dest:!last_same_prt_dest ~lel:(!last_same_prt_pt + 1);
         Telemetry.incr c_links;
         finished := true
@@ -90,6 +103,7 @@ module Make (S : Store_sig.S) = struct
         if S.char_at t mv = c then begin
           (* CASE 1: vertebra out of [mv] carries [c] *)
           Telemetry.incr c_case1;
+          if Trace.on () then trace_case 1 ~node:mv ~tail;
           S.set_link t tail ~dest:(mv + 1) ~lel:(!lel + 1);
           Telemetry.incr c_links;
           finished := true
@@ -100,18 +114,26 @@ module Make (S : Store_sig.S) = struct
             if pt >= !lel then begin
               (* CASE 2 *)
               Telemetry.incr c_case2;
+              if Trace.on () then trace_case 2 ~node:mv ~tail;
               S.set_link t tail ~dest ~lel:(!lel + 1);
               Telemetry.incr c_links
             end
             else begin
               (* CASE 4 *)
               Telemetry.incr c_case4;
+              if Trace.on () then trace_case 4 ~node:mv ~tail;
               handle_extrib t tail ~rib_dest:dest ~rib_pt:pt ~lel:!lel
             end;
             finished := true
           | None ->
             (* CASE 3 *)
             Telemetry.incr c_case3;
+            if Trace.on () then begin
+              trace_case 3 ~node:mv ~tail;
+              Trace.instant "build.rib"
+                [ Trace.Int ("node", mv); Trace.Int ("dest", tail);
+                  Trace.Int ("pt", !lel) ]
+            end;
             S.add_rib t mv ~code:c ~dest:tail ~pt:!lel;
             Telemetry.incr c_ribs;
             if mv = 0 then begin

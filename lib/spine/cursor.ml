@@ -37,7 +37,9 @@ let drop_front t =
        below k *)
     while t.v <> 0 && t.len <= Fast_store.link_lel s t.v do
       Telemetry.incr Search.c_link_hops;
-      t.v <- Fast_store.link_dest s t.v
+      let dest = Fast_store.link_dest s t.v in
+      if Trace.on () then Search.trace_step "step.link" ~node:t.v ~dest;
+      t.v <- dest
     done
   end
 

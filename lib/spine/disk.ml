@@ -50,6 +50,11 @@ let s_construct = Telemetry.span "disk.construct"
 
 let build ?(config = default_config) seq =
   Telemetry.with_span s_build @@ fun () ->
+  Trace.span "disk.build"
+    [ Trace.Int ("length", Bioseq.Packed_seq.length seq);
+      Trace.Int ("page_size", config.page_size);
+      Trace.Int ("frames", config.frames) ]
+  @@ fun () ->
   let alphabet = Bioseq.Packed_seq.alphabet seq in
   let device =
     Pagestore.Device.create ~cost:config.cost ~sync_writes:config.sync_writes
@@ -69,7 +74,8 @@ let build ?(config = default_config) seq =
     Pagestore.Trace_router.route router ~structure ~index ~write
   in
   let index =
-    Telemetry.with_span s_construct (fun () -> Compact.of_seq ~trace seq)
+    Telemetry.with_span s_construct (fun () ->
+        Trace.span "disk.construct" [] (fun () -> Compact.of_seq ~trace seq))
   in
   Pagestore.Buffer_pool.flush pool;
   { index; device; pool; router }

@@ -12,6 +12,8 @@ let append = B.append
 let append_string = B.append_string
 
 let of_seq seq =
+  Trace.span "build" [ Trace.Int ("length", Bioseq.Packed_seq.length seq) ]
+  @@ fun () ->
   let t =
     create ~capacity:(max 16 (Bioseq.Packed_seq.length seq))
       (Bioseq.Packed_seq.alphabet seq)

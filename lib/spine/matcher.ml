@@ -13,6 +13,7 @@
 (* aliases taken before [Search] is shadowed by the applied functor *)
 let c_extrib_hops = Search.c_extrib_hops
 let c_link_hops = Search.c_link_hops
+let trace_step = Search.trace_step
 
 module Make (S : Store_sig.S) = struct
   module Search = Search.Make (S)
@@ -45,6 +46,7 @@ module Make (S : Store_sig.S) = struct
       | Some (edest, ept, eprt, eanchor) ->
         st.nodes <- st.nodes + 1;
         Telemetry.incr c_extrib_hops;
+        if Trace.on () then trace_step "step.extrib" ~node:cur ~dest:edest;
         chase edest
           (if eprt = rib_pt && eanchor = rib_dest then max best ept else best)
     in
@@ -60,6 +62,7 @@ module Make (S : Store_sig.S) = struct
         | Some (edest, ept, eprt, eanchor) ->
           st.nodes <- st.nodes + 1;
           Telemetry.incr c_extrib_hops;
+          if Trace.on () then trace_step "step.extrib" ~node:cur ~dest:edest;
           if eprt = rib_pt && eanchor = rib_dest && ept >= k then edest
           else chase edest
       in
@@ -101,8 +104,10 @@ module Make (S : Store_sig.S) = struct
              terminating at [v] *)
           st.suffixes <- st.suffixes + 1;
           Telemetry.incr c_link_hops;
+          let dest = S.link_dest t st.v in
+          if Trace.on () then trace_step "step.link" ~node:st.v ~dest;
           st.len <- lel;
-          st.v <- S.link_dest t st.v;
+          st.v <- dest;
           attempt ()
       end
     in

@@ -20,12 +20,19 @@ let c_link_hops = Telemetry.counter "search.link_hops"
 let c_scan_nodes = Telemetry.counter "search.scan_nodes"
 let c_occurrences = Telemetry.counter "search.occurrences_found"
 
+(* One trace instant per edge crossed, tagged with the edge family:
+   interleaved with the pool.fault spans of a routed store, the trace
+   shows exactly which traversal step faulted which page. *)
+let trace_step family ~node ~dest =
+  Trace.instant family [ Trace.Int ("node", node); Trace.Int ("dest", dest) ]
+
 module Make (S : Store_sig.S) = struct
   (* One forward step from [node] with pathlength [pl] on character [c].
      Returns the destination node, or -1 when no valid edge exists. *)
   let step t node pl c =
     if node < S.length t && S.char_at t node = c then begin
       Telemetry.incr c_vertebra_hops;
+      if Trace.on () then trace_step "step.vertebra" ~node ~dest:(node + 1);
       node + 1
     end
     else
@@ -34,6 +41,7 @@ module Make (S : Store_sig.S) = struct
       | Some (dest, pt) ->
         if pl <= pt then begin
           Telemetry.incr c_rib_hops;
+          if Trace.on () then trace_step "step.rib" ~node ~dest;
           dest
         end
         else begin
@@ -44,6 +52,7 @@ module Make (S : Store_sig.S) = struct
             | None -> -1
             | Some (edest, ept, eprt, eanchor) ->
               Telemetry.incr c_extrib_hops;
+              if Trace.on () then trace_step "step.extrib" ~node:cur ~dest:edest;
               if eprt = pt && eanchor = dest && ept >= pl then edest
               else chase edest
           in
@@ -98,6 +107,10 @@ module Make (S : Store_sig.S) = struct
           add_target first j;
           if first < !min_first then min_first := first)
         firsts;
+      let tr = Trace.on () in
+      if tr then
+        Trace.begin_span "search.scan"
+          [ Trace.Int ("patterns", k); Trace.Int ("from", !min_first) ];
       for node = !min_first + 1 to S.length t do
         Telemetry.incr c_scan_nodes;
         let d = S.link_dest t node in
@@ -114,7 +127,8 @@ module Make (S : Store_sig.S) = struct
                 add_target node j
               end)
             ids
-      done
+      done;
+      if tr then Trace.end_span ()
     end;
     buffers
 
@@ -140,6 +154,9 @@ module Make (S : Store_sig.S) = struct
       let buffer = Xutil.Int_vec.create () in
       Xutil.Int_vec.push buffer first;
       Telemetry.incr c_occurrences;
+      let tr = Trace.on () in
+      if tr then
+        Trace.begin_span "search.scan_binary" [ Trace.Int ("from", first) ];
       for node = first + 1 to S.length t do
         Telemetry.incr c_scan_nodes;
         let lel = S.link_lel t node in
@@ -152,6 +169,7 @@ module Make (S : Store_sig.S) = struct
           | None -> ()
         end
       done;
+      if tr then Trace.end_span ();
       Xutil.Int_vec.fold buffer ~init:[] ~f:(fun acc x -> x :: acc) |> List.rev
 
   let occurrences t codes =

@@ -20,6 +20,12 @@ val c_link_hops : Telemetry.counter
 val c_scan_nodes : Telemetry.counter
 val c_occurrences : Telemetry.counter
 
+val trace_step : string -> node:int -> dest:int -> unit
+(** Record one edge crossing as a trace instant ([step.vertebra],
+    [step.rib], [step.extrib] or [step.link]); shared with the matcher
+    and the cursor.  Callers guard with {!Trace.on} so the disabled
+    path allocates nothing. *)
+
 module Make (S : Store_sig.S) : sig
   val step : S.t -> int -> int -> int -> int
   (** [step t node pl c]: one forward step from [node] with pathlength

@@ -1,0 +1,303 @@
+(* One process-global ring of events plus a little operation state.
+   The hot-path contract is the same as Telemetry's: when collection
+   is off (or the current operation is sampled out) every entry point
+   is one flag check — callers guard argument-list construction with
+   [Trace.on ()] so nothing allocates. *)
+
+type arg =
+  | Int of string * int
+  | Str of string * string
+
+type phase = Begin | End | Instant
+
+type event = {
+  ts_ns : int;
+  phase : phase;
+  name : string;
+  args : arg list;
+  op : int;
+}
+
+type slow_op = {
+  so_op : int;
+  so_name : string;
+  so_args : arg list;
+  so_ns : int;
+  so_sampled : bool;
+}
+
+(* --- environment --- *)
+
+let env_bool name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let env_float name fallback =
+  match Sys.getenv_opt name with
+  | Some v -> (match float_of_string_opt v with Some f -> f | None -> fallback)
+  | None -> fallback
+
+let env_int name fallback =
+  match Sys.getenv_opt name with
+  | Some v -> (match int_of_string_opt v with Some n -> n | None -> fallback)
+  | None -> fallback
+
+(* --- state --- *)
+
+let enabled = ref (env_bool "SPINE_TRACE")
+let muted = ref false           (* inside a sampled-out operation *)
+let recording = ref !enabled    (* = enabled && not muted, kept in sync *)
+let sample_rate = ref (min 1.0 (max 0.0 (env_float "SPINE_TRACE_SAMPLE" 1.0)))
+let slow_ns = ref (env_int "SPINE_TRACE_SLOW_US" 0 * 1000)
+let clock = ref Xutil.Stopwatch.now_ns
+
+let dummy = { ts_ns = 0; phase = Instant; name = ""; args = []; op = 0 }
+let ring = ref (Array.make (max 1 (env_int "SPINE_TRACE_CAPACITY" 65536)) dummy)
+let start = ref 0
+let len = ref 0
+let dropped_count = ref 0
+
+let op_counter = ref 0
+let cur_op = ref 0
+let op_names = ref []           (* (id, name), newest first; for exporters *)
+let span_stack = ref []
+let slow = ref []               (* newest first *)
+
+let is_enabled () = !enabled
+
+let set_enabled b =
+  enabled := b;
+  recording := b && not !muted
+
+let on () = !recording
+
+let set_sample_rate r = sample_rate := min 1.0 (max 0.0 r)
+let set_slow_us us = slow_ns := us * 1000
+let set_clock f = clock := f
+let capacity () = Array.length !ring
+
+let set_capacity n =
+  ring := Array.make (max 1 n) dummy;
+  start := 0;
+  len := 0;
+  dropped_count := 0
+
+let reset () =
+  start := 0;
+  len := 0;
+  dropped_count := 0;
+  op_counter := 0;
+  cur_op := 0;
+  op_names := [];
+  span_stack := [];
+  slow := [];
+  muted := false;
+  recording := !enabled
+
+(* --- sampling RNG (SplitMix64, as lib/bioseq/rng.ml) --- *)
+
+let rng = ref (Int64.of_int (env_int "SPINE_TRACE_SEED" 0x5eed))
+let set_seed s = rng := Int64.of_int s
+
+let next64 () =
+  let open Int64 in
+  rng := add !rng 0x9E3779B97F4A7C15L;
+  let z = !rng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* uniform in [0, 1) from the top 53 bits *)
+let draw () =
+  Int64.to_float (Int64.shift_right_logical (next64 ()) 11) /. 9007199254740992.0
+
+let sample_keeps () =
+  !sample_rate >= 1.0 || (!sample_rate > 0.0 && draw () < !sample_rate)
+
+(* --- recording --- *)
+
+let push e =
+  let cap = Array.length !ring in
+  if !len < cap then begin
+    !ring.((!start + !len) mod cap) <- e;
+    incr len
+  end
+  else begin
+    (* head drop: overwrite the oldest, keep the newest window *)
+    !ring.(!start) <- e;
+    start := (!start + 1) mod cap;
+    incr dropped_count
+  end
+
+let record phase name args =
+  push { ts_ns = !clock (); phase; name; args; op = !cur_op }
+
+let instant name args = if !recording then record Instant name args
+
+let begin_span name args =
+  if !recording then begin
+    span_stack := name :: !span_stack;
+    record Begin name args
+  end
+
+let end_span () =
+  if !recording then
+    match !span_stack with
+    | [] -> ()
+    | name :: rest ->
+      span_stack := rest;
+      record End name []
+
+let span name args f =
+  if not !recording then f ()
+  else begin
+    record Begin name args;
+    Fun.protect ~finally:(fun () -> if !recording then record End name []) f
+  end
+
+let with_op name args f =
+  if not !enabled then f ()
+  else begin
+    let parent_op = !cur_op and parent_muted = !muted in
+    incr op_counter;
+    let id = !op_counter in
+    (* one draw per operation, taken even under a muted parent so the
+       keep/drop pattern depends only on the seed and operation order *)
+    let sampled = sample_keeps () in
+    cur_op := id;
+    muted := parent_muted || not sampled;
+    recording := !enabled && not !muted;
+    if !recording then begin
+      op_names := (id, name) :: !op_names;
+      record Begin name args
+    end;
+    let t0 = !clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = !clock () - t0 in
+        if !recording then record End name [];
+        if !slow_ns > 0 && dt >= !slow_ns then
+          slow :=
+            { so_op = id; so_name = name; so_args = args; so_ns = dt;
+              so_sampled = sampled && not parent_muted }
+            :: !slow;
+        cur_op := parent_op;
+        muted := parent_muted;
+        recording := !enabled && not !muted)
+      f
+  end
+
+(* --- reading back --- *)
+
+let events () =
+  let cap = Array.length !ring in
+  List.init !len (fun i -> !ring.((!start + i) mod cap))
+
+let dropped () = !dropped_count
+let slow_ops () = List.rev !slow
+
+(* --- exporters --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf args =
+  Buffer.add_string buf "\"args\":{";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      match a with
+      | Int (k, v) -> Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v)
+      | Str (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    args;
+  Buffer.add_char buf '}'
+
+let ph_id = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+(* Chrome trace-event format: ts is in (fractional) microseconds; each
+   operation is rendered as its own thread so Perfetto shows one track
+   per traced operation, named via thread_name metadata. *)
+let chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char buf ',' in
+  List.iter
+    (fun (id, name) ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s #%d\"}}"
+           id (json_escape name) id))
+    (List.rev !op_names);
+  List.iter
+    (fun e ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"spine\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+           (json_escape e.name) (ph_id e.phase)
+           (float_of_int e.ts_ns /. 1e3)
+           e.op);
+      if e.phase = Instant then Buffer.add_string buf ",\"s\":\"t\"";
+      if e.args <> [] then begin
+        Buffer.add_char buf ',';
+        add_args buf e.args
+      end;
+      Buffer.add_char buf '}')
+    (events ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let jsonl () =
+  List.map
+    (fun e ->
+      let buf = Buffer.create 96 in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ts_ns\":%d,\"ph\":\"%s\",\"name\":\"%s\",\"op\":%d"
+           e.ts_ns (ph_id e.phase) (json_escape e.name) e.op);
+      if e.args <> [] then begin
+        Buffer.add_char buf ',';
+        add_args buf e.args
+      end;
+      Buffer.add_char buf '}';
+      Buffer.contents buf)
+    (events ())
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome ~path = write_file path (chrome_json ())
+
+let write_jsonl ~path =
+  write_file path
+    (String.concat "" (List.map (fun line -> line ^ "\n") (jsonl ())))
+
+let arg_to_string = function
+  | Int (k, v) -> Printf.sprintf "%s=%d" k v
+  | Str (k, v) -> Printf.sprintf "%s=%s" k v
+
+let slow_rows () =
+  List.map
+    (fun so ->
+      [ string_of_int so.so_op;
+        so.so_name;
+        Printf.sprintf "%.3f ms" (float_of_int so.so_ns /. 1e6);
+        (if so.so_sampled then "yes" else "no");
+        String.concat " " (List.map arg_to_string so.so_args) ])
+    (slow_ops ())

@@ -28,6 +28,7 @@ The rule list:
   stdout         warning no direct stdout printing from library code; route through lib/report or lib/telemetry
   missing-mli    error   every module in lib/spine and lib/pagestore has a .mli interface
   partial-call   warning no partial stdlib calls (List.hd, List.tl, Option.get) in library code
+  raw-clock      error   no raw clock reads (Unix.gettimeofday, Unix.time, Sys.time) in library code; time through Xutil.Stopwatch's monotonic clock
 
 JSONL output:
 

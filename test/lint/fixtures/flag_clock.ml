@@ -1,0 +1,7 @@
+(* Fixture: raw clock reads the linter must flag (L7). *)
+
+let wall () = Unix.gettimeofday ()
+
+let wall_seconds () = Unix.time ()
+
+let cpu () = Sys.time ()

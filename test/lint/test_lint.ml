@@ -45,6 +45,12 @@ let test_partial_call () =
   check_int "List.hd, List.tl and Option.get flagged" 3
     (count "flag_partial.ml" Lint.Partial_call)
 
+let test_raw_clock () =
+  check_int "Unix.gettimeofday, Unix.time and Sys.time flagged" 3
+    (count "flag_clock.ml" Lint.Raw_clock);
+  check_int "monotonic fixture code not flagged" 0
+    (count "clean_mod.ml" Lint.Raw_clock)
+
 let test_missing_mli () =
   check_int "mli-less module flagged" 1
     (count "flag_missing.ml" Lint.Missing_mli);
@@ -127,6 +133,7 @@ let () =
           Alcotest.test_case "catch-all" `Quick test_catch_all;
           Alcotest.test_case "stdout" `Quick test_stdout;
           Alcotest.test_case "partial-call" `Quick test_partial_call;
+          Alcotest.test_case "raw-clock" `Quick test_raw_clock;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli ] );
       ( "behaviour",
         [ Alcotest.test_case "clean module" `Quick test_clean;
