@@ -114,38 +114,158 @@ let build_cmd =
 
 (* --- query --- *)
 
+(* Every backend is driven through the same Engine code path: build (or
+   open) the chosen backend, pack it, and resolve all patterns with one
+   Engine.run_batch — a single shared backbone scan. *)
+
+let backend_conv =
+  Arg.enum
+    [ ("fast", `Fast); ("compact", `Compact); ("persistent", `Persistent);
+      ("disk", `Disk) ]
+
+let backend_arg =
+  Arg.(value & opt backend_conv `Fast
+       & info [ "backend"; "b" ] ~docv:"BACKEND"
+           ~doc:"Storage backend: fast (in-memory hashtable), compact \
+                 (the paper's Section 5 packed layout), persistent \
+                 (file-backed paged storage) or disk (packed layout \
+                 through a bounded buffer pool over a simulated disk).")
+
+let seq_literal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "seq" ] ~docv:"STRING"
+           ~doc:"Index this literal string (alternative to --fasta, \
+                 --synthetic, --text).")
+
+let seq_of_literal alphabet s =
+  let seq = Bioseq.Packed_seq.create alphabet in
+  String.iter
+    (fun c ->
+      match Bioseq.Alphabet.encode_opt alphabet c with
+      | Some code -> Bioseq.Packed_seq.append seq code
+      | None -> ())
+    s;
+  seq
+
 let query_cmd =
-  let pattern =
-    Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"PATTERN" ~doc:"Pattern to search for.")
+  let patterns =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"PATTERN"
+             ~doc:"Pattern(s) to search for; several patterns share one \
+                   batched backbone scan.")
+  in
+  let index =
+    Arg.(value & opt (some string) None
+         & info [ "index"; "i" ] ~docv:"FILE"
+             ~doc:"Existing index file: a serialized index (backend \
+                   fast) or a persistent index file (backend \
+                   persistent). Alternative to the input sources.")
   in
   let limit =
     Arg.(value & opt int 20
-         & info [ "limit" ] ~docv:"N" ~doc:"Print at most N positions.")
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Print at most N positions per pattern.")
   in
-  let run index pattern limit stats =
+  let frames =
+    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.frames
+         & info [ "frames" ] ~docv:"N"
+             ~doc:"Buffer-pool frames (persistent/disk backends).")
+  in
+  let page_size =
+    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.page_size
+         & info [ "page-size" ] ~docv:"BYTES"
+             ~doc:"Device page size (persistent/disk backends).")
+  in
+  let engine_of_source ~backend ~frames ~page_size seq =
+    match backend with
+    | `Fast -> (Spine.Index.engine (Spine.Index.of_seq seq), ignore)
+    | `Compact -> (Spine.Compact.engine (Spine.Compact.of_seq seq), ignore)
+    | `Disk ->
+      let config =
+        { Spine.Disk.default_config with Spine.Disk.frames; page_size }
+      in
+      (Spine.Disk.engine (Spine.Disk.build ~config seq), ignore)
+    | `Persistent ->
+      (* a transient paged index in a scratch file, removed afterwards *)
+      let path = Filename.temp_file "spine_query" ".db" in
+      let p =
+        Spine.Persistent.create ~frames ~page_size ~path
+          (Bioseq.Packed_seq.alphabet seq)
+      in
+      Spine.Persistent.append_seq p seq;
+      ( Spine.Persistent.engine p,
+        fun () ->
+          Spine.Persistent.close p;
+          (try Sys.remove path with Sys_error _ -> ()) )
+  in
+  let run alphabet fasta synthetic scale text seq_str backend index patterns
+      limit frames page_size stats =
     with_stats stats @@ fun () ->
-    let idx = Spine.Serialize.of_file index in
-    let alphabet = Spine.Index.alphabet idx in
-    match
-      Array.init (String.length pattern)
-        (fun i -> Bioseq.Alphabet.encode alphabet pattern.[i])
-    with
-    | exception Invalid_argument _ ->
-      prerr_endline "pattern contains characters outside the alphabet"; 1
-    | codes ->
-      let occs = Spine.Index.occurrences idx codes in
-      Printf.printf "%d occurrence(s)\n" (List.length occs);
-      List.iteri
-        (fun k pos -> if k < limit then Printf.printf "  position %d\n" pos)
-        occs;
-      if List.length occs > limit then
-        Printf.printf "  ... (%d more)\n" (List.length occs - limit);
-      0
+    let has_source =
+      fasta <> None || synthetic <> None || text <> None || seq_str <> None
+    in
+    let acquired =
+      match index, has_source with
+      | Some _, true ->
+        Error "provide either --index or an input source, not both"
+      | Some file, false ->
+        (match backend with
+         | `Fast -> Ok (Spine.Index.engine (Spine.Serialize.of_file file), ignore)
+         | `Persistent ->
+           (try
+              let p = Spine.Persistent.open_ ~frames ~path:file () in
+              Ok (Spine.Persistent.engine p,
+                  fun () -> Spine.Persistent.close p)
+            with Failure e -> Error e)
+         | `Compact | `Disk ->
+           Error "--backend compact/disk builds from an input source \
+                  (--text, --fasta, --synthetic, --seq), not --index")
+      | None, _ ->
+        Result.map
+          (engine_of_source ~backend ~frames ~page_size)
+          (Result.bind (alphabet_of_string alphabet) (fun alphabet ->
+               match seq_str with
+               | Some s -> Ok (seq_of_literal alphabet s)
+               | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text))
+    in
+    match acquired with
+    | Error e -> prerr_endline e; 1
+    | Ok (engine, cleanup) ->
+      let finish code = cleanup (); code in
+      let encoded =
+        List.map (fun p -> (p, Spine.Engine.encode engine p)) patterns
+      in
+      if List.exists (fun (_, codes) -> codes = None) encoded then begin
+        prerr_endline "pattern contains characters outside the alphabet";
+        finish 1
+      end
+      else begin
+        let items =
+          Spine.Engine.run_batch engine
+            (List.filter_map (fun (_, codes) -> codes) encoded)
+        in
+        let many = List.length items > 1 in
+        List.iter2
+          (fun (pat, _) { Spine.Engine.count; positions; _ } ->
+            if many then Printf.printf "%s: %d occurrence(s)\n" pat count
+            else Printf.printf "%d occurrence(s)\n" count;
+            List.iteri
+              (fun k pos ->
+                if k < limit then Printf.printf "  position %d\n" pos)
+              positions;
+            if count > limit then
+              Printf.printf "  ... (%d more)\n" (count - limit))
+          encoded items;
+        finish 0
+      end
   in
-  Cmd.v (Cmd.info "query" ~doc:"Find all occurrences of a pattern.")
-    Term.(const run $ index_arg ~doc:"Index file." $ pattern $ limit
-          $ stats_arg)
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Find all occurrences of one or more patterns through any \
+             storage backend (one batched backbone scan).")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ seq_literal_arg $ backend_arg $ index $ patterns
+          $ limit $ frames $ page_size $ stats_arg)
 
 (* --- stats --- *)
 

@@ -44,4 +44,30 @@ let () =
   Printf.printf
     "link of the tail node: the last %d characters first occurred ending \
      at node %d\n"
-    lel dest
+    lel dest;
+
+  (* 4. the engine view: the same index as a capability-aware Engine.t,
+     the uniform handle the CLI and cross-backend tests operate on.
+     Compact.engine / Persistent.engine / Disk.engine answer the same
+     calls. *)
+  let e = Spine.Index.engine idx in
+  assert (Spine.Engine.contains e "cac");
+  assert ((Spine.Engine.caps e).Spine.Engine.backend = "fast");
+  Printf.printf "engine backend = %s\n" (Spine.Engine.backend e);
+
+  (* many patterns, ONE shared deferred backbone scan *)
+  let items = Spine.Engine.run_batch e [ encode "ac"; encode "ca" ] in
+  List.iter
+    (fun { Spine.Engine.count; positions; _ } ->
+      Printf.printf "batched pattern: %d occurrence(s) at %s\n" count
+        (String.concat ", " (List.map string_of_int positions)))
+    items;
+  assert ((List.hd items).Spine.Engine.positions = [ 1; 4; 7 ]);
+
+  (* incremental cursor (works on any backend, including paged ones) *)
+  let c = Spine.Engine.cursor e in
+  assert (c.Spine.Engine.advance_char 'c');
+  Printf.printf "cursor at \"c\": occurrences at %s\n"
+    (String.concat ", "
+       (List.map string_of_int (c.Spine.Engine.occurrences ())));
+  assert (c.Spine.Engine.occurrences () = [ 2; 3; 5; 8 ])

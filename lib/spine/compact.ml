@@ -1,11 +1,18 @@
 module S = Compact_store
 module B = Builder.Make (S)
-module Q = Search.Make (S)
-module M = Matcher.Make (S)
-module St = Stats.Make (S)
+module A = Engine.Api (S)
 
 type t = S.t
 type trace = S.trace
+
+let caps_of t =
+  { Engine.backend = "compact"; persistent = false; paged = false;
+    traced = Option.is_some t.S.trace }
+
+let engine t =
+  Engine.pack ~caps:(caps_of t) (module S : Store_sig.S with type t = t) t
+
+(* --- construction --- *)
 
 let create ?capacity ?trace alphabet = S.create ?capacity ?trace alphabet
 let append = B.append
@@ -24,40 +31,48 @@ let of_string ?trace alphabet s =
   append_string t s;
   t
 
+(* --- the shared query surface, re-exported from the engine API --- *)
+
 let alphabet = S.alphabet
 let length = S.length
-let node_count t = S.length t + 1
+let node_count = A.node_count
 
-let contains = Q.contains
-let contains_codes = Q.contains_codes
-let find_first = Q.find_first
-let first_occurrence = Q.first_occurrence
-let occurrences = Q.occurrences
-let end_nodes = Q.end_nodes
+let contains = A.contains
+let contains_codes = A.contains_codes
+let find_first = A.find_first
+let first_occurrence = A.first_occurrence
+let occurrences = A.occurrences
+let end_nodes = A.end_nodes
+let occurrences_batch = A.occurrences_batch
+let occurrences_many = A.occurrences_many
 
-type match_stats = M.stats = {
+type match_stats = Matcher.stats = {
   nodes_checked : int;
   suffixes_checked : int;
 }
 
-type mmatch = M.mmatch = {
+type mmatch = Matcher.mmatch = {
   query_end : int;
   length : int;
   data_ends : int list;
 }
 
-let matching_statistics = M.matching_statistics
-let maximal_matches = M.maximal_matches
+let matching_statistics = A.matching_statistics
+let maximal_matches = A.maximal_matches
 
-type label_maxima = St.label_maxima = {
+type label_maxima = Stats.label_maxima = {
   max_pt : int;
   max_lel : int;
   max_prt : int;
 }
 
-let label_maxima = St.label_maxima
-let rib_distribution = St.rib_distribution
-let link_histogram = St.link_histogram
+let label_maxima = A.label_maxima
+let rib_distribution = A.rib_distribution
+let link_histogram = A.link_histogram
+
+module Cursor = A.C
+
+(* --- Section 5 space accounting --- *)
 
 type space = S.space = {
   lt_bytes : int;

@@ -5,11 +5,23 @@
     2-byte labels and an overflow side table.  This is the
     representation whose space the paper reports ("less than 12 bytes
     per indexed character") and the one the disk-resident experiments
-    trace through a buffer pool. *)
+    trace through a buffer pool.  The query surface is the shared
+    {!Engine.Api} instantiated over {!Compact_store}. *)
 
 type t
 
 type trace = Compact_store.trace
+
+(** {2 Engine} *)
+
+val caps_of : t -> Engine.caps
+(** Backend "compact"; [traced] reflects whether the store was created
+    with an access-trace callback. *)
+
+val engine : t -> Engine.t
+(** Pack as a capability-aware engine.  Build once and reuse. *)
+
+(** {2 Construction} *)
 
 val create : ?capacity:int -> ?trace:trace -> Bioseq.Alphabet.t -> t
 val append : t -> int -> unit
@@ -21,6 +33,8 @@ val alphabet : t -> Bioseq.Alphabet.t
 val length : t -> int
 val node_count : t -> int
 
+(** {2 Search} *)
+
 val contains : t -> string -> bool
 val contains_codes : t -> int array -> bool
 val find_first : t -> int array -> int option
@@ -28,12 +42,22 @@ val first_occurrence : t -> int array -> int option
 val occurrences : t -> int array -> int list
 val end_nodes : t -> int array -> int list
 
-type match_stats = Matcher.Make(Compact_store).stats = {
+val occurrences_batch : t -> (int * int) array -> Xutil.Int_vec.t array
+(** The raw deferred-scan machinery: given [(first-occurrence end node,
+    length)] pairs, resolve every occurrence of all of them in one
+    sequential backbone pass, one ascending end-node buffer per
+    pattern. *)
+
+val occurrences_many : t -> int array list -> int list array
+(** Dictionary search with ONE shared backbone scan; see
+    {!Index.occurrences_many}. *)
+
+type match_stats = Matcher.stats = {
   nodes_checked : int;
   suffixes_checked : int;
 }
 
-type mmatch = Matcher.Make(Compact_store).mmatch = {
+type mmatch = Matcher.mmatch = {
   query_end : int;
   length : int;
   data_ends : int list;
@@ -45,7 +69,7 @@ val maximal_matches :
   ?immediate:bool -> t -> threshold:int -> Bioseq.Packed_seq.t ->
   mmatch list * match_stats
 
-type label_maxima = Stats.Make(Compact_store).label_maxima = {
+type label_maxima = Stats.label_maxima = {
   max_pt : int;
   max_lel : int;
   max_prt : int;
@@ -54,6 +78,13 @@ type label_maxima = Stats.Make(Compact_store).label_maxima = {
 val label_maxima : t -> label_maxima
 val rib_distribution : t -> int array
 val link_histogram : t -> buckets:int -> int array
+
+(** {2 Cursors} *)
+
+module Cursor : Cursor.S with type store = t
+(** Incremental valid-path cursors over the packed layout (the shared
+    {!Cursor.Make}); {!Engine.cursor} wraps the same machinery behind
+    the uniform handle. *)
 
 (** {2 Space accounting (Section 5)} *)
 

@@ -1,69 +1,89 @@
-module Q = Search.Make (Fast_store)
-module M = Matcher.Make (Fast_store)
+module type S = sig
+  type store
+  type t
 
-type t = {
-  idx : Index.t;
-  mutable v : int;      (* termination node of the current match *)
-  mutable len : int;
-}
+  val create : store -> t
+  val reset : t -> unit
+  val advance : t -> int -> bool
+  val advance_char : t -> char -> bool
+  val drop_front : t -> unit
+  val longest_extension : t -> int -> unit
+  val length : t -> int
+  val node : t -> int
+  val first_occurrence : t -> int option
+  val occurrences : t -> int list
+end
 
-let create idx = { idx; v = 0; len = 0 }
+module Make (St : Store_sig.S) = struct
+  module Q = Search.Make (St)
+  module M = Matcher.Make (St)
 
-let reset t =
-  t.v <- 0;
-  t.len <- 0
+  type store = St.t
 
-let advance t code =
-  let nxt = Q.step (Index.store t.idx) t.v t.len code in
-  if nxt < 0 then false
-  else begin
-    t.v <- nxt;
-    t.len <- t.len + 1;
-    true
-  end
+  type t = {
+    store : St.t;
+    mutable v : int;      (* termination node of the current match *)
+    mutable len : int;
+  }
 
-let advance_char t ch =
-  match Bioseq.Alphabet.encode_opt (Index.alphabet t.idx) ch with
-  | None -> false
-  | Some code -> advance t code
+  let create store = { store; v = 0; len = 0 }
 
-let drop_front t =
-  if t.len = 0 then invalid_arg "Cursor.drop_front: empty match";
-  let s = Index.store t.idx in
-  t.len <- t.len - 1;
-  if t.len = 0 then t.v <- 0
-  else begin
-    (* the k-suffix terminates at the first chain node whose LEL is
-       below k *)
-    while t.v <> 0 && t.len <= Fast_store.link_lel s t.v do
-      Telemetry.incr Search.c_link_hops;
-      let dest = Fast_store.link_dest s t.v in
-      if Trace.on () then Search.trace_step "step.link" ~node:t.v ~dest;
-      t.v <- dest
-    done
-  end
+  let reset t =
+    t.v <- 0;
+    t.len <- 0
 
-let longest_extension t code =
-  (* reuse the matcher's consume step on a borrowed state *)
-  let st =
-    { M.t = Index.store t.idx; v = t.v; len = t.len; nodes = 0; suffixes = 0 }
-  in
-  M.consume st code;
-  t.v <- st.M.v;
-  t.len <- st.M.len
+  let advance t code =
+    let nxt = Q.step t.store t.v t.len code in
+    if nxt < 0 then false
+    else begin
+      t.v <- nxt;
+      t.len <- t.len + 1;
+      true
+    end
 
-let length t = t.len
-let node t = t.v
+  let advance_char t ch =
+    match Bioseq.Alphabet.encode_opt (St.alphabet t.store) ch with
+    | None -> false
+    | Some code -> advance t code
 
-let first_occurrence t =
-  if t.len = 0 then None else Some (t.v - t.len)
+  let drop_front t =
+    if t.len = 0 then invalid_arg "Cursor.drop_front: empty match";
+    t.len <- t.len - 1;
+    if t.len = 0 then t.v <- 0
+    else
+      (* the k-suffix terminates at the first chain node whose LEL is
+         below k *)
+      while t.v <> 0 && t.len <= St.link_lel t.store t.v do
+        Telemetry.incr Search.c_link_hops;
+        let dest = St.link_dest t.store t.v in
+        if Trace.on () then Search.trace_step "step.link" ~node:t.v ~dest;
+        t.v <- dest
+      done
 
-let occurrences t =
-  if t.len = 0 then []
-  else begin
-    let buffers =
-      Q.occurrences_batch (Index.store t.idx) [| (t.v, t.len) |]
-    in
-    Xutil.Int_vec.fold buffers.(0) ~init:[] ~f:(fun acc e -> (e - t.len) :: acc)
-    |> List.rev
-  end
+  let longest_extension t code =
+    (* reuse the matcher's consume step on a borrowed state *)
+    let st = { M.t = t.store; v = t.v; len = t.len; nodes = 0; suffixes = 0 } in
+    M.consume st code;
+    t.v <- st.M.v;
+    t.len <- st.M.len
+
+  let length t = t.len
+  let node t = t.v
+
+  let first_occurrence t =
+    if t.len = 0 then None else Some (t.v - t.len)
+
+  let occurrences t =
+    if t.len = 0 then []
+    else begin
+      let buffers = Q.occurrences_batch t.store [| (t.v, t.len) |] in
+      Xutil.Int_vec.fold buffers.(0) ~init:[]
+        ~f:(fun acc e -> (e - t.len) :: acc)
+      |> List.rev
+    end
+end
+
+(* The historical module-level surface: a cursor over the in-memory
+   fast store ({!Index.t} is transparently equal to {!Fast_store.t}).
+   Other backends obtain cursors through {!Make} or {!Engine.cursor}. *)
+include Make (Fast_store)

@@ -12,50 +12,65 @@
     end of its first occurrence in the indexed string). [advance]
     extends the window on the right by one character; [drop_front]
     shrinks it on the left (following backward links), which is exactly
-    the state transition streaming matchers need on a mismatch. *)
+    the state transition streaming matchers need on a mismatch.
 
-type t
+    The cursor is written once, as {!Make} over {!Store_sig.S}, so
+    every storage backend — fast, compact, persistent, disk — supports
+    incremental cursors; {!Engine.cursor} packages them uniformly.  The
+    module-level values below are the historical convenience surface
+    over the in-memory fast store ({!Index.t} is transparently equal to
+    {!Fast_store.t}). *)
 
-val create : Index.t -> t
-(** A cursor for the empty match, at the root. *)
+(** The cursor surface over one store type. *)
+module type S = sig
+  type store
+  type t
 
-val reset : t -> unit
+  val create : store -> t
+  (** A cursor for the empty match, at the root. *)
 
-val advance : t -> int -> bool
-(** [advance c code] tries to extend the current match by one
-    character. On success the cursor moves and [true] is returned; on
-    failure the cursor is unchanged. *)
+  val reset : t -> unit
 
-val advance_char : t -> char -> bool
-(** {!advance} with alphabet encoding; [false] for characters outside
-    the alphabet. *)
+  val advance : t -> int -> bool
+  (** [advance c code] tries to extend the current match by one
+      character. On success the cursor moves and [true] is returned; on
+      failure the cursor is unchanged. *)
 
-val drop_front : t -> unit
-(** Remove the first character of the current match, repositioning at
-    the termination node of the remaining suffix.
-    @raise Invalid_argument on the empty match. *)
+  val advance_char : t -> char -> bool
+  (** {!advance} with alphabet encoding; [false] for characters outside
+      the alphabet. *)
 
-val longest_extension : t -> int -> unit
-(** [longest_extension c code]: the streaming-matcher step — shrink the
-    match from the front just enough (possibly to empty) so that it can
-    be extended by [code], then extend if possible. Equivalent to
-    repeated {!drop_front} + {!advance}, but takes the same shortcuts
-    as {!Matcher} (rib thresholds at the current node, then link
-    hops). After the call the cursor holds the longest suffix of
-    (previous match + character) present in the data. *)
+  val drop_front : t -> unit
+  (** Remove the first character of the current match, repositioning at
+      the termination node of the remaining suffix.
+      @raise Invalid_argument on the empty match. *)
 
-val length : t -> int
-(** Characters currently matched. *)
+  val longest_extension : t -> int -> unit
+  (** [longest_extension c code]: the streaming-matcher step — shrink
+      the match from the front just enough (possibly to empty) so that
+      it can be extended by [code], then extend if possible. Equivalent
+      to repeated {!drop_front} + {!advance}, but takes the same
+      shortcuts as {!Matcher} (rib thresholds at the current node, then
+      link hops). After the call the cursor holds the longest suffix of
+      (previous match + character) present in the data. *)
 
-val node : t -> int
-(** Termination node: end of the first occurrence of the current
-    match; [0] for the empty match. *)
+  val length : t -> int
+  (** Characters currently matched. *)
 
-val first_occurrence : t -> int option
-(** Start position of the first occurrence, [None] for the empty
-    match. *)
+  val node : t -> int
+  (** Termination node: end of the first occurrence of the current
+      match; [0] for the empty match. *)
 
-val occurrences : t -> int list
-(** Start positions of all occurrences of the current match
-    (a backbone scan; intended for when the driver decides the match is
-    final). *)
+  val first_occurrence : t -> int option
+  (** Start position of the first occurrence, [None] for the empty
+      match. *)
+
+  val occurrences : t -> int list
+  (** Start positions of all occurrences of the current match
+      (a backbone scan; intended for when the driver decides the match
+      is final). *)
+end
+
+module Make (St : Store_sig.S) : S with type store = St.t
+
+include S with type store := Fast_store.t

@@ -80,6 +80,17 @@ let build ?(config = default_config) seq =
   Pagestore.Buffer_pool.flush pool;
   { index; device; pool; router }
 
+let caps =
+  { Engine.backend = "disk"; persistent = false; paged = true;
+    traced = true }
+
+let engine t =
+  Engine.pack ~caps
+    (module Compact_store : Store_sig.S with type t = Compact_store.t)
+    (Compact.store t.index)
+
+let cursor t = Engine.cursor (engine t)
+
 let reset_io t =
   Pagestore.Buffer_pool.drop t.pool;
   Pagestore.Buffer_pool.reset_stats t.pool;

@@ -1,0 +1,249 @@
+(* The capability-aware engine layer: the entire SPINE query surface,
+   written once, served by any storage backend packed as a first-class
+   module.  See engine.mli for the architecture notes. *)
+
+let c_batches = Telemetry.counter "engine.batches"
+let c_batch_patterns = Telemetry.counter "engine.batch_patterns"
+
+type caps = {
+  backend : string;
+  persistent : bool;
+  paged : bool;
+  traced : bool;
+}
+
+type match_stats = Matcher.stats = {
+  nodes_checked : int;
+  suffixes_checked : int;
+}
+
+type mmatch = Matcher.mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;
+}
+
+type label_maxima = Stats.label_maxima = {
+  max_pt : int;
+  max_lel : int;
+  max_prt : int;
+}
+
+type edge_counts = Stats.edge_counts = {
+  vertebras : int;
+  ribs : int;
+  extribs : int;
+  links : int;
+}
+
+module type API = sig
+  type store
+
+  module Q : Search.S with type store = store
+  module M : Matcher.S with type store = store
+  module St : Stats.S with type store = store
+  module C : Cursor.S with type store = store
+
+  val alphabet : store -> Bioseq.Alphabet.t
+  val length : store -> int
+  val node_count : store -> int
+  val contains : store -> string -> bool
+  val contains_codes : store -> int array -> bool
+  val find_first : store -> int array -> int option
+  val first_occurrence : store -> int array -> int option
+  val occurrences : store -> int array -> int list
+  val end_nodes : store -> int array -> int list
+  val end_nodes_binary : store -> int array -> int list
+  val occurrences_batch : store -> (int * int) array -> Xutil.Int_vec.t array
+  val occurrences_many : store -> int array list -> int list array
+
+  val matching_statistics :
+    store -> Bioseq.Packed_seq.t -> int array * match_stats
+
+  val maximal_matches :
+    ?immediate:bool ->
+    store -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * match_stats
+
+  val label_maxima : store -> label_maxima
+  val rib_distribution : store -> int array
+  val edge_counts : store -> edge_counts
+  val link_histogram : store -> buckets:int -> int array
+end
+
+module Api (S : Store_sig.S) = struct
+  module Q = Search.Make (S)
+  module M = Matcher.Make (S)
+  module St = Stats.Make (S)
+  module C = Cursor.Make (S)
+
+  type store = S.t
+
+  let alphabet = S.alphabet
+  let length = S.length
+  let node_count t = S.length t + 1
+  let contains = Q.contains
+  let contains_codes = Q.contains_codes
+  let find_first = Q.find_first
+  let first_occurrence = Q.first_occurrence
+  let occurrences = Q.occurrences
+  let end_nodes = Q.end_nodes
+  let end_nodes_binary = Q.end_nodes_binary
+  let occurrences_batch = Q.occurrences_batch
+  let occurrences_many = Q.occurrences_many
+  let matching_statistics = M.matching_statistics
+  let maximal_matches = M.maximal_matches
+  let label_maxima = St.label_maxima
+  let rib_distribution = St.rib_distribution
+  let edge_counts = St.edge_counts
+  let link_histogram = St.link_histogram
+end
+
+module type BACKEND = sig
+  module S : Store_sig.S
+  module A : API with type store = S.t
+
+  val store : S.t
+  val caps : caps
+  val guard : unit -> unit
+end
+
+type t = (module BACKEND)
+
+let pack (type s) ?(guard = ignore) ~caps
+    (module S : Store_sig.S with type t = s) (store : s) : t =
+  (module struct
+    module S = S
+    module A = Api (S)
+
+    let store = store
+    let caps = caps
+    let guard = guard
+  end)
+
+(* --- the query surface, defined exactly once --- *)
+
+let caps (module B : BACKEND) = B.caps
+let backend e = (caps e).backend
+
+let alphabet (module B : BACKEND) =
+  B.guard ();
+  B.A.alphabet B.store
+
+let length (module B : BACKEND) =
+  B.guard ();
+  B.A.length B.store
+
+let node_count (module B : BACKEND) =
+  B.guard ();
+  B.A.node_count B.store
+
+let contains (module B : BACKEND) s =
+  B.guard ();
+  B.A.contains B.store s
+
+let contains_codes (module B : BACKEND) codes =
+  B.guard ();
+  B.A.contains_codes B.store codes
+
+let find_first (module B : BACKEND) codes =
+  B.guard ();
+  B.A.find_first B.store codes
+
+let first_occurrence (module B : BACKEND) codes =
+  B.guard ();
+  B.A.first_occurrence B.store codes
+
+let occurrences (module B : BACKEND) codes =
+  B.guard ();
+  B.A.occurrences B.store codes
+
+let end_nodes (module B : BACKEND) codes =
+  B.guard ();
+  B.A.end_nodes B.store codes
+
+let occurrences_batch (module B : BACKEND) firsts =
+  B.guard ();
+  B.A.occurrences_batch B.store firsts
+
+let occurrences_many (module B : BACKEND) patterns =
+  B.guard ();
+  B.A.occurrences_many B.store patterns
+
+let encode (module B : BACKEND) s =
+  B.guard ();
+  B.A.Q.encode B.store s
+
+let matching_statistics (module B : BACKEND) q =
+  B.guard ();
+  B.A.matching_statistics B.store q
+
+let maximal_matches ?immediate (module B : BACKEND) ~threshold q =
+  B.guard ();
+  B.A.maximal_matches ?immediate B.store ~threshold q
+
+let label_maxima (module B : BACKEND) =
+  B.guard ();
+  B.A.label_maxima B.store
+
+let rib_distribution (module B : BACKEND) =
+  B.guard ();
+  B.A.rib_distribution B.store
+
+let edge_counts (module B : BACKEND) =
+  B.guard ();
+  B.A.edge_counts B.store
+
+let link_histogram (module B : BACKEND) ~buckets =
+  B.guard ();
+  B.A.link_histogram B.store ~buckets
+
+(* --- batched query path --- *)
+
+type batch_item = {
+  pattern : int array;
+  count : int;
+  positions : int list;
+}
+
+let run_batch (module B : BACKEND) patterns =
+  B.guard ();
+  Telemetry.incr c_batches;
+  Telemetry.add c_batch_patterns (List.length patterns);
+  Trace.span "engine.run_batch"
+    [ Trace.Int ("patterns", List.length patterns);
+      Trace.Str ("backend", B.caps.backend) ]
+  @@ fun () ->
+  let results = B.A.occurrences_many B.store patterns in
+  List.mapi
+    (fun i pattern ->
+      let positions = results.(i) in
+      { pattern; count = List.length positions; positions })
+    patterns
+
+(* --- cursors --- *)
+
+type cursor = {
+  advance : int -> bool;
+  advance_char : char -> bool;
+  drop_front : unit -> unit;
+  longest_extension : int -> unit;
+  reset : unit -> unit;
+  length : unit -> int;
+  node : unit -> int;
+  first_occurrence : unit -> int option;
+  occurrences : unit -> int list;
+}
+
+let cursor (module B : BACKEND) =
+  B.guard ();
+  let c = B.A.C.create B.store in
+  let g = B.guard in
+  { advance = (fun code -> g (); B.A.C.advance c code);
+    advance_char = (fun ch -> g (); B.A.C.advance_char c ch);
+    drop_front = (fun () -> g (); B.A.C.drop_front c);
+    longest_extension = (fun code -> g (); B.A.C.longest_extension c code);
+    reset = (fun () -> B.A.C.reset c);
+    length = (fun () -> B.A.C.length c);
+    node = (fun () -> B.A.C.node c);
+    first_occurrence = (fun () -> B.A.C.first_occurrence c);
+    occurrences = (fun () -> g (); B.A.C.occurrences c) }

@@ -1,0 +1,199 @@
+(** Capability-aware engine layer: one query surface, many backends.
+
+    The SPINE algorithms are functors over {!Store_sig.S}; historically
+    each front-end ({!Index}, {!Compact}, {!Persistent}, {!Disk},
+    {!Generalized}) privately re-instantiated them and re-exported
+    near-identical wrappers — so every new capability had to be written
+    five times.  This module defines the query surface {e exactly once}:
+
+    - {!Api} instantiates the complete algorithm suite
+      ({!Search}/{!Matcher}/{!Stats}/{!Cursor}) over one store; every
+      front-end's query API is a re-export of its [Api] instance.
+    - {!pack} bundles a store implementation, its instantiated
+      algorithms, a {!caps} capability record and a liveness [guard]
+      into a first-class {!t} — the uniform handle the CLI, the batch
+      path and cross-backend tooling (differential tests, the query
+      router) operate on.
+
+    The paper closes (Section 8) by arguing SPINE's linearity makes it
+    "more amenable for integration with database engines"; this layer
+    is that integration surface: a database operator can hold an
+    [Engine.t] without caring whether the bytes live in a hashtable, the
+    Section 5 packed layout, a paged file, or a simulated disk. *)
+
+(** {2 Capabilities} *)
+
+type caps = {
+  backend : string;
+  (** "fast", "compact", "persistent", "disk" — the constructor's name
+      for itself. *)
+  persistent : bool;  (** survives process restart *)
+  paged : bool;       (** record accesses go through a buffer pool *)
+  traced : bool;      (** logical record accesses are trace-routed *)
+}
+
+(** {2 Canonical result types}
+
+    Aliases of the single definitions in {!Matcher} and {!Stats}; the
+    per-front-end [Matcher.Make(...)] re-equations are gone. *)
+
+type match_stats = Matcher.stats = {
+  nodes_checked : int;
+  suffixes_checked : int;
+}
+
+type mmatch = Matcher.mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;
+}
+
+type label_maxima = Stats.label_maxima = {
+  max_pt : int;
+  max_lel : int;
+  max_prt : int;
+}
+
+type edge_counts = Stats.edge_counts = {
+  vertebras : int;
+  ribs : int;
+  extribs : int;
+  links : int;
+}
+
+(** {2 The shared query API over one store} *)
+
+module type API = sig
+  type store
+
+  module Q : Search.S with type store = store
+  module M : Matcher.S with type store = store
+  module St : Stats.S with type store = store
+  module C : Cursor.S with type store = store
+
+  val alphabet : store -> Bioseq.Alphabet.t
+  val length : store -> int
+  val node_count : store -> int
+  val contains : store -> string -> bool
+  val contains_codes : store -> int array -> bool
+  val find_first : store -> int array -> int option
+  val first_occurrence : store -> int array -> int option
+  val occurrences : store -> int array -> int list
+  val end_nodes : store -> int array -> int list
+  val end_nodes_binary : store -> int array -> int list
+  val occurrences_batch : store -> (int * int) array -> Xutil.Int_vec.t array
+  val occurrences_many : store -> int array list -> int list array
+
+  val matching_statistics :
+    store -> Bioseq.Packed_seq.t -> int array * match_stats
+
+  val maximal_matches :
+    ?immediate:bool ->
+    store -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * match_stats
+
+  val label_maxima : store -> label_maxima
+  val rib_distribution : store -> int array
+  val edge_counts : store -> edge_counts
+  val link_histogram : store -> buckets:int -> int array
+end
+
+module Api (S : Store_sig.S) : API with type store = S.t
+(** The whole query API for one store implementation — the only place
+    the algorithm functors are applied. *)
+
+(** {2 Packed backends} *)
+
+module type BACKEND = sig
+  module S : Store_sig.S
+  module A : API with type store = S.t
+
+  val store : S.t
+  val caps : caps
+
+  val guard : unit -> unit
+  (** Raises when the backend is unusable (e.g. a closed persistent
+      index); called before every query. *)
+end
+
+type t = (module BACKEND)
+
+val pack :
+  ?guard:(unit -> unit) ->
+  caps:caps ->
+  (module Store_sig.S with type t = 's) -> 's -> t
+(** [pack (module S) store] packs a store with its instantiated
+    algorithms into an engine.  Construction applies the algorithm
+    functors — cheap, but callers should build an engine once and
+    reuse it rather than re-packing per query. *)
+
+(** {2 The query surface} *)
+
+val caps : t -> caps
+val backend : t -> string
+
+val alphabet : t -> Bioseq.Alphabet.t
+val length : t -> int
+val node_count : t -> int
+val contains : t -> string -> bool
+val contains_codes : t -> int array -> bool
+val find_first : t -> int array -> int option
+val first_occurrence : t -> int array -> int option
+val occurrences : t -> int array -> int list
+val end_nodes : t -> int array -> int list
+val occurrences_batch : t -> (int * int) array -> Xutil.Int_vec.t array
+val occurrences_many : t -> int array list -> int list array
+
+val encode : t -> string -> int array option
+(** Encode a pattern string in the backend's alphabet; [None] if any
+    character is outside it. *)
+
+val matching_statistics :
+  t -> Bioseq.Packed_seq.t -> int array * match_stats
+
+val maximal_matches :
+  ?immediate:bool ->
+  t -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * match_stats
+
+val label_maxima : t -> label_maxima
+val rib_distribution : t -> int array
+val edge_counts : t -> edge_counts
+val link_histogram : t -> buckets:int -> int array
+
+(** {2 Batched queries}
+
+    Many patterns, one deferred backbone scan: each pattern pays its
+    own cheap valid-path walk for the first occurrence, then the
+    occurrence resolution of {e all} patterns shares a single
+    sequential pass (the paper's Section 4 target-node-buffer strategy,
+    previously reachable only through the functor layer). *)
+
+type batch_item = {
+  pattern : int array;
+  count : int;            (** number of occurrences *)
+  positions : int list;   (** ascending start positions, empty if absent *)
+}
+
+val run_batch : t -> int array list -> batch_item list
+(** One result per input pattern, in order. *)
+
+(** {2 Cursors}
+
+    Incremental valid-path cursors (see {!Cursor}) over any backend —
+    including compact, persistent and disk stores. *)
+
+type cursor = {
+  advance : int -> bool;
+  advance_char : char -> bool;
+  drop_front : unit -> unit;
+  longest_extension : int -> unit;
+  reset : unit -> unit;
+  length : unit -> int;
+  node : unit -> int;
+  first_occurrence : unit -> int option;
+  occurrences : unit -> int list;
+}
+
+val cursor : t -> cursor
+(** A fresh cursor at the root.  Every operation re-checks the
+    backend's guard, so a cursor over a closed persistent index raises
+    rather than reading freed pages. *)

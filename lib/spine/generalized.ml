@@ -38,6 +38,8 @@ let name t id = t.entries.(id).entry_name
 let string_length t id = t.entries.(id).len
 let index t = t.idx
 
+let engine t = Index.engine t.idx
+
 type hit = {
   string_id : int;
   pos : int;

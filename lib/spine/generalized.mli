@@ -27,6 +27,11 @@ val string_length : t -> int -> int
 val index : t -> Index.t
 (** The underlying single-backbone index (for statistics etc.). *)
 
+val engine : t -> Engine.t
+(** The underlying index packed as a capability-aware engine
+    ({!Index.engine}); positions it returns are global backbone
+    positions — translate with {!locate}. *)
+
 type hit = {
   string_id : int;
   pos : int;      (** 0-based start within that string *)

@@ -1,10 +1,16 @@
 module S = Fast_store
 module B = Builder.Make (S)
-module Q = Search.Make (S)
-module M = Matcher.Make (S)
-module St = Stats.Make (S)
+module A = Engine.Api (S)
 
 type t = S.t
+
+let caps =
+  { Engine.backend = "fast"; persistent = false; paged = false;
+    traced = false }
+
+let engine t = Engine.pack ~caps (module S : Store_sig.S with type t = t) t
+
+(* --- construction --- *)
 
 let create ?capacity alphabet = S.create ?capacity alphabet
 
@@ -26,80 +32,58 @@ let of_string alphabet s =
   append_string t s;
   t
 
+(* --- the shared query surface, re-exported from the engine API --- *)
+
 let alphabet = S.alphabet
 let length = S.length
 let sequence = S.sequence
+let node_count = A.node_count
 
-let contains = Q.contains
-let contains_codes = Q.contains_codes
-let find_first = Q.find_first
-let first_occurrence = Q.first_occurrence
-let occurrences = Q.occurrences
-let end_nodes = Q.end_nodes
-let end_nodes_binary = Q.end_nodes_binary
+let contains = A.contains
+let contains_codes = A.contains_codes
+let find_first = A.find_first
+let first_occurrence = A.first_occurrence
+let occurrences = A.occurrences
+let end_nodes = A.end_nodes
+let end_nodes_binary = A.end_nodes_binary
+let occurrences_batch = A.occurrences_batch
+let occurrences_many = A.occurrences_many
 
-let occurrences_many t patterns =
-  (* find first occurrences individually, then one shared scan *)
-  let firsts =
-    List.map
-      (fun pat ->
-        match Q.find_first t pat with
-        | Some e -> (e, Array.length pat)
-        | None -> (-1, 0))
-      patterns
-  in
-  let present =
-    List.filteri (fun _ (e, _) -> e >= 0) firsts |> Array.of_list
-  in
-  let buffers = Q.occurrences_batch t present in
-  let results = Array.make (List.length patterns) [] in
-  let next = ref 0 in
-  List.iteri
-    (fun i (e, len) ->
-      if e >= 0 then begin
-        results.(i) <-
-          Xutil.Int_vec.fold buffers.(!next) ~init:[]
-            ~f:(fun acc e -> (e - len) :: acc)
-          |> List.rev;
-        incr next
-      end)
-    firsts;
-  results
-
-type match_stats = M.stats = {
+type match_stats = Matcher.stats = {
   nodes_checked : int;
   suffixes_checked : int;
 }
 
-type mmatch = M.mmatch = {
+type mmatch = Matcher.mmatch = {
   query_end : int;
   length : int;
   data_ends : int list;
 }
 
-let matching_statistics = M.matching_statistics
-let maximal_matches = M.maximal_matches
+let matching_statistics = A.matching_statistics
+let maximal_matches = A.maximal_matches
 
-type label_maxima = St.label_maxima = {
+type label_maxima = Stats.label_maxima = {
   max_pt : int;
   max_lel : int;
   max_prt : int;
 }
 
-type edge_counts = St.edge_counts = {
+type edge_counts = Stats.edge_counts = {
   vertebras : int;
   ribs : int;
   extribs : int;
   links : int;
 }
 
-let label_maxima = St.label_maxima
-let rib_distribution = St.rib_distribution
-let edge_counts = St.edge_counts
-let link_histogram = St.link_histogram
+let label_maxima = A.label_maxima
+let rib_distribution = A.rib_distribution
+let edge_counts = A.edge_counts
+let link_histogram = A.link_histogram
+
+(* --- fast-store specifics --- *)
 
 let model_bytes = S.model_bytes
-let node_count t = S.length t + 1
 
 let link t i = (S.link_dest t i, S.link_lel t i)
 let rib t node code = S.find_rib t node code

@@ -3,15 +3,29 @@
     This is the primary user-facing module: online construction
     ({!create}/{!append}/{!of_seq}), substring search with first and all
     occurrences, streaming maximal-match enumeration, and the structure
-    statistics the paper reports.  It instantiates the shared SPINE
-    algorithms over the hashtable-backed {!Fast_store}; see {!Compact}
-    for the paper's packed Link-Table/Rib-Table layout.
+    statistics the paper reports.  The query surface is the shared
+    {!Engine.Api} instantiated over the hashtable-backed
+    {!Fast_store}; see {!Compact} for the paper's packed
+    Link-Table/Rib-Table layout, and {!engine} for the uniform
+    capability-aware handle.
 
     Positions are 0-based; node [i] of the backbone is the end of the
     prefix of length [i], so a pattern occurrence with end node [e] and
     length [l] starts at position [e - l]. *)
 
-type t
+type t = Fast_store.t
+(** Transparently the underlying store, so modules layered on top
+    ({!Cursor}, {!Serialize}, {!Align}) can operate on it directly. *)
+
+(** {2 Engine} *)
+
+val caps : Engine.caps
+(** [{ backend = "fast"; persistent = false; paged = false;
+    traced = false }]. *)
+
+val engine : t -> Engine.t
+(** Pack the index as a capability-aware engine.  Build once and reuse;
+    see {!Engine.pack}. *)
 
 (** {2 Construction} *)
 
@@ -66,21 +80,28 @@ val end_nodes_binary : t -> int array -> int list
     sorted target-node buffer during the backbone scan. Used by tests
     and the scan ablation; {!end_nodes} uses a hashtable instead. *)
 
+val occurrences_batch : t -> (int * int) array -> Xutil.Int_vec.t array
+(** The raw deferred-scan machinery: given [(first-occurrence end node,
+    length)] pairs, resolve every occurrence of all of them in one
+    sequential backbone pass, one ascending end-node buffer per
+    pattern. *)
+
 val occurrences_many : t -> int array list -> int list array
 (** Dictionary search: all occurrences of every pattern, resolved with
     ONE shared backbone scan (the paper's deferred batching, Section 4).
     Result [i] holds the ascending start positions of pattern [i]
     (empty when absent). Far cheaper than one {!occurrences} call per
-    pattern when the dictionary is large. *)
+    pattern when the dictionary is large.  {!Engine.run_batch} is the
+    backend-generic form. *)
 
 (** {2 Streaming matching} *)
 
-type match_stats = Matcher.Make(Fast_store).stats = {
+type match_stats = Matcher.stats = {
   nodes_checked : int;
   suffixes_checked : int;
 }
 
-type mmatch = Matcher.Make(Fast_store).mmatch = {
+type mmatch = Matcher.mmatch = {
   query_end : int;
   length : int;
   data_ends : int list;
@@ -98,13 +119,13 @@ val maximal_matches :
 
 (** {2 Statistics & accounting} *)
 
-type label_maxima = Stats.Make(Fast_store).label_maxima = {
+type label_maxima = Stats.label_maxima = {
   max_pt : int;
   max_lel : int;
   max_prt : int;
 }
 
-type edge_counts = Stats.Make(Fast_store).edge_counts = {
+type edge_counts = Stats.edge_counts = {
   vertebras : int;
   ribs : int;
   extribs : int;
@@ -139,7 +160,7 @@ val extrib : t -> int -> (int * int * int) option
 (** [(dest, pt, prt)] of the extrib anchored at a node. *)
 
 val store : t -> Fast_store.t
-(** The underlying store, for modules layered on top. *)
+(** The underlying store ([t] is transparently equal to it). *)
 
 val of_store : Fast_store.t -> t
 (** Wrap an already-populated store (used by {!Serialize}). *)

@@ -15,17 +15,48 @@ let c_extrib_hops = Search.c_extrib_hops
 let c_link_hops = Search.c_link_hops
 let trace_step = Search.trace_step
 
+(* The result types are store-independent, so they are defined once
+   here — every front-end and the engine share this single canonical
+   definition instead of re-equating a per-functor copy. *)
+
+type stats = {
+  nodes_checked : int;
+  suffixes_checked : int;
+}
+
+type mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;
+}
+
+module type S = sig
+  type store
+
+  type state = {
+    t : store;
+    mutable v : int;
+    mutable len : int;
+    mutable nodes : int;
+    mutable suffixes : int;
+  }
+
+  val make : store -> state
+  val consume : state -> int -> unit
+  val stats_of : state -> stats
+
+  val matching_statistics :
+    store -> Bioseq.Packed_seq.t -> int array * stats
+
+  val maximal_matches :
+    ?immediate:bool ->
+    store -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * stats
+end
+
 module Make (S : Store_sig.S) = struct
   module Search = Search.Make (S)
 
-  type stats = {
-    nodes_checked : int;
-    (** nodes examined during extensions, threshold retries and link
-        hops — the unit of the paper's Table 6 *)
-    suffixes_checked : int;
-    (** backward-link traversals: each one dispatches a whole set of
-        candidate suffixes at once *)
-  }
+  type store = S.t
 
   type state = {
     t : S.t;
@@ -124,12 +155,6 @@ module Make (S : Store_sig.S) = struct
       ms.(i) <- st.len
     done;
     (ms, stats_of st)
-
-  type mmatch = {
-    query_end : int;
-    length : int;
-    data_ends : int list;
-  }
 
   (* The paper's complex matching operation: stream the query through
      the index recording (first-occurrence node, length) at every

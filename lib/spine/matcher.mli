@@ -17,27 +17,43 @@ val c_extrib_hops : Telemetry.counter
 val c_link_hops : Telemetry.counter
 (** = {!Search.c_link_hops}. *)
 
-module Make (S : Store_sig.S) : sig
-  type stats = {
-    nodes_checked : int;
-    (** nodes examined during extensions, threshold retries and link
-        hops — the unit of the paper's Table 6 *)
-    suffixes_checked : int;
-    (** backward-link traversals: each one dispatches a whole set of
-        candidate suffixes at once *)
-  }
+(** {2 Canonical result types}
+
+    Store-independent, defined once here: every store instantiation,
+    every front-end and {!Engine} share these records rather than
+    re-equating a per-functor copy. *)
+
+type stats = {
+  nodes_checked : int;
+  (** nodes examined during extensions, threshold retries and link
+      hops — the unit of the paper's Table 6 *)
+  suffixes_checked : int;
+  (** backward-link traversals: each one dispatches a whole set of
+      candidate suffixes at once *)
+}
+
+type mmatch = {
+  query_end : int;
+  length : int;
+  data_ends : int list;  (** 0-based end positions, ascending *)
+}
+
+(** The matcher algorithm surface over one store type; [Make] produces
+    it for any {!Store_sig.S} implementation. *)
+module type S = sig
+  type store
 
   (** Exposed concretely so {!Cursor} can wrap the streaming state;
       treat [nodes]/[suffixes] as read-only. *)
   type state = {
-    t : S.t;
+    t : store;
     mutable v : int;      (** termination node of the current match *)
     mutable len : int;    (** current match length *)
     mutable nodes : int;
     mutable suffixes : int;
   }
 
-  val make : S.t -> state
+  val make : store -> state
 
   val consume : state -> int -> unit
   (** Consume one query character, updating the state to the longest
@@ -46,19 +62,13 @@ module Make (S : Store_sig.S) : sig
   val stats_of : state -> stats
 
   val matching_statistics :
-    S.t -> Bioseq.Packed_seq.t -> int array * stats
+    store -> Bioseq.Packed_seq.t -> int array * stats
   (** [ms.(i)] is the length of the longest substring of the data
       string ending at query position [i]. *)
 
-  type mmatch = {
-    query_end : int;
-    length : int;
-    data_ends : int list;  (** 0-based end positions, ascending *)
-  }
-
   val maximal_matches :
     ?immediate:bool ->
-    S.t -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * stats
+    store -> threshold:int -> Bioseq.Packed_seq.t -> mmatch list * stats
   (** The paper's complex matching operation: stream the query through
       the index recording a match at every right-maximal position of
       length at least [threshold], then resolve every occurrence of all
@@ -67,3 +77,5 @@ module Make (S : Store_sig.S) : sig
       [~immediate:true] is the ablation mode: a separate scan per
       match. *)
 end
+
+module Make (St : Store_sig.S) : S with type store = St.t

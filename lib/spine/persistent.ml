@@ -51,9 +51,7 @@ end
 
 module P = Compact_store.Core (Paged_bytes)
 module B = Builder.Make (P)
-module Q = Search.Make (P)
-module M = Matcher.Make (P)
-module St = Stats.Make (P)
+module A = Engine.Api (P)
 
 (* Build-phase spans over the disk-resident index lifecycle. *)
 let s_build = Telemetry.span "persistent.build"
@@ -315,29 +313,44 @@ let append_seq t seq =
   Telemetry.with_span s_build (fun () ->
       Bioseq.Packed_seq.iteri seq ~f:(fun _ c -> append t c))
 
-let contains t s = check_open t; Q.contains t.core s
-let contains_codes t codes = check_open t; Q.contains_codes t.core codes
-let first_occurrence t codes = check_open t; Q.first_occurrence t.core codes
-let occurrences t codes = check_open t; Q.occurrences t.core codes
+(* Queries: pure re-exports of the shared engine API over the paged
+   store, behind the use-after-close guard. *)
 
-let matching_statistics t q =
+let contains t s = check_open t; A.contains t.core s
+let contains_codes t codes = check_open t; A.contains_codes t.core codes
+let find_first t codes = check_open t; A.find_first t.core codes
+let first_occurrence t codes = check_open t; A.first_occurrence t.core codes
+let occurrences t codes = check_open t; A.occurrences t.core codes
+let end_nodes t codes = check_open t; A.end_nodes t.core codes
+let occurrences_batch t firsts = check_open t; A.occurrences_batch t.core firsts
+let occurrences_many t patterns =
   check_open t;
-  let ms, stats = M.matching_statistics t.core q in
-  ( ms,
-    { Compact.nodes_checked = stats.M.nodes_checked;
-      suffixes_checked = stats.M.suffixes_checked } )
+  A.occurrences_many t.core patterns
+
+let matching_statistics t q = check_open t; A.matching_statistics t.core q
 
 let maximal_matches t ~threshold q =
   check_open t;
-  let matches, stats = M.maximal_matches t.core ~threshold q in
+  let matches, stats = A.maximal_matches t.core ~threshold q in
   ( List.map
-      (fun { M.query_end; length; data_ends } -> (query_end, length, data_ends))
+      (fun { Matcher.query_end; length; data_ends } ->
+        (query_end, length, data_ends))
       matches,
-    { Compact.nodes_checked = stats.M.nodes_checked;
-      suffixes_checked = stats.M.suffixes_checked } )
+    stats )
 
 let bytes_per_char t = check_open t; P.bytes_per_char t.core
-let rib_distribution t = check_open t; St.rib_distribution t.core
+let rib_distribution t = check_open t; A.rib_distribution t.core
+
+let caps =
+  { Engine.backend = "persistent"; persistent = true; paged = true;
+    traced = false }
+
+let engine t =
+  Engine.pack ~guard:(fun () -> check_open t) ~caps
+    (module P : Store_sig.S with type t = P.t)
+    t.core
+
+let cursor t = Engine.cursor (engine t)
 
 let device t = t.device
 let pool t = t.pool

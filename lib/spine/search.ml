@@ -26,7 +26,25 @@ let c_occurrences = Telemetry.counter "search.occurrences_found"
 let trace_step family ~node ~dest =
   Trace.instant family [ Trace.Int ("node", node); Trace.Int ("dest", dest) ]
 
+module type S = sig
+  type store
+
+  val step : store -> int -> int -> int -> int
+  val find_first : store -> int array -> int option
+  val contains_codes : store -> int array -> bool
+  val encode : store -> string -> int array option
+  val contains : store -> string -> bool
+  val occurrences_batch : store -> (int * int) array -> Xutil.Int_vec.t array
+  val end_nodes : store -> int array -> int list
+  val end_nodes_binary : store -> int array -> int list
+  val occurrences : store -> int array -> int list
+  val first_occurrence : store -> int array -> int option
+  val occurrences_many : store -> int array list -> int list array
+end
+
 module Make (S : Store_sig.S) = struct
+  type store = S.t
+
   (* One forward step from [node] with pathlength [pl] on character [c].
      Returns the destination node, or -1 when no valid edge exists. *)
   let step t node pl c =
@@ -177,4 +195,35 @@ module Make (S : Store_sig.S) = struct
 
   let first_occurrence t codes =
     Option.map (fun e -> e - Array.length codes) (find_first t codes)
+
+  (* Dictionary search: find the first occurrence of each pattern
+     individually (cheap valid-path walks), then resolve every
+     occurrence of all present patterns with ONE shared deferred
+     backbone scan. *)
+  let occurrences_many t patterns =
+    let firsts =
+      List.map
+        (fun pat ->
+          match find_first t pat with
+          | Some e -> (e, Array.length pat)
+          | None -> (-1, 0))
+        patterns
+    in
+    let present =
+      List.filter (fun (e, _) -> e >= 0) firsts |> Array.of_list
+    in
+    let buffers = occurrences_batch t present in
+    let results = Array.make (List.length patterns) [] in
+    let next = ref 0 in
+    List.iteri
+      (fun i (e, len) ->
+        if e >= 0 then begin
+          results.(i) <-
+            Xutil.Int_vec.fold buffers.(!next) ~init:[]
+              ~f:(fun acc e -> (e - len) :: acc)
+            |> List.rev;
+          incr next
+        end)
+      firsts;
+    results
 end

@@ -26,39 +26,53 @@ val trace_step : string -> node:int -> dest:int -> unit
     and the cursor.  Callers guard with {!Trace.on} so the disabled
     path allocates nothing. *)
 
-module Make (S : Store_sig.S) : sig
-  val step : S.t -> int -> int -> int -> int
+(** The search algorithm surface over one store type; [Make] produces
+    it for any {!Store_sig.S} implementation.  Naming the signature
+    lets {!Engine} pack an instantiated search module together with its
+    store as a first-class backend. *)
+module type S = sig
+  type store
+
+  val step : store -> int -> int -> int -> int
   (** [step t node pl c]: one forward step from [node] with pathlength
       [pl] on character [c].  Returns the destination node, or [-1]
       when no valid edge exists. *)
 
-  val find_first : S.t -> int array -> int option
+  val find_first : store -> int array -> int option
   (** End node of the first occurrence of the code array, or [None]. *)
 
-  val contains_codes : S.t -> int array -> bool
+  val contains_codes : store -> int array -> bool
 
-  val encode : S.t -> string -> int array option
+  val encode : store -> string -> int array option
   (** [None] if any character is outside the store's alphabet. *)
 
-  val contains : S.t -> string -> bool
+  val contains : store -> string -> bool
 
-  val occurrences_batch : S.t -> (int * int) array -> Xutil.Int_vec.t array
+  val occurrences_batch : store -> (int * int) array -> Xutil.Int_vec.t array
   (** [occurrences_batch t firsts] resolves every occurrence of several
       patterns — given as [(first-occurrence end node, length)] pairs —
       in one deferred sequential backbone scan, returning one ascending
       end-node buffer per pattern. *)
 
-  val end_nodes : S.t -> int array -> int list
+  val end_nodes : store -> int array -> int list
   (** All end nodes of the pattern, ascending (hashtable-backed buffer
       membership). *)
 
-  val end_nodes_binary : S.t -> int array -> int list
+  val end_nodes_binary : store -> int array -> int list
   (** Faithful single-pattern variant testing buffer membership by
       binary search on the sorted target-node buffer, exactly as
       described in the paper; the ablation bench compares the two. *)
 
-  val occurrences : S.t -> int array -> int list
+  val occurrences : store -> int array -> int list
   (** 0-based start positions, ascending. *)
 
-  val first_occurrence : S.t -> int array -> int option
+  val first_occurrence : store -> int array -> int option
+
+  val occurrences_many : store -> int array list -> int list array
+  (** Dictionary search: all occurrences of every pattern, resolved
+      with ONE shared backbone scan (the paper's deferred batching,
+      Section 4).  Result [i] holds the ascending start positions of
+      pattern [i] (empty when absent). *)
 end
+
+module Make (St : Store_sig.S) : S with type store = St.t

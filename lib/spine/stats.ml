@@ -4,12 +4,33 @@
     Table 4 (rib-fanout distribution across nodes) and Figure 8
     (distribution of link destinations along the backbone). *)
 
+(* Store-independent result records, defined once (see Matcher for the
+   same pattern on the matching side). *)
+
+type label_maxima = {
+  max_pt : int;    (** over ribs and extribs *)
+  max_lel : int;   (** over links *)
+  max_prt : int;   (** over extribs *)
+}
+
+type edge_counts = {
+  vertebras : int;
+  ribs : int;
+  extribs : int;
+  links : int;
+}
+
+module type S = sig
+  type store
+
+  val label_maxima : store -> label_maxima
+  val rib_distribution : store -> int array
+  val edge_counts : store -> edge_counts
+  val link_histogram : store -> buckets:int -> int array
+end
+
 module Make (S : Store_sig.S) = struct
-  type label_maxima = {
-    max_pt : int;    (** over ribs and extribs *)
-    max_lel : int;   (** over links *)
-    max_prt : int;   (** over extribs *)
-  }
+  type store = S.t
 
   let label_maxima t =
     let n = S.length t in
@@ -46,13 +67,6 @@ module Make (S : Store_sig.S) = struct
       counts.(fanout) <- counts.(fanout) + 1
     done;
     counts
-
-  type edge_counts = {
-    vertebras : int;
-    ribs : int;
-    extribs : int;
-    links : int;
-  }
 
   let edge_counts t =
     let n = S.length t in

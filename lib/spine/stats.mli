@@ -4,32 +4,41 @@
     Table 4 (rib-fanout distribution across nodes) and Figure 8
     (distribution of link destinations along the backbone). *)
 
-module Make (S : Store_sig.S) : sig
-  type label_maxima = {
-    max_pt : int;    (** over ribs and extribs *)
-    max_lel : int;   (** over links *)
-    max_prt : int;   (** over extribs *)
-  }
+(** {2 Canonical result types} — store-independent, shared by every
+    instantiation, every front-end and {!Engine}. *)
 
-  val label_maxima : S.t -> label_maxima
+type label_maxima = {
+  max_pt : int;    (** over ribs and extribs *)
+  max_lel : int;   (** over links *)
+  max_prt : int;   (** over extribs *)
+}
 
-  val rib_distribution : S.t -> int array
+type edge_counts = {
+  vertebras : int;
+  ribs : int;
+  extribs : int;
+  links : int;
+}
+
+(** The statistics surface over one store type; [Make] produces it for
+    any {!Store_sig.S} implementation. *)
+module type S = sig
+  type store
+
+  val label_maxima : store -> label_maxima
+
+  val rib_distribution : store -> int array
   (** [counts.(k)] = number of nodes with exactly [k] downstream edges
       (ribs + extrib, vertebras excluded),
       [k = 0 .. alphabet size + 1]. *)
 
-  type edge_counts = {
-    vertebras : int;
-    ribs : int;
-    extribs : int;
-    links : int;
-  }
+  val edge_counts : store -> edge_counts
 
-  val edge_counts : S.t -> edge_counts
-
-  val link_histogram : S.t -> buckets:int -> int array
+  val link_histogram : store -> buckets:int -> int array
   (** Histogram of link destinations over [buckets] equal slices of the
       backbone: Figure 8's evidence that links point overwhelmingly to
       the top of the structure.  Raises [Invalid_argument] when
       [buckets < 1]. *)
 end
+
+module Make (St : Store_sig.S) : S with type store = St.t

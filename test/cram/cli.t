@@ -74,6 +74,8 @@ operation additionally follows backward links.
   ---------
     metric                    kind     value  detail
     ------------------------  -------  -----  ------
+    engine.batch_patterns     counter      1        
+    engine.batches            counter      1        
     search.extrib_hops        counter      1        
     search.occurrences_found  counter      1        
     search.rib_hops           counter      1        

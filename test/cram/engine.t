@@ -1,0 +1,75 @@
+The engine layer from the command line: `spine query --backend` drives
+all four storage backends through the same Engine code path, so the
+paper's Section 4 example answers identically whether the index lives
+in the in-memory hashtable, the Section 5 packed layout, a paged file,
+or the simulated disk stack.
+
+  $ for b in fast compact persistent disk; do
+  >   echo "== $b"
+  >   spine query --backend $b --seq aaccacaaca ac
+  > done
+  == fast
+  3 occurrence(s)
+    position 1
+    position 4
+    position 7
+  == compact
+  3 occurrence(s)
+    position 1
+    position 4
+    position 7
+  == persistent
+  3 occurrence(s)
+    position 1
+    position 4
+    position 7
+  == disk
+  3 occurrence(s)
+    position 1
+    position 4
+    position 7
+
+Several patterns share one batched backbone scan (the paper's
+target-node-buffer strategy); absent patterns report zero.
+
+  $ spine query --backend compact --seq aaccacaaca ac ca gg
+  ac: 3 occurrence(s)
+    position 1
+    position 4
+    position 7
+  ca: 3 occurrence(s)
+    position 3
+    position 5
+    position 8
+  gg: 0 occurrence(s)
+
+An out-of-alphabet pattern is rejected on every backend.
+
+  $ spine query --backend disk --seq aaccacaaca zz
+  pattern contains characters outside the alphabet
+  [1]
+
+A persistent index file built once can be reopened by later queries.
+
+  $ printf 'aaccacaaca' > data.txt
+  $ spine build --alphabet dna --text data.txt -o paper.idx | sed 's/in [0-9.]*s/in Xs/'
+  indexed 10 chars in Xs -> paper.idx
+  $ spine query --backend fast -i paper.idx ac caca
+  ac: 3 occurrence(s)
+    position 1
+    position 4
+    position 7
+  caca: 1 occurrence(s)
+    position 3
+
+The batch path is instrumented: one engine batch, three patterns.
+
+  $ spine query --backend fast --seq aaccacaaca --stats ac ca gg 2>&1 | grep 'engine\.'
+    engine.batch_patterns     counter        3                   
+    engine.batches            counter        1                   
+
+Backends that build from an input source refuse --index.
+
+  $ spine query --backend compact -i paper.idx ac
+  --backend compact/disk builds from an input source (--text, --fasta, --synthetic, --seq), not --index
+  [1]

@@ -1,0 +1,235 @@
+(* The capability-aware Engine layer: every backend packed as an
+   Engine.t must answer the whole query surface identically — the
+   differential harness that justifies defining the API once. *)
+
+let byte = Bioseq.Alphabet.byte
+
+let codes_of s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+(* Build all four backends over [s], pack each as an engine, run [f]
+   over the (name, engine) list, then tear the persistent file down. *)
+let with_engines s f =
+  let seq = Bioseq.Packed_seq.of_string byte s in
+  let idx = Spine.Index.of_seq seq in
+  let compact = Spine.Compact.of_seq seq in
+  let disk = Spine.Disk.build seq in
+  let path = Filename.temp_file "spine_engine" ".db" in
+  let p = Spine.Persistent.create ~path byte in
+  Spine.Persistent.append_string p s;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Spine.Persistent.close p with Invalid_argument _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      f
+        [ ("fast", Spine.Index.engine idx)
+        ; ("compact", Spine.Compact.engine compact)
+        ; ("persistent", Spine.Persistent.engine p)
+        ; ("disk", Spine.Disk.engine disk) ])
+
+let test_caps () =
+  with_engines "aaccacaaca" (fun engines ->
+      List.iter
+        (fun (name, e) ->
+          Alcotest.(check string) "backend name" name (Spine.Engine.backend e);
+          let caps = Spine.Engine.caps e in
+          Alcotest.(check bool) (name ^ " persistent")
+            (name = "persistent") caps.Spine.Engine.persistent;
+          Alcotest.(check bool) (name ^ " paged")
+            (name = "persistent" || name = "disk") caps.Spine.Engine.paged;
+          Alcotest.(check int) (name ^ " length") 10 (Spine.Engine.length e))
+        engines)
+
+(* Random sequences and patterns: contains / occurrences /
+   matching_statistics must agree across all four engines and with the
+   brute-force oracle. *)
+let test_differential () =
+  let rng = Bioseq.Rng.create 20260805 in
+  for _ = 1 to 8 do
+    let s = Oracles.random_string rng 3 (60 + Bioseq.Rng.int rng 180) in
+    let patterns =
+      (* substrings of s (present) plus random ones (often absent) *)
+      List.init 6 (fun _ ->
+          let len = 1 + Bioseq.Rng.int rng 8 in
+          let start = Bioseq.Rng.int rng (String.length s - len) in
+          String.sub s start len)
+      @ List.init 5 (fun _ ->
+            Oracles.random_string rng 4 (1 + Bioseq.Rng.int rng 6))
+    in
+    let query = Oracles.random_string rng 3 40 in
+    with_engines s (fun engines ->
+        List.iter
+          (fun (name, e) ->
+            List.iter
+              (fun pat ->
+                let label what =
+                  Printf.sprintf "%s %s %S in %S" name what pat s
+                in
+                Alcotest.(check bool) (label "contains")
+                  (Oracles.contains s pat) (Spine.Engine.contains e pat);
+                Alcotest.(check (list int)) (label "occurrences")
+                  (Oracles.occurrences s pat)
+                  (Spine.Engine.occurrences e (codes_of pat));
+                Alcotest.(check (option int)) (label "first")
+                  (Oracles.first_occurrence s pat)
+                  (Spine.Engine.first_occurrence e (codes_of pat)))
+              patterns;
+            let ms, _ =
+              Spine.Engine.matching_statistics e
+                (Bioseq.Packed_seq.of_string byte query)
+            in
+            Alcotest.(check (array int))
+              (Printf.sprintf "%s matching_statistics" name)
+              (Oracles.matching_statistics s query) ms)
+          engines)
+  done
+
+(* run_batch: one shared scan must give exactly the per-pattern
+   results, in input order, including absent patterns. *)
+let test_run_batch () =
+  let s = "aaccacaacaccaacacaac" in
+  let pats = [ "ac"; "caac"; "zz"; "a"; "ccc"; "aaccacaacaccaacacaac" ] in
+  with_engines s (fun engines ->
+      List.iter
+        (fun (name, e) ->
+          let items = Spine.Engine.run_batch e (List.map codes_of pats) in
+          Alcotest.(check int) (name ^ " item count") (List.length pats)
+            (List.length items);
+          List.iter2
+            (fun pat { Spine.Engine.pattern; count; positions } ->
+              Alcotest.(check (array int)) (name ^ " pattern echo")
+                (codes_of pat) pattern;
+              let expect = Oracles.occurrences s pat in
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s batch occurrences of %S" name pat)
+                expect positions;
+              Alcotest.(check int) (name ^ " count") (List.length expect)
+                count)
+            pats items)
+        engines)
+
+(* Satellite: the raw deferred-scan machinery is public on Compact and
+   Persistent, and occurrences_many matches Index.occurrences_many. *)
+let test_occurrences_batch_exposed () =
+  let s = "aaccacaaca" in
+  let seq = Bioseq.Packed_seq.of_string byte s in
+  let idx = Spine.Index.of_seq seq in
+  let compact = Spine.Compact.of_seq seq in
+  let path = Filename.temp_file "spine_engine" ".db" in
+  let p = Spine.Persistent.create ~path byte in
+  Spine.Persistent.append_string p s;
+  Fun.protect
+    ~finally:(fun () ->
+      Spine.Persistent.close p;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* "ac": first occurrence starts at 1, so its end node is 3; the
+         deferred scan must surface end nodes 3, 6, 9. *)
+      let expect_ends = [ 3; 6; 9 ] in
+      let ends_of buffers =
+        Xutil.Int_vec.fold buffers.(0) ~init:[] ~f:(fun acc e -> e :: acc)
+        |> List.rev
+      in
+      Alcotest.(check (list int)) "compact batch ends" expect_ends
+        (ends_of (Spine.Compact.occurrences_batch compact [| (3, 2) |]));
+      Alcotest.(check (list int)) "persistent batch ends" expect_ends
+        (ends_of (Spine.Persistent.occurrences_batch p [| (3, 2) |]));
+      let pats = List.map codes_of [ "ac"; "aa"; "zz"; "caca" ] in
+      let reference = Spine.Index.occurrences_many idx pats in
+      Alcotest.(check (array (list int))) "compact occurrences_many"
+        reference (Spine.Compact.occurrences_many compact pats);
+      Alcotest.(check (array (list int))) "persistent occurrences_many"
+        reference (Spine.Persistent.occurrences_many p pats))
+
+(* Engine cursors over compact / persistent / disk: random
+   advance/drop_front walks checked against an explicit window model —
+   the capability the fast store had and the others gain. *)
+let test_engine_cursors () =
+  let rng = Bioseq.Rng.create 4242 in
+  for _ = 1 to 6 do
+    let s = Oracles.random_string rng 3 (30 + Bioseq.Rng.int rng 80) in
+    with_engines s (fun engines ->
+        List.iter
+          (fun (name, e) ->
+            let c = Spine.Engine.cursor e in
+            let buf = ref "" in
+            let check () =
+              Alcotest.(check int) (name ^ " cursor length")
+                (String.length !buf) (c.Spine.Engine.length ());
+              if !buf = "" then
+                Alcotest.(check int) (name ^ " cursor root") 0
+                  (c.Spine.Engine.node ())
+              else begin
+                Alcotest.(check (option int)) (name ^ " cursor first")
+                  (Oracles.first_occurrence s !buf)
+                  (c.Spine.Engine.first_occurrence ());
+                Alcotest.(check (list int)) (name ^ " cursor occurrences")
+                  (Oracles.occurrences s !buf)
+                  (c.Spine.Engine.occurrences ())
+              end
+            in
+            for _ = 1 to 80 do
+              (match Bioseq.Rng.int rng 4 with
+               | 0 | 1 ->
+                 let ch = Char.chr (Char.code 'a' + Bioseq.Rng.int rng 3) in
+                 let expected =
+                   Oracles.contains s (!buf ^ String.make 1 ch)
+                 in
+                 let ok = c.Spine.Engine.advance_char ch in
+                 Alcotest.(check bool) (name ^ " advance") expected ok;
+                 if ok then buf := !buf ^ String.make 1 ch
+               | 2 ->
+                 if !buf <> "" then begin
+                   c.Spine.Engine.drop_front ();
+                   buf := String.sub !buf 1 (String.length !buf - 1)
+                 end
+               | _ ->
+                 let ch = Char.chr (Char.code 'a' + Bioseq.Rng.int rng 3) in
+                 c.Spine.Engine.longest_extension (Char.code ch);
+                 (* longest suffix of buf+ch present in s *)
+                 let w = !buf ^ String.make 1 ch in
+                 let rec suffix w =
+                   if Oracles.contains s w then w
+                   else suffix (String.sub w 1 (String.length w - 1))
+                 in
+                 buf := suffix w);
+              check ()
+            done)
+          engines)
+  done
+
+(* A closed persistent index must refuse queries through its engine and
+   through live cursors, instead of reading freed pages. *)
+let test_guard () =
+  let path = Filename.temp_file "spine_engine" ".db" in
+  let p = Spine.Persistent.create ~path byte in
+  Spine.Persistent.append_string p "abracadabra";
+  let e = Spine.Persistent.engine p in
+  let c = Spine.Engine.cursor e in
+  Alcotest.(check bool) "live engine answers" true
+    (Spine.Engine.contains e "bra");
+  Alcotest.(check bool) "live cursor advances" true
+    (c.Spine.Engine.advance_char 'a');
+  Spine.Persistent.close p;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Alcotest.check_raises "closed engine"
+        (Invalid_argument "Persistent: index is closed") (fun () ->
+          ignore (Spine.Engine.contains e "bra"));
+      Alcotest.check_raises "closed run_batch"
+        (Invalid_argument "Persistent: index is closed") (fun () ->
+          ignore (Spine.Engine.run_batch e [ codes_of "bra" ]));
+      Alcotest.check_raises "closed cursor"
+        (Invalid_argument "Persistent: index is closed") (fun () ->
+          ignore (c.Spine.Engine.advance_char 'b')))
+
+let suite =
+  [ Alcotest.test_case "capability records" `Quick test_caps
+  ; Alcotest.test_case "cross-backend differential" `Quick test_differential
+  ; Alcotest.test_case "run_batch parity" `Quick test_run_batch
+  ; Alcotest.test_case "occurrences_batch exposed" `Quick
+      test_occurrences_batch_exposed
+  ; Alcotest.test_case "cursors on paged backends" `Quick test_engine_cursors
+  ; Alcotest.test_case "guard after close" `Quick test_guard
+  ]

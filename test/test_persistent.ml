@@ -117,6 +117,54 @@ let test_errors () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "garbage file accepted")
 
+(* A valid index whose metadata blob is then damaged: every corruption
+   mode must surface as the documented [Failure], never a crash or a
+   silently wrong index. *)
+let test_corrupt_metadata () =
+  let patch_length path v =
+    (* the blob header is a 4-byte LE total length at file offset 0 *)
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    ignore (Unix.write fd b 0 4);
+    Unix.close fd
+  in
+  let expect_failure what path =
+    match Spine.Persistent.open_ ~path () with
+    | exception Failure _ -> ()
+    | p ->
+      Spine.Persistent.close p;
+      Alcotest.failf "%s accepted" what
+  in
+  let fresh f =
+    with_tmp (fun path ->
+        let p = Spine.Persistent.create ~path dna in
+        Spine.Persistent.append_string p "acgtacgtacgt";
+        Spine.Persistent.close p;
+        f path)
+  in
+  (* control: untouched file reopens *)
+  fresh (fun path ->
+      let p = Spine.Persistent.open_ ~path () in
+      Alcotest.(check int) "control reopens" 12 (Spine.Persistent.length p);
+      Spine.Persistent.close p);
+  (* blob cut short: parsing runs off the end *)
+  fresh (fun path ->
+      patch_length path 9;
+      expect_failure "undersized metadata blob" path);
+  (* zero length: never written *)
+  fresh (fun path ->
+      patch_length path 0;
+      expect_failure "zero-length metadata blob" path);
+  (* absurd length: rejected before allocation *)
+  fresh (fun path ->
+      patch_length path 0x7FFFFFFF;
+      expect_failure "oversized metadata blob" path);
+  (* physical truncation: the device zero-fills past EOF *)
+  fresh (fun path ->
+      Unix.truncate path 6;
+      expect_failure "physically truncated file" path)
+
 let suite =
   [ Alcotest.test_case "parity with the in-memory index" `Quick
       test_parity_with_memory
@@ -125,4 +173,6 @@ let suite =
       test_reopen_extend_reopen
   ; Alcotest.test_case "tiny pool pages for real" `Quick test_tiny_pool
   ; Alcotest.test_case "error handling" `Quick test_errors
+  ; Alcotest.test_case "corrupt metadata rejected" `Quick
+      test_corrupt_metadata
   ]
