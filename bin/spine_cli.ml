@@ -93,24 +93,50 @@ let build_cmd =
     Arg.(required & opt (some string) None
          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output index file.")
   in
-  let run alphabet fasta synthetic scale text out stats =
+  let backend =
+    Arg.(value
+         & opt (enum [ ("fast", `Fast); ("persistent", `Persistent) ]) `Fast
+         & info [ "backend"; "b" ] ~docv:"BACKEND"
+             ~doc:"Output format: fast (a checksummed snapshot for \
+                   in-memory loading) or persistent (a paged, \
+                   crash-consistent index file that `spine query \
+                   --backend persistent -i` and `spine scrub` operate \
+                   on).")
+  in
+  let run alphabet fasta synthetic scale text out backend stats =
     with_stats stats @@ fun () ->
     match Result.bind (alphabet_of_string alphabet) (fun alphabet ->
         load_sequence ~alphabet ~fasta ~synthetic ~scale ~text)
     with
     | Error e -> prerr_endline e; 1
     | Ok seq ->
-      let idx, secs =
-        Xutil.Stopwatch.time (fun () -> Spine.Index.of_seq seq)
-      in
-      Spine.Serialize.to_file out idx;
-      Printf.printf "indexed %d chars in %.2fs -> %s\n"
-        (Bioseq.Packed_seq.length seq) secs out;
-      0
+      (match backend with
+       | `Fast ->
+         let idx, secs =
+           Xutil.Stopwatch.time (fun () -> Spine.Index.of_seq seq)
+         in
+         Spine.Serialize.to_file out idx;
+         Printf.printf "indexed %d chars in %.2fs -> %s\n"
+           (Bioseq.Packed_seq.length seq) secs out;
+         0
+       | `Persistent ->
+         let secs =
+           Xutil.Stopwatch.time (fun () ->
+               let p =
+                 Spine.Persistent.create ~path:out
+                   (Bioseq.Packed_seq.alphabet seq)
+               in
+               Spine.Persistent.append_seq p seq;
+               Spine.Persistent.close p)
+           |> snd
+         in
+         Printf.printf "indexed %d chars in %.2fs -> %s\n"
+           (Bioseq.Packed_seq.length seq) secs out;
+         0)
   in
   Cmd.v (Cmd.info "build" ~doc:"Build a SPINE index and save it.")
     Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
-          $ text_arg $ out $ stats_arg)
+          $ text_arg $ out $ backend $ stats_arg)
 
 (* --- query --- *)
 
@@ -216,7 +242,7 @@ let query_cmd =
               let p = Spine.Persistent.open_ ~frames ~path:file () in
               Ok (Spine.Persistent.engine p,
                   fun () -> Spine.Persistent.close p)
-            with Failure e -> Error e)
+            with Spine_error.Error e -> Error (Spine_error.to_string e))
          | `Compact | `Disk ->
            Error "--backend compact/disk builds from an input source \
                   (--text, --fasta, --synthetic, --seq), not --index")
@@ -586,10 +612,227 @@ let trace_cmd =
           $ text_arg $ seq_str $ queries $ disk $ out $ format $ sample
           $ slow_us $ capacity $ frames $ page_size)
 
+(* --- scrub --- *)
+
+let scrub_cmd =
+  let module P = Spine.Persistent in
+  let page_size =
+    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.page_size
+         & info [ "page-size" ] ~docv:"BYTES"
+             ~doc:"Device page size the index was built with.")
+  in
+  let deep =
+    Arg.(value & flag
+         & info [ "deep" ]
+             ~doc:"After the checksum walk, open the index, rebuild an \
+                   in-memory oracle from the recovered sequence and \
+                   cross-check the paged structure against it (touches \
+                   every Link-Table and Rib-Table page). Opening \
+                   commits a fresh metadata generation on close, so \
+                   this also repairs a torn metadata slot.")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Also write the per-region report as JSON lines.")
+  in
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let write_jsonl path (r : P.report) =
+    let oc = open_out path in
+    let pages field =
+      String.concat ","
+        (List.map
+           (fun (page, detail) ->
+             Printf.sprintf "{\"page\":%d,\"detail\":\"%s\"}" page
+               (json_escape detail))
+           field)
+    in
+    Printf.fprintf oc
+      "{\"path\":\"%s\",\"generation\":%d,\"commit_epoch\":%d,\
+       \"clean\":%b,\"damaged_pages\":%d,\"stale_pages\":%d}\n"
+      (json_escape r.P.report_path) r.P.report_generation
+      r.P.report_commit_epoch r.P.report_clean r.P.damaged_pages
+      r.P.stale_pages;
+    List.iter
+      (fun (slot, state) ->
+        match state with
+        | P.Slot_valid { generation; commit_epoch; clean } ->
+          Printf.fprintf oc
+            "{\"slot\":%d,\"valid\":true,\"generation\":%d,\
+             \"commit_epoch\":%d,\"clean\":%b}\n"
+            slot generation commit_epoch clean
+        | P.Slot_invalid why ->
+          Printf.fprintf oc "{\"slot\":%d,\"valid\":false,\"why\":\"%s\"}\n"
+            slot (json_escape why))
+      r.P.slots;
+    List.iter
+      (fun reg ->
+        Printf.fprintf oc
+          "{\"region\":\"%s\",\"scanned\":%d,\"ok\":%d,\"unwritten\":%d,\
+           \"damaged\":[%s],\"stale\":[%s]}\n"
+          (json_escape reg.P.region) reg.P.scanned reg.P.ok reg.P.unwritten
+          (pages reg.P.damaged)
+          (pages
+             (List.map
+                (fun (page, epoch) -> (page, Printf.sprintf "epoch %d" epoch))
+                reg.P.stale)))
+      r.P.regions;
+    close_out oc
+  in
+  let deep_check path frames =
+    match P.open_ ~frames ~path () with
+    | exception Spine_error.Error e ->
+      Printf.printf "deep: open failed: %s\n" (Spine_error.to_string e);
+      1
+    | p ->
+      Fun.protect
+        ~finally:(fun () -> try P.close p with Spine_error.Error _ -> ())
+        (fun () ->
+          try
+            let seq = P.sequence p in
+            let oracle = Spine.Index.of_seq seq in
+            Spine.Validate.check_exn oracle;
+            let n = P.length p in
+            if Spine.Index.length oracle <> n then begin
+              Printf.printf "deep: length mismatch (oracle %d, paged %d)\n"
+                (Spine.Index.length oracle) n;
+              1
+            end
+            else if
+              P.rib_distribution p <> Spine.Index.rib_distribution oracle
+            then begin
+              print_endline
+                "deep: rib distribution diverges from the oracle";
+              1
+            end
+            else begin
+              (* sampled query parity over the real sequence *)
+              let rng = Bioseq.Rng.create 7 in
+              let bad = ref 0 in
+              let probes = if n >= 4 then 64 else 0 in
+              for _ = 1 to probes do
+                let len = 2 + Bioseq.Rng.int rng (min 10 (n - 1)) in
+                let pos = Bioseq.Rng.int rng (n - len) in
+                let pat =
+                  Array.init len (fun k -> Bioseq.Packed_seq.get seq (pos + k))
+                in
+                if
+                  P.occurrences p pat <> Spine.Index.occurrences oracle pat
+                then incr bad
+              done;
+              if !bad > 0 then begin
+                Printf.printf "deep: %d/%d probe queries diverge\n" !bad
+                  probes;
+                1
+              end
+              else begin
+                Printf.printf
+                  "deep: structure consistent with the oracle (%d probes)\n"
+                  probes;
+                0
+              end
+            end
+          with Spine_error.Error e ->
+            Printf.printf "deep: %s\n" (Spine_error.to_string e);
+            1)
+  in
+  let run index page_size deep jsonl_out frames =
+    match P.scrub ~page_size ~path:index () with
+    | exception Spine_error.Error e ->
+      prerr_endline (Spine_error.to_string e);
+      2
+    | r ->
+      if r.P.report_generation < 0 then
+        Printf.printf "scrub %s: no recoverable metadata\n" index
+      else
+        Printf.printf "scrub %s: generation %d, commit epoch %d (%s)\n"
+          index r.P.report_generation r.P.report_commit_epoch
+          (if r.P.report_clean then "clean shutdown" else "crash-recoverable");
+      List.iter
+        (fun (slot, state) ->
+          let name = if slot = 0 then "A" else "B" in
+          match state with
+          | P.Slot_valid { generation; commit_epoch; clean } ->
+            Printf.printf "  slot %s: generation %d, commit epoch %d%s\n"
+              name generation commit_epoch
+              (if clean then ", clean" else "")
+          | P.Slot_invalid why -> Printf.printf "  slot %s: %s\n" name why)
+        r.P.slots;
+      Report.Table.print ~title:"page regions"
+        ~headers:[ "region"; "scanned"; "ok"; "unwritten"; "damaged"; "stale" ]
+        (List.map
+           (fun reg ->
+             [ reg.P.region; string_of_int reg.P.scanned;
+               string_of_int reg.P.ok; string_of_int reg.P.unwritten;
+               string_of_int (List.length reg.P.damaged);
+               string_of_int (List.length reg.P.stale) ])
+           r.P.regions);
+      List.iter
+        (fun reg ->
+          List.iter
+            (fun (page, detail) ->
+              Printf.printf "  damaged %s page %d: %s\n" reg.P.region page
+                detail)
+            reg.P.damaged;
+          List.iter
+            (fun (page, epoch) ->
+              Printf.printf
+                "  stale %s page %d: epoch %d beyond the committed ceiling\n"
+                reg.P.region page epoch)
+            reg.P.stale)
+        r.P.regions;
+      Option.iter (fun path -> write_jsonl path r) jsonl_out;
+      let deep_rc =
+        if deep && r.P.report_generation >= 0 then deep_check index frames
+        else 0
+      in
+      if r.P.damaged_pages + r.P.stale_pages > 0 || r.P.report_generation < 0
+      then begin
+        Printf.printf "scrub: %d damaged, %d stale page(s)\n"
+          r.P.damaged_pages r.P.stale_pages;
+        1
+      end
+      else begin
+        print_endline "scrub: clean";
+        deep_rc
+      end
+  in
+  let frames =
+    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.frames
+         & info [ "frames" ] ~docv:"N"
+             ~doc:"Buffer-pool frames for the --deep open.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Walk every page of a persistent index file, validate \
+             checksums, epochs and metadata slots, and report damage \
+             per region.")
+    Term.(const run $ index_arg ~doc:"Persistent index file."
+          $ page_size $ deep $ jsonl_out $ frames)
+
 let main_cmd =
   let doc = "SPINE string index (ICDE 2004 reproduction)" in
   Cmd.group (Cmd.info "spine" ~doc)
     [ build_cmd; query_cmd; stats_cmd; match_cmd; approx_cmd; align_cmd;
-      trace_cmd ]
+      trace_cmd; scrub_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Typed storage errors can surface lazily (a damaged page is only read
+   mid-query); render them as a diagnosis, not an "internal error". *)
+let () =
+  try exit (Cmd.eval' ~catch:false main_cmd)
+  with Spine_error.Error e ->
+    Printf.eprintf "spine: %s\n" (Spine_error.to_string e);
+    exit 1

@@ -17,10 +17,11 @@ type rule =
   | Missing_mli
   | Partial_call
   | Raw_clock
+  | Bare_failwith
 
 let all_rules =
   [ Poly_compare; Obj_magic; Catch_all; Direct_stdout; Missing_mli;
-    Partial_call; Raw_clock ]
+    Partial_call; Raw_clock; Bare_failwith ]
 
 let rule_id = function
   | Poly_compare -> "poly-compare"
@@ -30,6 +31,7 @@ let rule_id = function
   | Missing_mli -> "missing-mli"
   | Partial_call -> "partial-call"
   | Raw_clock -> "raw-clock"
+  | Bare_failwith -> "bare-failwith"
 
 let rule_of_id s =
   match String.lowercase_ascii s with
@@ -40,6 +42,7 @@ let rule_of_id s =
   | "missing-mli" | "l5" -> Some Missing_mli
   | "partial-call" | "l6" -> Some Partial_call
   | "raw-clock" | "l7" -> Some Raw_clock
+  | "bare-failwith" | "l8" -> Some Bare_failwith
   | _ -> None
 
 let rule_doc = function
@@ -58,9 +61,14 @@ let rule_doc = function
   | Raw_clock ->
     "no raw clock reads (Unix.gettimeofday, Unix.time, Sys.time) in \
      library code; time through Xutil.Stopwatch's monotonic clock"
+  | Bare_failwith ->
+    "no bare failwith/Failure raises in the typed-error storage stack \
+     (lib/pagestore, lib/spine persistent/serialize); raise a typed \
+     Spine_error instead"
 
 let default_severity = function
-  | Poly_compare | Obj_magic | Catch_all | Missing_mli | Raw_clock -> Error
+  | Poly_compare | Obj_magic | Catch_all | Missing_mli | Raw_clock
+  | Bare_failwith -> Error
   | Direct_stdout | Partial_call -> Warning
 
 let severity_id = function Error -> "error" | Warning -> "warning"
@@ -87,6 +95,10 @@ let hot_prefixes = [ "lib/spine/"; "lib/pagestore/"; "lib/bioseq/" ]
 let stdout_exempt = [ "lib/report/"; "lib/telemetry/" ]
 let mli_prefixes = [ "lib/spine/"; "lib/pagestore/" ]
 
+(* the storage vertical that raises typed Spine_error values *)
+let typed_error_prefixes =
+  [ "lib/pagestore/"; "lib/spine/persistent.ml"; "lib/spine/serialize.ml" ]
+
 let starts_with_any prefixes file =
   List.exists (fun p -> String.starts_with ~prefix:p file) prefixes
 
@@ -101,6 +113,7 @@ let rule_in_scope ~all_paths rule file =
     String.starts_with ~prefix:"lib/" file
     && not (starts_with_any stdout_exempt file)
   | Missing_mli -> starts_with_any mli_prefixes file
+  | Bare_failwith -> starts_with_any typed_error_prefixes file
 
 (* ------------------------------------------------------------------ *)
 (* Identifier classification                                           *)
@@ -178,6 +191,15 @@ let is_poly_op p =
   match path_parts p with
   | Some [ "Stdlib"; op ] -> List.mem op poly_ops
   | _ -> false
+
+(* stringly errors in the storage stack: both [failwith "..."] and the
+   spelled-out [raise (Failure "...")] *)
+let classify_failwith = function
+  | [ "Stdlib"; "failwith" ] ->
+    Some
+      "failwith raises a stringly Failure callers cannot match on \
+       (raise a typed Spine_error.Error instead)"
+  | _ -> None
 
 (* cmt files store environments as summaries; rebuild enough of the
    typing env (from the load path recorded at compile time) to expand
@@ -271,11 +293,22 @@ let collect_structure ~wants str =
         (match classify_raw_clock parts with
         | Some msg -> record Raw_clock e.exp_loc msg
         | None -> ());
+        (match classify_failwith parts with
+        | Some msg -> record Bare_failwith e.exp_loc msg
+        | None -> ());
         match classify_partial parts with
         | Some msg ->
           record Partial_call e.exp_loc
             (msg ^ "; match the shape explicitly")
         | None -> ()))
+    | Texp_construct (_, cd, _)
+      when String.equal cd.Types.cstr_name "Failure"
+           && (match Types.get_desc cd.Types.cstr_res with
+              | Types.Tconstr (p, _, _) -> Path.same p Predef.path_exn
+              | _ -> false) ->
+      record Bare_failwith e.exp_loc
+        "constructing the stringly Failure exception (raise a typed \
+         Spine_error.Error instead)"
     | Texp_try (_, cases) ->
       List.iter
         (fun c ->

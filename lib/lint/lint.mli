@@ -38,13 +38,19 @@ type rule =
       (** L7: no [Unix.gettimeofday]/[Unix.time]/[Sys.time] in library
           code; timings come from [Xutil.Stopwatch]'s monotonic
           clock. *)
+  | Bare_failwith
+      (** L8: no bare [failwith]/[Failure] raises in the typed-error
+          storage stack ([lib/pagestore], [lib/spine/persistent.ml],
+          [lib/spine/serialize.ml]); failures there are typed
+          [Spine_error.Error] values. *)
 
 val all_rules : rule list
 
 val rule_id : rule -> string
 (** Stable kebab-case id used in output and suppression comments:
     ["poly-compare"], ["obj-magic"], ["catch-all"], ["stdout"],
-    ["missing-mli"], ["partial-call"], ["raw-clock"]. *)
+    ["missing-mli"], ["partial-call"], ["raw-clock"],
+    ["bare-failwith"]. *)
 
 val rule_of_id : string -> rule option
 val rule_doc : rule -> string

@@ -9,6 +9,8 @@ let c_evictions = Telemetry.counter "pool.evictions"
 let c_pinned_evictions = Telemetry.counter "pool.pinned_evictions"
 let c_writebacks = Telemetry.counter "pool.writebacks"
 let c_flushes = Telemetry.counter "pool.flushes"
+let c_io_retries = Telemetry.counter "pool.io_retries"
+let c_exhausted = Telemetry.counter "pool.exhausted"
 
 type replacement = [ `Lru | `Fifo ]
 
@@ -50,6 +52,27 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
 
 let device t = t.dev
 
+(* Transient I/O errors (the kind the fault injector scripts) are
+   retried a few times before propagating; anything else — permanent
+   errors, corruption — passes straight through.  The "backoff" is
+   simulated like every other latency in the stack: each retry re-runs
+   the device operation, which charges its own cost. *)
+let max_io_attempts = 4
+
+let with_io_retries page f =
+  let rec go attempt =
+    try f ()
+    with
+    | Spine_error.Error (Spine_error.Io_failed { transient = true; _ })
+      when attempt < max_io_attempts ->
+      Telemetry.incr c_io_retries;
+      if Trace.on () then
+        Trace.instant "pool.io_retry"
+          [ Trace.Int ("page", page); Trace.Int ("attempt", attempt) ];
+      go (attempt + 1)
+  in
+  go 1
+
 let unlink t f =
   let p = t.prev.(f) and n = t.next.(f) in
   if p >= 0 then t.next.(p) <- n else t.head <- n;
@@ -72,7 +95,8 @@ let touch t f =
 
 let writeback t f =
   if t.dirty.(f) then begin
-    Device.write t.dev t.page_of.(f) t.buffers.(f);
+    let page = t.page_of.(f) in
+    with_io_retries page (fun () -> Device.write t.dev page t.buffers.(f));
     t.dirty.(f) <- false;
     t.writebacks <- t.writebacks + 1;
     Telemetry.incr c_writebacks
@@ -92,7 +116,24 @@ let find_victim t =
   in
   match scan t.tail None with
   | Some f -> f
-  | None -> failwith "Buffer_pool: all frames latched"
+  | None ->
+    (* Degrade gracefully before giving up: push dirty frames back to
+       the device (a latched frame stays resident but need not stay
+       dirty) and rescan in case a latch was released by the writeback
+       path.  Only then raise the typed error with the evidence. *)
+    for f = 0 to t.frames - 1 do
+      if t.page_of.(f) >= 0 then writeback t f
+    done;
+    (match scan t.tail None with
+     | Some f -> f
+     | None ->
+       let latched = ref 0 in
+       for f = 0 to t.frames - 1 do
+         if t.in_use.(f) > 0 then incr latched
+       done;
+       Telemetry.incr c_exhausted;
+       Spine_error.raise_error
+         (Spine_error.Pool_exhausted { frames = t.frames; latched = !latched }))
 
 let find_free t =
   let rec go f = if f >= t.frames then -1 else if t.page_of.(f) < 0 then f else go (f + 1) in
@@ -134,8 +175,16 @@ let frame_for t page =
         victim
       end
     in
-    let data = Device.read t.dev page in
-    Bytes.blit data 0 t.buffers.(f) 0 (Bytes.length data);
+    (match with_io_retries page (fun () -> Device.read t.dev page) with
+     | data ->
+       Bytes.blit data 0 t.buffers.(f) 0 (Bytes.length data)
+     | exception e ->
+       (* the frame was already claimed (victim evicted / free slot
+          taken); release it so a failed read cannot leak frames *)
+       t.page_of.(f) <- -1;
+       t.dirty.(f) <- false;
+       if tr then Trace.end_span ();
+       raise e);
     t.page_of.(f) <- page;
     t.dirty.(f) <- false;
     Xutil.Int_tbl.replace t.table page f;

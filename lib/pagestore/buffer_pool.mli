@@ -31,7 +31,14 @@ val with_page : t -> int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
     from the device on a miss), applies [f] to the frame's buffer, and
     marks the frame dirty when [dirty] is true.  The buffer must not be
     retained after [f] returns. Reentrant calls on {e distinct} pages are
-    allowed up to the frame count. *)
+    allowed up to the frame count.
+
+    Transient device errors (injected I/O faults) are retried a few
+    times before propagating; permanent errors and checksum failures
+    pass through as raised.
+    @raise Spine_error.Error ([Pool_exhausted]) when every frame is
+    latched by a live caller (after one writeback-and-rescan pass);
+    ([Corrupt] / [Io_failed]) propagated from the device. *)
 
 val flush : t -> unit
 (** Write back every dirty frame. *)

@@ -5,6 +5,8 @@ let c_reads = Telemetry.counter "device.read_pages"
 let c_writes = Telemetry.counter "device.write_pages"
 let c_read_bytes = Telemetry.counter "device.read_bytes"
 let c_write_bytes = Telemetry.counter "device.write_bytes"
+let c_crc_errors = Telemetry.counter "device.crc_errors"
+let c_stale_epochs = Telemetry.counter "device.stale_epochs"
 
 type cost = {
   read_us : float;
@@ -20,11 +22,37 @@ type backend =
   | Mem of Bytes.t Xutil.Int_tbl.t
   | File of Unix.file_descr
 
+(* Verdict a fault hook renders on an outgoing physical page image. *)
+type write_fault =
+  | Write_through
+  | Tampered of Bytes.t
+  | Torn of int
+  | Dropped
+
+type hooks = {
+  on_read : page:int -> unit;
+  on_write : page:int -> phys:Bytes.t -> write_fault;
+}
+
+(* Checksummed devices append a 16-byte trailer to every page:
+     +0  u32  magic "SPCK"
+     +4  u32  epoch the page was written under
+     +8  u32  CRC-32C over data + magic + epoch
+     +12 u32  reserved (zero)
+   An all-zero trailer marks a never-written (hole) page. *)
+let trailer_bytes = 16
+let trailer_magic = 0x4B435053 (* "SPCK" little-endian *)
+
 type t = {
   page_size : int;
   cost : cost;
   sync_writes : bool;
+  checksums : bool;
   backend : backend;
+  mutable epoch : int;            (* stamp applied to outgoing pages *)
+  mutable max_valid_epoch : int;  (* committed ceiling; -1 = no check *)
+  mutable region_of : int -> string;
+  mutable hooks : hooks option;
   mutable allocated : int;      (* distinct pages written (file backend) *)
   written : unit Xutil.Int_tbl.t;
   mutable last_page : int;      (* previously accessed page, -2 = none *)
@@ -34,19 +62,28 @@ type t = {
   mutable elapsed_us : float;
 }
 
-let make ?(cost = default_cost) ?(sync_writes = false) ~page_size backend =
+let make ?(cost = default_cost) ?(sync_writes = false) ?(checksums = false)
+    ~page_size backend =
   if page_size <= 0 then invalid_arg "Device.create: page_size must be positive";
-  { page_size; cost; sync_writes; backend;
+  { page_size; cost; sync_writes; checksums; backend;
+    epoch = 1; max_valid_epoch = -1;
+    region_of = (fun _ -> "data");
+    hooks = None;
     allocated = 0;
     written = Xutil.Int_tbl.create 1024;
     last_page = -2; reads = 0; writes = 0; sequential = 0; elapsed_us = 0.0 }
 
-let create ?cost ?sync_writes ~page_size () =
-  make ?cost ?sync_writes ~page_size (Mem (Xutil.Int_tbl.create 1024))
+let create ?cost ?sync_writes ?checksums ~page_size () =
+  make ?cost ?sync_writes ?checksums ~page_size (Mem (Xutil.Int_tbl.create 1024))
 
-let create_file ?cost ?sync_writes ~page_size ~path () =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  make ?cost ?sync_writes ~page_size (File fd)
+let create_file ?cost ?sync_writes ?checksums ~page_size ~path () =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+    with Unix.Unix_error (err, _, _) ->
+      Spine_error.io_failed ~op:Spine_error.Read "%s: %s" path
+        (Unix.error_message err)
+  in
+  make ?cost ?sync_writes ?checksums ~page_size (File fd)
 
 let close t =
   match t.backend with
@@ -54,6 +91,15 @@ let close t =
   | File fd -> Unix.close fd
 
 let page_size t = t.page_size
+let checksums t = t.checksums
+let phys_size t = if t.checksums then t.page_size + trailer_bytes else t.page_size
+
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- e
+let max_valid_epoch t = t.max_valid_epoch
+let set_max_valid_epoch t e = t.max_valid_epoch <- e
+let set_region_namer t f = t.region_of <- f
+let set_hooks t h = t.hooks <- h
 
 let charge t page full_cost =
   let sequential = page = t.last_page || page = t.last_page + 1 in
@@ -64,6 +110,119 @@ let charge t page full_cost =
   else t.elapsed_us <- t.elapsed_us +. full_cost;
   t.last_page <- page
 
+(* raw physical-slot transfer, below checksums and fault injection *)
+
+let read_phys t page =
+  let size = phys_size t in
+  match t.backend with
+  | Mem pages ->
+    (match Xutil.Int_tbl.find_opt pages page with
+     | Some data -> Bytes.copy data
+     | None -> Bytes.make size '\000')
+  | File fd ->
+    let buf = Bytes.make size '\000' in
+    (try
+       ignore (Unix.lseek fd (page * size) Unix.SEEK_SET);
+       (* short reads (holes / EOF) leave the zero fill in place *)
+       let rec fill off =
+         if off < size then begin
+           let k = Unix.read fd buf off (size - off) in
+           if k > 0 then fill (off + k)
+         end
+       in
+       fill 0
+     with Unix.Unix_error (err, _, _) ->
+       Spine_error.io_failed ~op:Spine_error.Read ~page "%s"
+         (Unix.error_message err));
+    buf
+
+let write_phys t page data =
+  let size = phys_size t in
+  if not (Xutil.Int_tbl.mem t.written page) then
+    Xutil.Int_tbl.replace t.written page ();
+  match t.backend with
+  | Mem pages -> Xutil.Int_tbl.replace pages page (Bytes.copy data)
+  | File fd ->
+    (try
+       ignore (Unix.lseek fd (page * size) Unix.SEEK_SET);
+       let rec drain off =
+         if off < size then drain (off + Unix.write fd data off (size - off))
+       in
+       drain 0
+     with Unix.Unix_error (err, _, _) ->
+       Spine_error.io_failed ~op:Spine_error.Write ~page "%s"
+         (Unix.error_message err))
+
+(* trailer assembly / validation *)
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let seal t data =
+  let ps = t.page_size in
+  let phys = Bytes.make (ps + trailer_bytes) '\000' in
+  Bytes.blit data 0 phys 0 ps;
+  set_u32 phys ps trailer_magic;
+  set_u32 phys (ps + 4) t.epoch;
+  set_u32 phys (ps + 8) (Xutil.Crc32c.digest phys ~pos:0 ~len:(ps + 8));
+  phys
+
+let all_zero b lo hi =
+  let rec go i = i >= hi || (Char.equal (Bytes.get b i) '\000' && go (i + 1)) in
+  go lo
+
+(* Classify a physical slot without raising: shared by [read] (which
+   turns damage into typed errors) and the scrub walk (which reports). *)
+let inspect t phys =
+  let ps = t.page_size in
+  if all_zero phys ps (ps + trailer_bytes) then
+    if all_zero phys 0 ps then `Unwritten
+    else `Damaged "nonzero data in a page with no trailer"
+  else begin
+    let magic = get_u32 phys ps in
+    let e = get_u32 phys (ps + 4) in
+    let crc = get_u32 phys (ps + 8) in
+    if magic <> trailer_magic then
+      `Damaged (Printf.sprintf "bad trailer magic 0x%08x" magic)
+    else if Xutil.Crc32c.digest phys ~pos:0 ~len:(ps + 8) <> crc then
+      `Damaged "checksum mismatch"
+    else if t.max_valid_epoch >= 0 && e > t.max_valid_epoch && e <> t.epoch
+    then `Stale e
+    else `Ok e
+  end
+
+let unseal t page phys =
+  match inspect t phys with
+  | `Unwritten | `Ok _ -> Bytes.sub phys 0 t.page_size
+  | `Damaged detail ->
+    Telemetry.incr c_crc_errors;
+    if Trace.on () then
+      Trace.instant "device.crc_error" [ Trace.Int ("page", page) ];
+    Spine_error.raise_error
+      (Spine_error.Corrupt { region = t.region_of page; page; detail })
+  | `Stale e ->
+    Telemetry.incr c_stale_epochs;
+    if Trace.on () then
+      Trace.instant "device.stale_epoch"
+        [ Trace.Int ("page", page); Trace.Int ("epoch", e) ];
+    Spine_error.raise_error
+      (Spine_error.Corrupt
+         { region = t.region_of page; page;
+           detail =
+             Printf.sprintf
+               "page written at epoch %d, beyond the committed ceiling %d \
+                (debris from a crashed session)"
+               e t.max_valid_epoch })
+
 let read t page =
   t.reads <- t.reads + 1;
   Telemetry.incr c_reads;
@@ -72,23 +231,9 @@ let read t page =
     Trace.instant "device.read"
       [ Trace.Int ("page", page); Trace.Int ("bytes", t.page_size) ];
   charge t page t.cost.read_us;
-  match t.backend with
-  | Mem pages ->
-    (match Xutil.Int_tbl.find_opt pages page with
-     | Some data -> Bytes.copy data
-     | None -> Bytes.make t.page_size '\000')
-  | File fd ->
-    let buf = Bytes.make t.page_size '\000' in
-    ignore (Unix.lseek fd (page * t.page_size) Unix.SEEK_SET);
-    (* short reads (holes / EOF) leave the zero fill in place *)
-    let rec fill off =
-      if off < t.page_size then begin
-        let k = Unix.read fd buf off (t.page_size - off) in
-        if k > 0 then fill (off + k)
-      end
-    in
-    fill 0;
-    buf
+  (match t.hooks with Some h -> h.on_read ~page | None -> ());
+  let phys = read_phys t page in
+  if t.checksums then unseal t page phys else phys
 
 let write t page data =
   if Bytes.length data <> t.page_size then
@@ -101,17 +246,39 @@ let write t page data =
       [ Trace.Int ("page", page); Trace.Int ("bytes", t.page_size) ];
   charge t page t.cost.write_us;
   if t.sync_writes then t.elapsed_us <- t.elapsed_us +. t.cost.sync_us;
-  if not (Xutil.Int_tbl.mem t.written page) then
-    Xutil.Int_tbl.replace t.written page ();
+  let phys = if t.checksums then seal t data else Bytes.copy data in
+  match t.hooks with
+  | None -> write_phys t page phys
+  | Some h ->
+    (match h.on_write ~page ~phys with
+     | Write_through -> write_phys t page phys
+     | Tampered b -> write_phys t page b
+     | Dropped -> ()
+     | Torn keep ->
+       (* first [keep] physical bytes land; the rest of the slot keeps
+          its previous content — a torn sector write *)
+       let old = read_phys t page in
+       Bytes.blit phys 0 old 0 (min keep (Bytes.length old));
+       write_phys t page old)
+
+(* scrub support: raw classification of every slot, no exceptions *)
+
+let physical_pages t =
   match t.backend with
-  | Mem pages -> Xutil.Int_tbl.replace pages page (Bytes.copy data)
+  | Mem pages ->
+    Xutil.Int_tbl.fold (fun page _ acc -> max acc (page + 1)) pages 0
   | File fd ->
-    ignore (Unix.lseek fd (page * t.page_size) Unix.SEEK_SET);
-    let rec drain off =
-      if off < t.page_size then
-        drain (off + Unix.write fd data off (t.page_size - off))
-    in
-    drain 0
+    let size = Unix.lseek fd 0 Unix.SEEK_END in
+    (size + phys_size t - 1) / phys_size t
+
+let verify_page t page =
+  if not t.checksums then `Ok 0
+  else
+    match inspect t (read_phys t page) with
+    | `Unwritten -> `Unwritten
+    | `Ok e -> `Ok e
+    | `Stale e -> `Stale e
+    | `Damaged d -> `Damaged d
 
 let reset_stats t =
   t.reads <- 0; t.writes <- 0; t.sequential <- 0;

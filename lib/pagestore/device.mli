@@ -14,7 +14,25 @@
     pays [cost.sync_us], mirroring the paper's [O_SYNC] setup.
     Sequential accesses (page adjacent to the previous access) cost
     [cost.sequential_us] instead of the full seek, which is what rewards
-    SPINE's append-mostly, top-skewed access pattern. *)
+    SPINE's append-mostly, top-skewed access pattern.
+
+    {2 Integrity}
+
+    With [~checksums:true] every logical page is stored in a physical
+    slot of [page_size + 16] bytes: the data followed by a trailer
+    carrying a magic, the {e epoch} the page was written under, and a
+    CRC-32C over both.  {!read} validates the trailer and raises a
+    typed {!Spine_error.Error} ([Corrupt]) on any mismatch — a flipped
+    bit, a torn sector, or debris from a crashed session (a page whose
+    epoch exceeds the committed ceiling, see {!set_max_valid_epoch}) is
+    detected instead of silently decoded.  A never-written slot reads
+    as zeroes, exactly like the unchecksummed device.
+
+    {2 Fault injection}
+
+    {!set_hooks} installs an observer that can fail reads, and tamper
+    with / tear / drop writes — {!Fault_device} builds its deterministic
+    fault plans on top of this. *)
 
 type cost = {
   read_us : float;        (** random page read *)
@@ -30,33 +48,102 @@ val default_cost : cost
 
 type t
 
-val create : ?cost:cost -> ?sync_writes:bool -> page_size:int -> unit -> t
+val create :
+  ?cost:cost -> ?sync_writes:bool -> ?checksums:bool -> page_size:int ->
+  unit -> t
 (** Fresh in-memory device; pages are [page_size] bytes. [sync_writes]
-    defaults to [false]. *)
+    and [checksums] default to [false]. *)
 
 val create_file :
-  ?cost:cost -> ?sync_writes:bool -> page_size:int -> path:string ->
-  unit -> t
+  ?cost:cost -> ?sync_writes:bool -> ?checksums:bool -> page_size:int ->
+  path:string -> unit -> t
 (** A device backed by a real file (created if absent, reopened
-    otherwise): page [p] lives at byte offset [p * page_size].  The
-    simulated-latency counters still run — they model the 2004 testbed
-    regardless of the actual storage — but the data is durable, which
-    is what {!Spine.Persistent} builds on.  Page ids must stay below
-    2^40 (sparse files handle the gaps). *)
+    otherwise): page [p] lives at byte offset [p * slot] where [slot]
+    is [page_size] plus the 16-byte trailer when [checksums] is set.
+    The simulated-latency counters still run — they model the 2004
+    testbed regardless of the actual storage — but the data is durable,
+    which is what {!Spine.Persistent} builds on.  Page ids must stay
+    below 2^40 (sparse files handle the gaps).
+    @raise Spine_error.Error ([Io_failed]) if the file cannot be
+    opened. *)
 
 val close : t -> unit
 (** Release the backing file descriptor (no-op for in-memory devices). *)
 
 val page_size : t -> int
 
+val checksums : t -> bool
+val phys_size : t -> int
+(** Bytes per physical slot: [page_size] plus the trailer when
+    checksummed. *)
+
 val read : t -> int -> Bytes.t
 (** [read dev p] returns a copy of page [p]'s contents (zero-filled if
-    never written). Counts one read. *)
+    never written). Counts one read.
+    @raise Spine_error.Error ([Corrupt]) when checksums are enabled and
+    the slot fails validation; ([Io_failed]) on an OS error or an
+    injected read fault. *)
 
 val write : t -> int -> Bytes.t -> unit
-(** [write dev p data] stores a copy of [data] as page [p]. Counts one
-    write (plus sync cost when enabled).
-    @raise Invalid_argument if [data] is not exactly one page. *)
+(** [write dev p data] stores a copy of [data] as page [p] (sealed with
+    an epoch-stamped checksum trailer when enabled). Counts one write
+    (plus sync cost when enabled).
+    @raise Invalid_argument if [data] is not exactly one page.
+    @raise Spine_error.Error ([Io_failed]) on an OS error or an
+    injected write fault. *)
+
+(** {2 Epochs — crash-consistency support}
+
+    Checksummed pages are stamped with the device's current epoch.  A
+    transaction layer (see {!Spine.Persistent}) commits by recording an
+    epoch ceiling in its metadata and then moving the device to a fresh
+    epoch.  On reopen it restores that ceiling via
+    {!set_max_valid_epoch}: any page stamped {e beyond} the ceiling can
+    only be debris written by a session that crashed before committing,
+    and reading it raises [Corrupt] instead of returning phantom data.
+    Pages stamped with the {e current} epoch (this session's own
+    writes) always validate; a ceiling of [-1] disables the check. *)
+
+val epoch : t -> int
+val set_epoch : t -> int -> unit
+val max_valid_epoch : t -> int
+val set_max_valid_epoch : t -> int -> unit
+
+val set_region_namer : t -> (int -> string) -> unit
+(** Name the on-disk region a page belongs to ("lt", "seq", …) for
+    [Corrupt] error payloads and scrub reports. Default: ["data"]. *)
+
+(** {2 Fault hooks} *)
+
+type write_fault =
+  | Write_through        (** store the page as given *)
+  | Tampered of Bytes.t  (** store these physical bytes instead *)
+  | Torn of int          (** first [n] physical bytes land, the rest of
+                             the slot keeps its previous content *)
+  | Dropped              (** silently lose the write *)
+
+type hooks = {
+  on_read : page:int -> unit;
+      (** called before the media read; may raise to fail it *)
+  on_write : page:int -> phys:Bytes.t -> write_fault;
+      (** called with the sealed physical image about to be stored *)
+}
+
+val set_hooks : t -> hooks option -> unit
+
+(** {2 Scrub support} *)
+
+val physical_pages : t -> int
+(** Number of physical slots the backing store currently covers (file
+    size / slot size; max written page + 1 for in-memory devices). *)
+
+val verify_page :
+  t -> int ->
+  [ `Ok of int | `Unwritten | `Stale of int | `Damaged of string ]
+(** Classify one slot without raising: valid (with its epoch), a hole,
+    stamped beyond the committed ceiling, or damaged (bad magic /
+    checksum mismatch / data without a trailer).  Always [`Ok 0] on an
+    unchecksummed device.  Bypasses the read counters and hooks. *)
 
 type stats = {
   reads : int;

@@ -57,12 +57,13 @@ module A = Engine.Api (P)
 let s_build = Telemetry.span "persistent.build"
 let s_flush = Telemetry.span "persistent.flush"
 let s_open = Telemetry.span "persistent.open"
+let s_scrub = Telemetry.span "persistent.scrub"
 
-(* Page regions within the file. Metadata sits first (64 MB is room
-   for ~8M overflow/anchor entries); each data region then gets 1 GB of
-   sparse address space — enough for ~180M characters — keeping the
-   file's apparent size in the single-digit gigabytes even though only
-   written pages occupy disk blocks. *)
+(* Page regions within the file. Metadata sits first (the two shadow
+   slots and the epoch-declaration page, see below); each data region
+   then gets 1 GB of sparse address space — enough for ~180M
+   characters — keeping the file's apparent size in the single-digit
+   gigabytes even though only written pages occupy disk blocks. *)
 let meta_span = 1 lsl 14
 let data_span = 1 lsl 18
 
@@ -71,7 +72,31 @@ let region_base structure = meta_span + (structure * data_span)
 let lt_region = 0
 let rt_region table = 1 + table
 let seq_region = 5
-let meta_page = 0
+
+(* Metadata is double-buffered: generation [g] goes to slot [g land 1],
+   so a crash while writing the new generation always leaves the
+   previous one intact.  The epoch-declaration page records the epoch
+   the next session of writes will use — written ahead of any data
+   write of that epoch, so epochs are never reused across crashes. *)
+let slot_pages = 4096
+let slot_base slot = slot * slot_pages
+let epoch_page = 2 * slot_pages
+
+let region_name page =
+  if page < meta_span then
+    if page = epoch_page then "meta/epoch"
+    else if page < slot_pages then "meta/slot-a"
+    else if page < 2 * slot_pages then "meta/slot-b"
+    else "meta"
+  else
+    match (page - meta_span) / data_span with
+    | 0 -> "lt"
+    | 1 -> "rt0"
+    | 2 -> "rt1"
+    | 3 -> "rt2"
+    | 4 -> "rt3"
+    | 5 -> "seq"
+    | _ -> "data"
 
 type t = {
   core : P.t;
@@ -79,15 +104,23 @@ type t = {
   device : Pagestore.Device.t;
   pool : Pagestore.Buffer_pool.t;
   file_path : string;
+  mutable generation : int;
   mutable closed : bool;
 }
 
-let check_open t = if t.closed then invalid_arg "Persistent: index is closed"
+let check_open t =
+  if t.closed then Spine_error.raise_error (Spine_error.Closed "persistent index")
 
 let make_pool ?(frames = 256) ?(page_size = 4096) ?(pin_top_lt_pages = 0)
     ~path ~truncate () =
   if truncate && Sys.file_exists path then Sys.remove path;
-  let device = Pagestore.Device.create_file ~page_size ~path () in
+  let device =
+    Pagestore.Device.create_file ~checksums:true ~page_size ~path ()
+  in
+  Pagestore.Device.set_region_namer device region_name;
+  (match Pagestore.Fault_device.of_env () with
+   | Some plan -> Pagestore.Fault_device.attach plan device
+   | None -> ());
   let pin page =
     pin_top_lt_pages > 0
     && page >= region_base lt_region
@@ -96,79 +129,145 @@ let make_pool ?(frames = 256) ?(page_size = 4096) ?(pin_top_lt_pages = 0)
   let pool = Pagestore.Buffer_pool.create ~pin ~frames device in
   (device, pool)
 
-let create ?frames ?page_size ?pin_top_lt_pages ~path alphabet =
-  let device, pool =
-    make_pool ?frames ?page_size ?pin_top_lt_pages ~path ~truncate:true ()
-  in
-  let lo = Compact_store.layout_of alphabet in
-  let core =
-    P.make
-      ~seq:(Bioseq.Packed_seq.create alphabet)
-      ~lt:(Paged_bytes.make pool ~base_page:(region_base lt_region))
-      ~rts:
-        (Array.mapi
-           (fun table _ ->
-             Paged_bytes.make pool ~base_page:(region_base (rt_region table)))
-           lo.Compact_store.row_bytes)
-      alphabet
-  in
-  P.init_root core;
-  let seq_tab = Paged_bytes.make pool ~base_page:(region_base seq_region) in
-  { core; seq_tab; device; pool; file_path = path; closed = false }
+(* --- byte helpers over raw pages --- *)
 
-(* --- metadata blob (region 6) --- *)
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
 
-let blob_write pool data =
-  let page_size =
-    Pagestore.Device.page_size (Pagestore.Buffer_pool.device pool)
+let set_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+(* Direct device writes (metadata bypasses the pool); transient injected
+   errors get the same bounded retry the pool applies. *)
+let dev_write device page data =
+  let rec go attempt =
+    try Pagestore.Device.write device page data
+    with
+    | Spine_error.Error (Spine_error.Io_failed { transient = true; _ })
+      when attempt < 4 ->
+      go (attempt + 1)
   in
-  let total = Bytes.length data in
-  let header = Bytes.create 4 in
-  Bytes.set_int32_le header 0 (Int32.of_int total);
-  let all = Bytes.cat header data in
-  let pos = ref 0 in
-  let page = ref (meta_page) in
-  while !pos < Bytes.length all do
-    let chunk = min page_size (Bytes.length all - !pos) in
-    Pagestore.Buffer_pool.with_page pool !page ~dirty:true (fun b ->
-        Bytes.blit all !pos b 0 chunk);
-    pos := !pos + chunk;
-    incr page
+  go 1
+
+(* --- epoch-declaration page --- *)
+
+let decl_magic = "SPNG"
+
+let write_epoch_decl device epoch =
+  let b = Bytes.make (Pagestore.Device.page_size device) '\000' in
+  Bytes.blit_string decl_magic 0 b 0 4;
+  set_u32 b 4 epoch;
+  dev_write device epoch_page b
+
+let read_epoch_decl device =
+  match Pagestore.Device.read device epoch_page with
+  | exception Spine_error.Error _ -> None
+  | b ->
+    if String.equal (Bytes.sub_string b 0 4) decl_magic then Some (get_u32 b 4)
+    else None
+
+(* --- metadata slots ---
+
+   Slot layout (spanning whole pages from the slot base):
+     +0   magic "SPNM"
+     +4   u32 format version (2)
+     +8   u32 generation
+     +12  u32 commit epoch: every data page of this generation is
+              stamped with an epoch <= this
+     +16  u32 flags (bit 0 = written by a clean close)
+     +20  u32 payload length
+     +24  u32 CRC-32C of the payload
+     +28  payload (symbols, length, table state, side tables)
+
+   The payload CRC guards the blob as a whole; each page additionally
+   carries the device trailer, so a torn slot write is caught either
+   way and reopen falls back to the other slot. *)
+
+let meta_magic = "SPNM"
+let meta_version = 2
+let slot_header_bytes = 28
+
+type slot_meta = {
+  sm_generation : int;
+  sm_commit_epoch : int;
+  sm_clean : bool;
+  sm_payload : Bytes.t;
+}
+
+let write_slot device ~generation ~commit_epoch ~clean payload =
+  let page_size = Pagestore.Device.page_size device in
+  let total = slot_header_bytes + Bytes.length payload in
+  if total > slot_pages * page_size then
+    invalid_arg "Persistent: metadata exceeds slot capacity";
+  let padded = (total + page_size - 1) / page_size * page_size in
+  let all = Bytes.make padded '\000' in
+  Bytes.blit_string meta_magic 0 all 0 4;
+  set_u32 all 4 meta_version;
+  set_u32 all 8 generation;
+  set_u32 all 12 commit_epoch;
+  set_u32 all 16 (if clean then 1 else 0);
+  set_u32 all 20 (Bytes.length payload);
+  set_u32 all 24 (Xutil.Crc32c.bytes payload);
+  Bytes.blit payload 0 all slot_header_bytes (Bytes.length payload);
+  let base = slot_base (generation land 1) in
+  for k = 0 to (padded / page_size) - 1 do
+    dev_write device (base + k) (Bytes.sub all (k * page_size) page_size)
   done
 
-let blob_read pool =
-  let page_size =
-    Pagestore.Device.page_size (Pagestore.Buffer_pool.device pool)
-  in
-  let first =
-    Pagestore.Buffer_pool.with_page pool (meta_page)
-      ~dirty:false Bytes.copy
-  in
-  let total = Int32.to_int (Bytes.get_int32_le first 0) in
-  if total <= 0 || total > 1 lsl 30 then
-    failwith "Persistent: corrupt or missing metadata";
-  let out = Bytes.create total in
-  let copied = min total (page_size - 4) in
-  Bytes.blit first 4 out 0 copied;
-  let pos = ref copied in
-  let page = ref (meta_page + 1) in
-  while !pos < total do
-    let chunk = min page_size (total - !pos) in
-    Pagestore.Buffer_pool.with_page pool !page ~dirty:false (fun b ->
-        Bytes.blit b 0 out !pos chunk);
-    pos := !pos + chunk;
-    incr page
-  done;
-  out
+let read_slot device slot =
+  let page_size = Pagestore.Device.page_size device in
+  try
+    let first = Pagestore.Device.read device (slot_base slot) in
+    let magic = Bytes.sub_string first 0 4 in
+    if String.equal magic "\000\000\000\000" then Error "slot never written"
+    else if not (String.equal magic meta_magic) then
+      Error "bad metadata magic"
+    else begin
+      let version = get_u32 first 4 in
+      if version <> meta_version then
+        Error (Printf.sprintf "unsupported metadata version %d" version)
+      else begin
+        let generation = get_u32 first 8 in
+        let commit_epoch = get_u32 first 12 in
+        let flags = get_u32 first 16 in
+        let len = get_u32 first 20 in
+        let crc = get_u32 first 24 in
+        if len < 0 || len > (slot_pages * page_size) - slot_header_bytes then
+          Error (Printf.sprintf "implausible metadata length %d" len)
+        else begin
+          let payload = Bytes.create len in
+          let copied = min len (page_size - slot_header_bytes) in
+          Bytes.blit first slot_header_bytes payload 0 copied;
+          let pos = ref copied in
+          let page = ref (slot_base slot + 1) in
+          while !pos < len do
+            let b = Pagestore.Device.read device !page in
+            let chunk = min page_size (len - !pos) in
+            Bytes.blit b 0 payload !pos chunk;
+            pos := !pos + chunk;
+            incr page
+          done;
+          if Xutil.Crc32c.bytes payload <> crc then
+            Error "metadata payload checksum mismatch"
+          else
+            Ok { sm_generation = generation; sm_commit_epoch = commit_epoch;
+                 sm_clean = flags land 1 = 1; sm_payload = payload }
+        end
+      end
+    end
+  with Spine_error.Error e -> Error (Spine_error.to_string e)
 
-let magic = "SPNP"
-let version = 1
+(* --- metadata payload --- *)
 
-let metadata_bytes t =
+let payload_bytes t =
   let buf = Buffer.create 1024 in
   let u32 v = for k = 0 to 3 do Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xFF)) done in
-  Buffer.add_string buf magic;
-  u32 version;
   let alphabet = P.alphabet t.core in
   let symbols =
     String.init (Bioseq.Alphabet.size alphabet)
@@ -189,113 +288,196 @@ let metadata_bytes t =
   Xutil.Int_tbl.iter (fun k v -> u32 k; u32 v) t.core.P.anchors;
   Buffer.to_bytes buf
 
+(* --- lifecycle --- *)
+
+let create ?frames ?page_size ?pin_top_lt_pages ~path alphabet =
+  let device, pool =
+    make_pool ?frames ?page_size ?pin_top_lt_pages ~path ~truncate:true ()
+  in
+  Pagestore.Device.set_epoch device 1;
+  Pagestore.Device.set_max_valid_epoch device 0;
+  (* declare epoch 1 before any data write carries it *)
+  write_epoch_decl device 1;
+  let lo = Compact_store.layout_of alphabet in
+  let core =
+    P.make
+      ~seq:(Bioseq.Packed_seq.create alphabet)
+      ~lt:(Paged_bytes.make pool ~base_page:(region_base lt_region))
+      ~rts:
+        (Array.mapi
+           (fun table _ ->
+             Paged_bytes.make pool ~base_page:(region_base (rt_region table)))
+           lo.Compact_store.row_bytes)
+      alphabet
+  in
+  P.init_root core;
+  let seq_tab = Paged_bytes.make pool ~base_page:(region_base seq_region) in
+  { core; seq_tab; device; pool; file_path = path; generation = 0;
+    closed = false }
+
+(* Commit protocol: data pages first, then the new metadata generation
+   into the inactive slot, then raise the committed-epoch ceiling and
+   move to a fresh (pre-declared) epoch.  A crash at ANY point leaves
+   either the old generation fully intact (its slot untouched, its
+   ceiling unchanged — later epochs' debris is detectably stale) or the
+   new one fully written. *)
+let flush_internal t ~clean =
+  Telemetry.with_span s_flush (fun () ->
+      Pagestore.Buffer_pool.flush t.pool;
+      let e = Pagestore.Device.epoch t.device in
+      t.generation <- t.generation + 1;
+      write_slot t.device ~generation:t.generation ~commit_epoch:e ~clean
+        (payload_bytes t);
+      Pagestore.Device.set_max_valid_epoch t.device e;
+      Pagestore.Device.set_epoch t.device (e + 1);
+      write_epoch_decl t.device (e + 1))
+
 let flush t =
   check_open t;
-  Telemetry.with_span s_flush (fun () ->
-      blob_write t.pool (metadata_bytes t);
-      Pagestore.Buffer_pool.flush t.pool)
+  flush_internal t ~clean:false
 
 let close t =
-  flush t;
+  check_open t;
+  flush_internal t ~clean:true;
   t.closed <- true;
   Pagestore.Device.close t.device
 
 let open_ ?frames ?pin_top_lt_pages ~path () =
   Telemetry.with_span s_open @@ fun () ->
   if not (Sys.file_exists path) then
-    failwith (Printf.sprintf "Persistent.open_: %s does not exist" path);
+    Spine_error.io_failed ~op:Spine_error.Read "Persistent.open_: %s does not exist"
+      path;
   let device, pool =
     make_pool ?frames ?pin_top_lt_pages ~path ~truncate:false ()
   in
-  let data =
-    try blob_read pool
-    with Invalid_argument _ -> failwith "Persistent: corrupt metadata"
-  in
-  let pos = ref 0 in
-  (* a truncated blob surfaces as Bytes.sub failures below; turn them
-     into the advertised Failure *)
-  let u8 () =
-    let v =
-      try Char.code (Bytes.get data !pos)
-      with Invalid_argument _ -> failwith "Persistent: corrupt metadata"
+  try
+    (* read both shadow slots and the epoch declaration while epoch
+       validation is still disabled: all three may carry epochs from
+       sessions later than the one we will recover to *)
+    let slot_a = read_slot device 0 in
+    let slot_b = read_slot device 1 in
+    let candidates =
+      List.filter_map (function Ok m -> Some m | Error _ -> None)
+        [ slot_a; slot_b ]
     in
-    incr pos;
-    v
-  in
-  let u32 () =
-    let v = ref 0 in
-    for k = 0 to 3 do v := !v lor (u8 () lsl (8 * k)) done;
-    !v
-  in
-  let str n =
-    let s =
-      try Bytes.sub_string data !pos n
-      with Invalid_argument _ -> failwith "Persistent: corrupt metadata"
+    let m =
+      match candidates with
+      | [] ->
+        let reason = function Error e -> e | Ok _ -> "valid" in
+        Spine_error.raise_error
+          (Spine_error.Corrupt
+             { region = "meta"; page = 0;
+               detail =
+                 Printf.sprintf "no recoverable metadata (slot A: %s; slot B: %s)"
+                   (reason slot_a) (reason slot_b) })
+      | first :: rest ->
+        List.fold_left
+          (fun best c ->
+            if c.sm_generation > best.sm_generation then c else best)
+          first rest
     in
-    pos := !pos + n;
-    s
-  in
-  if str 4 <> magic then failwith "Persistent.open_: bad magic";
-  if u32 () <> version then failwith "Persistent.open_: unsupported version";
-  let symbols = str (u32 ()) in
-  let alphabet =
-    match
-      List.find_opt
-        (fun a ->
-          String.init (Bioseq.Alphabet.size a)
-            (fun c -> Bioseq.Alphabet.decode a c)
-          = symbols)
-        [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein; Bioseq.Alphabet.byte ]
-    with
-    | Some a -> a
-    | None -> Bioseq.Alphabet.make symbols
-  in
-  let n = u32 () in
-  let rt_used = Array.make 4 0 in
-  let freelist = Array.make 4 0 in
-  let live_rows = Array.make 4 0 in
-  for table = 0 to 3 do
-    rt_used.(table) <- u32 ();
-    freelist.(table) <- u32 ();
-    live_rows.(table) <- u32 ()
-  done;
-  let migrations = u32 () in
-  let overflow = Xutil.Int_tbl.create 16 in
-  let n_ov = u32 () in
-  for _ = 1 to n_ov do
-    let k = u32 () in
-    Xutil.Int_tbl.replace overflow k (u32 ())
-  done;
-  let anchors = Xutil.Int_tbl.create 16 in
-  let n_an = u32 () in
-  for _ = 1 to n_an do
-    let k = u32 () in
-    Xutil.Int_tbl.replace anchors k (u32 ())
-  done;
-  (* rebuild the in-memory sequence mirror from the code region *)
-  let seq_tab =
-    Paged_bytes.make pool ~base_page:(region_base seq_region) ~used:n
-  in
-  let seq = Bioseq.Packed_seq.create ~capacity:(max 16 n) alphabet in
-  for i = 0 to n - 1 do
-    Bioseq.Packed_seq.append seq (Paged_bytes.get_u8 seq_tab i)
-  done;
-  let core =
-    P.make ~freelist ~live_rows ~overflow ~anchors ~migrations ~seq
-      ~lt:
-        (Paged_bytes.make pool ~base_page:(region_base lt_region)
-           ~used:((n + 1) * Compact_store.lt_entry_bytes))
-      ~rts:
-        (Array.init 4 (fun table ->
-             Paged_bytes.make pool ~base_page:(region_base (rt_region table))
-               ~used:rt_used.(table)))
-      alphabet
-  in
-  { core; seq_tab; device; pool; file_path = path; closed = false }
+    (* every epoch any crashed session may have stamped pages with is
+       bounded by what the declaration page and the slots record; +2
+       clears both the recovered ceiling and a torn declaration *)
+    let hints =
+      (match read_epoch_decl device with Some e -> [ e ] | None -> [])
+      @ List.map (fun c -> c.sm_commit_epoch) candidates
+    in
+    let current = List.fold_left max 0 hints + 2 in
+    Pagestore.Device.set_max_valid_epoch device m.sm_commit_epoch;
+    Pagestore.Device.set_epoch device current;
+    write_epoch_decl device current;
+    (* parse the payload *)
+    let data = m.sm_payload in
+    let pos = ref 0 in
+    let u8 () =
+      if !pos >= Bytes.length data then
+        Spine_error.corrupt ~region:"meta" ~page:(slot_base (m.sm_generation land 1))
+          "metadata payload truncated at byte %d" !pos;
+      let v = Char.code (Bytes.get data !pos) in
+      incr pos;
+      v
+    in
+    let u32 () =
+      let v = ref 0 in
+      for k = 0 to 3 do v := !v lor (u8 () lsl (8 * k)) done;
+      !v
+    in
+    let str n =
+      if n < 0 || !pos + n > Bytes.length data then
+        Spine_error.corrupt ~region:"meta" ~page:(slot_base (m.sm_generation land 1))
+          "metadata payload truncated at byte %d" !pos;
+      let s = Bytes.sub_string data !pos n in
+      pos := !pos + n;
+      s
+    in
+    let symbols = str (u32 ()) in
+    let alphabet =
+      match
+        List.find_opt
+          (fun a ->
+            String.equal
+              (String.init (Bioseq.Alphabet.size a)
+                 (fun c -> Bioseq.Alphabet.decode a c))
+              symbols)
+          [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein; Bioseq.Alphabet.byte ]
+      with
+      | Some a -> a
+      | None -> Bioseq.Alphabet.make symbols
+    in
+    let n = u32 () in
+    let rt_used = Array.make 4 0 in
+    let freelist = Array.make 4 0 in
+    let live_rows = Array.make 4 0 in
+    for table = 0 to 3 do
+      rt_used.(table) <- u32 ();
+      freelist.(table) <- u32 ();
+      live_rows.(table) <- u32 ()
+    done;
+    let migrations = u32 () in
+    let overflow = Xutil.Int_tbl.create 16 in
+    let n_ov = u32 () in
+    for _ = 1 to n_ov do
+      let k = u32 () in
+      Xutil.Int_tbl.replace overflow k (u32 ())
+    done;
+    let anchors = Xutil.Int_tbl.create 16 in
+    let n_an = u32 () in
+    for _ = 1 to n_an do
+      let k = u32 () in
+      Xutil.Int_tbl.replace anchors k (u32 ())
+    done;
+    (* rebuild the in-memory sequence mirror from the code region; with
+       the ceiling restored above, any crash debris page this touches
+       surfaces as a typed Corrupt instead of phantom characters *)
+    let seq_tab =
+      Paged_bytes.make pool ~base_page:(region_base seq_region) ~used:n
+    in
+    let seq = Bioseq.Packed_seq.create ~capacity:(max 16 n) alphabet in
+    for i = 0 to n - 1 do
+      Bioseq.Packed_seq.append seq (Paged_bytes.get_u8 seq_tab i)
+    done;
+    let core =
+      P.make ~freelist ~live_rows ~overflow ~anchors ~migrations ~seq
+        ~lt:
+          (Paged_bytes.make pool ~base_page:(region_base lt_region)
+             ~used:((n + 1) * Compact_store.lt_entry_bytes))
+        ~rts:
+          (Array.init 4 (fun table ->
+               Paged_bytes.make pool ~base_page:(region_base (rt_region table))
+                 ~used:rt_used.(table)))
+        alphabet
+    in
+    { core; seq_tab; device; pool; file_path = path;
+      generation = m.sm_generation; closed = false }
+  with e ->
+    Pagestore.Device.close device;
+    raise e
 
 let path t = t.file_path
 let alphabet t = P.alphabet t.core
 let length t = check_open t; P.length t.core
+let generation t = t.generation
 
 let append t code =
   check_open t;
@@ -340,6 +522,7 @@ let maximal_matches t ~threshold q =
 
 let bytes_per_char t = check_open t; P.bytes_per_char t.core
 let rib_distribution t = check_open t; A.rib_distribution t.core
+let sequence t = check_open t; P.sequence t.core
 
 let caps =
   { Engine.backend = "persistent"; persistent = true; paged = true;
@@ -354,3 +537,150 @@ let cursor t = Engine.cursor (engine t)
 
 let device t = t.device
 let pool t = t.pool
+
+(* --- scrub: integrity walk and damage report --- *)
+
+type slot_state =
+  | Slot_valid of { generation : int; commit_epoch : int; clean : bool }
+  | Slot_invalid of string
+
+type region_report = {
+  region : string;
+  scanned : int;
+  ok : int;
+  unwritten : int;
+  damaged : (int * string) list;  (* page, diagnosis *)
+  stale : (int * int) list;       (* page, epoch beyond the ceiling *)
+}
+
+type report = {
+  report_path : string;
+  report_generation : int;   (* -1 when no metadata was recoverable *)
+  report_commit_epoch : int;
+  report_clean : bool;
+  slots : (int * slot_state) list;
+  regions : region_report list;
+  damaged_pages : int;
+  stale_pages : int;
+}
+
+(* Data regions are append-only byte tables, so written pages form a
+   dense prefix of each region; scanning stops after a run of holes
+   instead of walking a gigabyte of sparse address space per region. *)
+let hole_run_limit = 64
+
+let scan_region device ~name ~base ~span =
+  let cap = Pagestore.Device.physical_pages device in
+  let limit = min span (max 0 (cap - base)) in
+  let ok = ref 0 and unwritten = ref 0 in
+  let damaged = ref [] and stale = ref [] in
+  let holes = ref 0 in
+  let page = ref 0 in
+  while !page < limit && !holes <= hole_run_limit do
+    (match Pagestore.Device.verify_page device (base + !page) with
+     | `Ok _ -> incr ok; holes := 0
+     | `Unwritten -> incr unwritten; incr holes
+     | `Stale e ->
+       holes := 0;
+       (* the declaration page is BY DESIGN one epoch ahead of the
+          committed ceiling; everywhere else a beyond-ceiling epoch is
+          debris from a crashed session *)
+       if String.equal name "meta/epoch" then incr ok
+       else stale := (base + !page, e) :: !stale
+     | `Damaged d ->
+       holes := 0;
+       damaged := (base + !page, d) :: !damaged);
+    incr page
+  done;
+  { region = name; scanned = !page; ok = !ok; unwritten = !unwritten;
+    damaged = List.rev !damaged; stale = List.rev !stale }
+
+let run_scrub ?(retune = true) device path =
+  Telemetry.with_span s_scrub @@ fun () ->
+  let slot_a = read_slot device 0 in
+  let slot_b = read_slot device 1 in
+  let state = function
+    | Ok m ->
+      Slot_valid
+        { generation = m.sm_generation; commit_epoch = m.sm_commit_epoch;
+          clean = m.sm_clean }
+    | Error e -> Slot_invalid e
+  in
+  let candidates =
+    List.filter_map (function Ok m -> Some m | Error _ -> None)
+      [ slot_a; slot_b ]
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        match acc with
+        | Some b when b.sm_generation >= c.sm_generation -> acc
+        | _ -> Some c)
+      None candidates
+  in
+  (* Offline scrub tunes the epoch check from the recovered metadata; a
+     live [verify] keeps the session's own settings (its uncommitted
+     pages carry the current epoch and must stay valid). *)
+  (if retune then
+     match best with
+     | Some m ->
+       let hints =
+         (match read_epoch_decl device with Some e -> [ e ] | None -> [])
+         @ List.map (fun c -> c.sm_commit_epoch) candidates
+       in
+       Pagestore.Device.set_max_valid_epoch device m.sm_commit_epoch;
+       (* an epoch no page can carry: pure ceiling check, nothing exempt *)
+       Pagestore.Device.set_epoch device (List.fold_left max 0 hints + 2)
+     | None -> ());
+  let regions =
+    [ scan_region device ~name:"meta/slot-a" ~base:(slot_base 0)
+        ~span:slot_pages;
+      scan_region device ~name:"meta/slot-b" ~base:(slot_base 1)
+        ~span:slot_pages;
+      scan_region device ~name:"meta/epoch" ~base:epoch_page ~span:1;
+      scan_region device ~name:"lt" ~base:(region_base lt_region)
+        ~span:data_span;
+      scan_region device ~name:"rt0" ~base:(region_base (rt_region 0))
+        ~span:data_span;
+      scan_region device ~name:"rt1" ~base:(region_base (rt_region 1))
+        ~span:data_span;
+      scan_region device ~name:"rt2" ~base:(region_base (rt_region 2))
+        ~span:data_span;
+      scan_region device ~name:"rt3" ~base:(region_base (rt_region 3))
+        ~span:data_span;
+      scan_region device ~name:"seq" ~base:(region_base seq_region)
+        ~span:data_span ]
+  in
+  let damaged_pages =
+    List.fold_left (fun acc r -> acc + List.length r.damaged) 0 regions
+  in
+  let stale_pages =
+    List.fold_left (fun acc r -> acc + List.length r.stale) 0 regions
+  in
+  { report_path = path;
+    report_generation =
+      (match best with Some m -> m.sm_generation | None -> -1);
+    report_commit_epoch =
+      (match best with Some m -> m.sm_commit_epoch | None -> -1);
+    report_clean = (match best with Some m -> m.sm_clean | None -> false);
+    slots = [ (0, state slot_a); (1, state slot_b) ];
+    regions; damaged_pages; stale_pages }
+
+let verify t =
+  check_open t;
+  run_scrub ~retune:false t.device t.file_path
+
+let scrub ?(page_size = 4096) ~path () =
+  if not (Sys.file_exists path) then
+    Spine_error.io_failed ~op:Spine_error.Read "Persistent.scrub: %s does not exist"
+      path;
+  let device =
+    Pagestore.Device.create_file ~checksums:true ~page_size ~path ()
+  in
+  Pagestore.Device.set_region_namer device region_name;
+  let result =
+    try run_scrub device path
+    with e -> Pagestore.Device.close device; raise e
+  in
+  Pagestore.Device.close device;
+  result

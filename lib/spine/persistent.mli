@@ -8,14 +8,33 @@
     suited to ("due to the simple linearity of SPINE's structure, it is
     easy to develop efficient buffering policies").
 
-    File layout (page regions, sparse): the Link Table, the four Rib
-    Tables, the vertebra character codes, and a metadata blob
-    (freelists, side tables, counters) written by {!close}/{!flush}.
+    File layout (page regions, sparse): a metadata area (two shadow
+    slots and an epoch-declaration page), then the Link Table, the four
+    Rib Tables and the vertebra character codes.
+
+    {2 Integrity and crash consistency}
+
+    Every page carries an epoch-stamped CRC-32C trailer (see
+    {!Pagestore.Device}); reading a damaged or torn page raises a typed
+    {!Spine_error.Error} instead of decoding garbage.  Metadata is
+    double-buffered: generation [g] goes to shadow slot [g mod 2] under
+    its own checksum, so {!flush}'s commit sequence (data pages → new
+    metadata generation → epoch ceiling bump) leaves either the old or
+    the new state fully intact across a crash at any point.  {!open_}
+    picks the newest valid generation, falls back to the other slot
+    when the newest write was torn, and restores the epoch ceiling so
+    page debris from a crashed session is detected lazily as [Corrupt]
+    rather than returned as phantom data.  {!verify}/{!scrub} walk the
+    file and report per-region damage.
 
     Construction remains online: {!append} extends the index and the
     file together.  All query operations are the shared SPINE
     algorithms instantiated over the paged storage, so every page they
-    touch goes through the pool. *)
+    touch goes through the pool.
+
+    Setting the [SPINE_FAULTS] environment variable arms a
+    deterministic {!Pagestore.Fault_device} plan on the backing device
+    of every index this module creates or opens. *)
 
 type t
 
@@ -28,20 +47,29 @@ val create :
     keep-the-top-of-the-LT policy. *)
 
 val open_ : ?frames:int -> ?pin_top_lt_pages:int -> path:string -> unit -> t
-(** Reopen a previously {!close}d index.
-    @raise Failure on missing/corrupt metadata. *)
+(** Reopen a previously {!close}d (or crashed) index: recover the
+    newest valid metadata generation.
+    @raise Spine_error.Error ([Corrupt]) when neither shadow slot holds
+    valid metadata, or recovery reads crash debris; ([Io_failed]) when
+    the file is missing or unreadable. *)
 
 val close : t -> unit
-(** Flush everything (pages + metadata) and release the file. The [t]
-    must not be used afterwards. *)
+(** Flush everything (pages + metadata, marked as a clean shutdown) and
+    release the file. The [t] must not be used afterwards. *)
 
 val flush : t -> unit
-(** Durability point without closing: after [flush], {!open_} on the
-    same path would see the current state. *)
+(** Durability point without closing: commit the data pages and a new
+    metadata generation.  After [flush], {!open_} on the same path
+    recovers exactly this state even if the process dies without
+    {!close}. *)
 
 val path : t -> string
 val alphabet : t -> Bioseq.Alphabet.t
 val length : t -> int
+
+val generation : t -> int
+(** Metadata generation last committed or recovered (0 for a fresh,
+    never-flushed index). *)
 
 (** {2 Construction} *)
 
@@ -95,5 +123,48 @@ val maximal_matches :
 val bytes_per_char : t -> float
 val rib_distribution : t -> int array
 
+val sequence : t -> Bioseq.Packed_seq.t
+(** The in-memory mirror of the indexed character codes (what scrub's
+    deep check rebuilds an oracle from). *)
+
 val device : t -> Pagestore.Device.t
 val pool : t -> Pagestore.Buffer_pool.t
+
+(** {2 Scrub: integrity walk and damage report} *)
+
+type slot_state =
+  | Slot_valid of { generation : int; commit_epoch : int; clean : bool }
+  | Slot_invalid of string  (** why the slot cannot be recovered from *)
+
+type region_report = {
+  region : string;   (** "meta/slot-a", "lt", "rt0".."rt3", "seq", … *)
+  scanned : int;
+  ok : int;
+  unwritten : int;
+  damaged : (int * string) list;  (** page id, diagnosis *)
+  stale : (int * int) list;
+      (** page id, epoch beyond the committed ceiling — debris from a
+          crashed session *)
+}
+
+type report = {
+  report_path : string;
+  report_generation : int;   (** -1 when no metadata was recoverable *)
+  report_commit_epoch : int;
+  report_clean : bool;       (** last commit was a clean {!close} *)
+  slots : (int * slot_state) list;
+  regions : region_report list;
+  damaged_pages : int;
+  stale_pages : int;
+}
+
+val verify : t -> report
+(** Walk every written page of the open index's file and classify it
+    (checksum, epoch).  Read-only and advisory: it reflects the
+    on-disk image, so {!flush} first for a post-commit view. *)
+
+val scrub : ?page_size:int -> path:string -> unit -> report
+(** Offline {!verify}: open the file read-only (no pool, no recovery),
+    validate both metadata slots, walk every region.  Never raises on
+    damage — damage is the report's content.
+    @raise Spine_error.Error ([Io_failed]) when the file is missing. *)

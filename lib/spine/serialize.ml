@@ -1,6 +1,9 @@
 let magic = "SPNE"
-let version = 1
+let version = 2
 let header_size = 5
+let trailer_size = 4
+
+let corrupt ?page fmt = Spine_error.corrupt ~region:"snapshot" ?page fmt
 
 (* little-endian primitives over Buffer / (string, pos) *)
 
@@ -15,7 +18,9 @@ let put_u64 buf v =
 type reader = { data : Bytes.t; mutable pos : int }
 
 let need r n =
-  if r.pos + n > Bytes.length r.data then failwith "Serialize: truncated input"
+  if r.pos + n > Bytes.length r.data then
+    corrupt ~page:r.pos "truncated input (need %d bytes at offset %d of %d)"
+      n r.pos (Bytes.length r.data)
 
 let get_u8 r =
   need r 1;
@@ -43,7 +48,9 @@ let alphabet_of_symbols symbols =
     [ Bioseq.Alphabet.dna; Bioseq.Alphabet.protein; Bioseq.Alphabet.byte ]
   in
   match
-    List.find_opt (fun a -> alphabet_symbols a = symbols) candidates
+    List.find_opt
+      (fun a -> String.equal (alphabet_symbols a) symbols)
+      candidates
   with
   | Some a -> a
   | None -> Bioseq.Alphabet.make symbols
@@ -86,15 +93,36 @@ let to_bytes (t : Index.t) =
       put_u32 buf prt;
       put_u32 buf anchor
   done;
-  Buffer.to_bytes buf
+  (* whole-snapshot CRC-32C over everything above: one flipped bit
+     anywhere in the image is rejected before any of it is decoded *)
+  let body = Buffer.to_bytes buf in
+  let out = Bytes.create (Bytes.length body + trailer_size) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  let crc = Xutil.Crc32c.bytes body in
+  for k = 0 to 3 do
+    Bytes.set out (Bytes.length body + k)
+      (Char.chr ((crc lsr (8 * k)) land 0xFF))
+  done;
+  out
 
 let of_bytes data =
-  let r = { data; pos = 0 } in
-  need r 4;
-  if Bytes.sub_string data 0 4 <> magic then failwith "Serialize: bad magic";
-  r.pos <- 4;
-  let v = get_u8 r in
-  if v <> version then failwith (Printf.sprintf "Serialize: version %d" v);
+  let len = Bytes.length data in
+  if len < header_size + trailer_size then
+    corrupt "input too short to be a snapshot (%d bytes)" len;
+  if not (String.equal (Bytes.sub_string data 0 4) magic) then
+    corrupt "bad magic (not a SPINE snapshot)";
+  let v = Char.code (Bytes.get data 4) in
+  if v <> version then corrupt "unsupported snapshot version %d" v;
+  (* verify the trailing checksum before trusting any field *)
+  let stored = ref 0 in
+  for k = 3 downto 0 do
+    stored := (!stored lsl 8) lor Char.code (Bytes.get data (len - 4 + k))
+  done;
+  let actual = Xutil.Crc32c.digest data ~pos:0 ~len:(len - trailer_size) in
+  if actual <> !stored then
+    corrupt "snapshot checksum mismatch (stored %08x, computed %08x)"
+      !stored actual;
+  let r = { data; pos = header_size } in
   let sym_len = get_u32 r in
   need r sym_len;
   let symbols = Bytes.sub_string r.data r.pos sym_len in
@@ -105,10 +133,10 @@ let of_bytes data =
      that follows must physically be able to hold n symbols and n link
      records *)
   if n < 0 || n > (Bytes.length r.data * 8) / Bioseq.Alphabet.bits alphabet
-  then failwith "Serialize: corrupt length";
+  then corrupt ~page:r.pos "implausible sequence length %d" n;
   let packed_len = get_u32 r in
   if packed_len < (n * Bioseq.Alphabet.bits alphabet + 7) / 8 then
-    failwith "Serialize: truncated payload";
+    corrupt ~page:r.pos "sequence payload shorter than its declared length";
   need r packed_len;
   let packed = Bytes.sub r.data r.pos packed_len in
   r.pos <- r.pos + packed_len;
@@ -116,7 +144,7 @@ let of_bytes data =
     try Bioseq.Packed_seq.of_packed_bits alphabet ~len:n packed
     with Invalid_argument _ ->
       (* corrupt bit patterns decode to out-of-alphabet codes *)
-      failwith "Serialize: corrupt sequence payload"
+      corrupt ~page:r.pos "sequence payload decodes outside the alphabet"
   in
   let store = Fast_store.create ~capacity:(max 16 n) alphabet in
   Bioseq.Packed_seq.iteri seq ~f:(fun _ code -> Fast_store.append_char store code);
@@ -143,18 +171,25 @@ let of_bytes data =
     let prt = get_u32 r in
     let anchor = get_u32 r in
     if node > n || dest > n || pt > n || prt > n || anchor > n then
-      failwith "Serialize: corrupt extrib";
+      corrupt ~page:r.pos "extrib record references node beyond the backbone";
     Fast_store.add_extrib store node ~dest ~pt ~prt ~anchor
   done;
   Index.of_store store
 
 let to_file path t =
-  let oc = open_out_bin path in
+  let oc =
+    try open_out_bin path
+    with Sys_error msg ->
+      Spine_error.io_failed ~op:Spine_error.Write "%s" msg
+  in
   (try output_bytes oc (to_bytes t) with e -> close_out oc; raise e);
   close_out oc
 
 let of_file path =
-  let ic = open_in_bin path in
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> Spine_error.io_failed ~op:Spine_error.Read "%s" msg
+  in
   let data =
     try
       let len = in_channel_length ic in

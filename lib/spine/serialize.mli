@@ -4,17 +4,27 @@
     string), links, ribs and extribs; this module writes them in a
     compact little-endian format and reads them back without
     re-running construction.  The format is self-describing (magic,
-    version, alphabet) and is what {!Disk} images and the CLI's
+    version, alphabet) and ends with a whole-snapshot CRC-32C, so a
+    flipped bit anywhere in the image is rejected before any of it is
+    decoded.  This is what {!Disk} images and the CLI's
     [index save/load] commands use. *)
 
 val to_bytes : Index.t -> Bytes.t
 
 val of_bytes : Bytes.t -> Index.t
-(** @raise Failure on magic/version mismatch or truncated input. *)
+(** @raise Spine_error.Error ([Corrupt], region ["snapshot"]) on bad
+    magic, unsupported version, checksum mismatch, truncation or a
+    structurally impossible record; the payload's [page] field carries
+    the byte offset of the failure where applicable. *)
 
 val to_file : string -> Index.t -> unit
 
 val of_file : string -> Index.t
+(** @raise Spine_error.Error as {!of_bytes}, plus [Io_failed] when the
+    file cannot be read. *)
 
 val header_size : int
 (** Fixed bytes before the payload; exposed for format tests. *)
+
+val trailer_size : int
+(** Bytes of the trailing whole-snapshot checksum. *)

@@ -1,0 +1,26 @@
+(* Table-driven CRC-32C (Castagnoli), reflected polynomial 0x82F63B78 —
+   the checksum used by iSCSI, ext4 and Btrfs for exactly this job:
+   catching bit flips and torn sectors in storage pages. *)
+
+let table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0x82F63B78 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let update crc b = table.((crc lxor b) land 0xFF) lxor (crc lsr 8)
+
+let digest ?(seed = 0) data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Crc32c.digest: range out of bounds";
+  let c = ref (seed lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := update !c (Char.code (Bytes.unsafe_get data i))
+  done;
+  !c lxor 0xFFFFFFFF
+
+let bytes data = digest data ~pos:0 ~len:(Bytes.length data)
+
+let string s = bytes (Bytes.unsafe_of_string s)

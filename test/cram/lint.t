@@ -29,6 +29,28 @@ The rule list:
   missing-mli    error   every module in lib/spine and lib/pagestore has a .mli interface
   partial-call   warning no partial stdlib calls (List.hd, List.tl, Option.get) in library code
   raw-clock      error   no raw clock reads (Unix.gettimeofday, Unix.time, Sys.time) in library code; time through Xutil.Stopwatch's monotonic clock
+  bare-failwith  error   no bare failwith/Failure raises in the typed-error storage stack (lib/pagestore, lib/spine persistent/serialize); raise a typed Spine_error instead
+
+The typed-error rule is scoped to the storage stack: a stringly failure
+in lib/pagestore is an error, the identical code elsewhere is not.
+
+  $ mkdir -p lib/pagestore
+  $ cat > lib/pagestore/bad_store.ml <<'EOF'
+  > let explode () = failwith "page gone"
+  > let explode2 () = raise (Failure "page gone")
+  > EOF
+  $ cat > lib/pagestore/bad_store.mli <<'EOF'
+  > val explode : unit -> 'a
+  > val explode2 : unit -> 'a
+  > EOF
+  $ ocamlc -bin-annot -w -a -c lib/pagestore/bad_store.mli
+  $ ocamlc -bin-annot -w -a -I lib/pagestore -c lib/pagestore/bad_store.ml
+  $ spine-lint check --build-dir lib/pagestore --source-root .
+    RULE           SEVERITY  WHERE                            MESSAGE
+    bare-failwith  error     lib/pagestore/bad_store.ml:1:17  failwith raises a stringly Failure callers cannot match on (raise a typed Spine_error.Error instead)
+    bare-failwith  error     lib/pagestore/bad_store.ml:2:24  constructing the stringly Failure exception (raise a typed Spine_error.Error instead)
+  spine-lint: 2 finding(s) in 1 files scanned
+  [1]
 
 JSONL output:
 

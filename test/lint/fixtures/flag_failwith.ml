@@ -1,0 +1,5 @@
+(* L8 fixture: stringly failures in code that is required to raise
+   typed Spine_error values instead. *)
+
+let boom () = failwith "nope"
+let also_boom () = raise (Failure "still nope")

@@ -51,6 +51,12 @@ let test_raw_clock () =
   check_int "monotonic fixture code not flagged" 0
     (count "clean_mod.ml" Lint.Raw_clock)
 
+let test_bare_failwith () =
+  check_int "failwith and raise Failure flagged" 2
+    (count "flag_failwith.ml" Lint.Bare_failwith);
+  check_int "typed-error-free fixture not flagged" 0
+    (count "clean_mod.ml" Lint.Bare_failwith)
+
 let test_missing_mli () =
   check_int "mli-less module flagged" 1
     (count "flag_missing.ml" Lint.Missing_mli);
@@ -134,7 +140,8 @@ let () =
           Alcotest.test_case "stdout" `Quick test_stdout;
           Alcotest.test_case "partial-call" `Quick test_partial_call;
           Alcotest.test_case "raw-clock" `Quick test_raw_clock;
-          Alcotest.test_case "missing-mli" `Quick test_missing_mli ] );
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "bare-failwith" `Quick test_bare_failwith ] );
       ( "behaviour",
         [ Alcotest.test_case "clean module" `Quick test_clean;
           Alcotest.test_case "suppressions" `Quick test_suppressed;

@@ -18,7 +18,7 @@ let with_engines s f =
   Spine.Persistent.append_string p s;
   Fun.protect
     ~finally:(fun () ->
-      (try Spine.Persistent.close p with Invalid_argument _ -> ());
+      (try Spine.Persistent.close p with Spine_error.Error (Spine_error.Closed _) -> ());
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
       f
@@ -214,14 +214,12 @@ let test_guard () =
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
-      Alcotest.check_raises "closed engine"
-        (Invalid_argument "Persistent: index is closed") (fun () ->
+      let closed = Spine_error.Error (Spine_error.Closed "persistent index") in
+      Alcotest.check_raises "closed engine" closed (fun () ->
           ignore (Spine.Engine.contains e "bra"));
-      Alcotest.check_raises "closed run_batch"
-        (Invalid_argument "Persistent: index is closed") (fun () ->
+      Alcotest.check_raises "closed run_batch" closed (fun () ->
           ignore (Spine.Engine.run_batch e [ codes_of "bra" ]));
-      Alcotest.check_raises "closed cursor"
-        (Invalid_argument "Persistent: index is closed") (fun () ->
+      Alcotest.check_raises "closed cursor" closed (fun () ->
           ignore (c.Spine.Engine.advance_char 'b')))
 
 let suite =

@@ -49,6 +49,73 @@ let test_device_bad_write () =
     (Invalid_argument "Device.write: data is not exactly one page")
     (fun () -> Pagestore.Device.write d 0 (Bytes.create 8))
 
+let test_device_checksums () =
+  let d = Pagestore.Device.create ~checksums:true ~page_size:256 () in
+  Pagestore.Device.set_epoch d 5;
+  Pagestore.Device.write d 2 (page_of_byte 'q');
+  Alcotest.(check char) "roundtrip through the trailer" 'q'
+    (Bytes.get (Pagestore.Device.read d 2) 0);
+  (match Pagestore.Device.verify_page d 2 with
+   | `Ok 5 -> ()
+   | _ -> Alcotest.fail "written page should verify at its epoch");
+  (match Pagestore.Device.verify_page d 9 with
+   | `Unwritten -> ()
+   | _ -> Alcotest.fail "unwritten page must classify as unwritten");
+  (* an epoch beyond the committed ceiling is crash debris *)
+  Pagestore.Device.set_max_valid_epoch d 3;
+  Pagestore.Device.set_epoch d 7;
+  (match Pagestore.Device.verify_page d 2 with
+   | `Stale 5 -> ()
+   | _ -> Alcotest.fail "epoch-5 page must be stale under ceiling 3");
+  (match Pagestore.Device.read d 2 with
+   | _ -> Alcotest.fail "stale page read must raise"
+   | exception Spine_error.Error (Spine_error.Corrupt _) -> ());
+  (* the session's own (current-epoch) writes always validate *)
+  Pagestore.Device.write d 4 (page_of_byte 'r');
+  Alcotest.(check char) "current-epoch page readable" 'r'
+    (Bytes.get (Pagestore.Device.read d 4) 0)
+
+let test_device_bit_flip_detected () =
+  let d = Pagestore.Device.create ~checksums:true ~page_size:256 () in
+  let f =
+    Pagestore.Fault_device.create ~seed:3
+      [ Pagestore.Fault_device.arm Pagestore.Fault_device.Bit_flip ]
+  in
+  Pagestore.Fault_device.attach f d;
+  Pagestore.Device.write d 1 (page_of_byte 's');
+  Pagestore.Fault_device.detach d;
+  Alcotest.(check int) "flip fired" 1
+    (Pagestore.Fault_device.stats f).Pagestore.Fault_device.bit_flips;
+  (match Pagestore.Device.read d 1 with
+   | _ -> Alcotest.fail "flipped page read must raise"
+   | exception Spine_error.Error (Spine_error.Corrupt _) -> ());
+  (match Pagestore.Device.verify_page d 1 with
+   | `Damaged _ -> ()
+   | _ -> Alcotest.fail "flipped page must verify as damaged")
+
+let test_device_crash_freeze () =
+  let d = Pagestore.Device.create ~checksums:true ~page_size:256 () in
+  Pagestore.Device.write d 0 (page_of_byte 'a');
+  let f =
+    Pagestore.Fault_device.create
+      [ Pagestore.Fault_device.arm ~after:1 Pagestore.Fault_device.Crash ]
+  in
+  Pagestore.Fault_device.attach f d;
+  Pagestore.Device.write d 1 (page_of_byte 'b');  (* lands *)
+  Pagestore.Device.write d 2 (page_of_byte 'c');  (* crash point: dropped *)
+  Pagestore.Device.write d 0 (page_of_byte 'z');  (* frozen: dropped *)
+  Alcotest.(check bool) "image frozen" true (Pagestore.Fault_device.frozen f);
+  Alcotest.(check int) "post-crash write dropped" 1
+    (Pagestore.Fault_device.stats f).Pagestore.Fault_device.dropped_writes;
+  Pagestore.Fault_device.detach d;
+  Alcotest.(check char) "pre-crash page intact" 'b'
+    (Bytes.get (Pagestore.Device.read d 1) 0);
+  Alcotest.(check char) "frozen page keeps its old content" 'a'
+    (Bytes.get (Pagestore.Device.read d 0) 0);
+  (match Pagestore.Device.verify_page d 2 with
+   | `Unwritten -> ()
+   | _ -> Alcotest.fail "the crashed-away page never landed")
+
 let test_pool_hit_miss () =
   let d = mk_device () in
   let p = Pagestore.Buffer_pool.create ~frames:4 d in
@@ -272,6 +339,12 @@ let suite =
   ; Alcotest.test_case "device counters" `Quick test_device_counters
   ; Alcotest.test_case "device sync-write cost" `Quick test_device_sync_cost
   ; Alcotest.test_case "device rejects bad writes" `Quick test_device_bad_write
+  ; Alcotest.test_case "device checksum trailers and epoch ceiling" `Quick
+      test_device_checksums
+  ; Alcotest.test_case "device detects injected bit flips" `Quick
+      test_device_bit_flip_detected
+  ; Alcotest.test_case "device crash point freezes the image" `Quick
+      test_device_crash_freeze
   ; Alcotest.test_case "pool hits and misses" `Quick test_pool_hit_miss
   ; Alcotest.test_case "pool LRU eviction order" `Quick test_pool_lru_eviction
   ; Alcotest.test_case "pool FIFO vs LRU" `Quick test_pool_fifo_vs_lru

@@ -99,14 +99,16 @@ let test_tiny_pool () =
 
 let test_errors () =
   (match Spine.Persistent.open_ ~path:"/nonexistent/nope.db" () with
-   | exception Failure _ -> ()
+   | exception Spine_error.Error (Spine_error.Io_failed _) -> ()
+   | exception e ->
+     Alcotest.failf "missing file: wrong exception %s" (Printexc.to_string e)
    | _ -> Alcotest.fail "open of missing file must fail");
   with_tmp (fun path ->
       let p = Spine.Persistent.create ~path dna in
       Spine.Persistent.append_string p "acgt";
       Spine.Persistent.close p;
       (match Spine.Persistent.length p with
-       | exception Invalid_argument _ -> ()
+       | exception Spine_error.Error (Spine_error.Closed _) -> ()
        | _ -> Alcotest.fail "use after close must be rejected"));
   (* a file without metadata is rejected *)
   with_tmp (fun path ->
@@ -114,24 +116,34 @@ let test_errors () =
       output_string oc (String.make 8192 'x');
       close_out oc;
       match Spine.Persistent.open_ ~path () with
-      | exception Failure _ -> ()
+      | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
       | _ -> Alcotest.fail "garbage file accepted")
 
-(* A valid index whose metadata blob is then damaged: every corruption
-   mode must surface as the documented [Failure], never a crash or a
+(* Physical geometry of the file: every logical page carries a 16-byte
+   checksum trailer, and metadata lives in two 4096-page shadow slots. *)
+let phys_page = 4096 + 16
+let slot_off slot = slot * 4096 * phys_page
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  let got = Unix.read fd b 0 1 in
+  let v = if got = 1 then Char.code (Bytes.get b 0) else 0 in
+  Bytes.set b 0 (Char.chr (v lxor 0x41));
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* A valid index whose on-disk image is then damaged: every corruption
+   mode must surface as a typed [Spine_error.Error], never a crash or a
    silently wrong index. *)
 let test_corrupt_metadata () =
-  let patch_length path v =
-    (* the blob header is a 4-byte LE total length at file offset 0 *)
-    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
-    let b = Bytes.create 4 in
-    Bytes.set_int32_le b 0 (Int32.of_int v);
-    ignore (Unix.write fd b 0 4);
-    Unix.close fd
-  in
-  let expect_failure what path =
+  let expect_corrupt what path =
     match Spine.Persistent.open_ ~path () with
-    | exception Failure _ -> ()
+    | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+    | exception e ->
+      Alcotest.failf "%s: wrong exception %s" what (Printexc.to_string e)
     | p ->
       Spine.Persistent.close p;
       Alcotest.failf "%s accepted" what
@@ -141,29 +153,58 @@ let test_corrupt_metadata () =
         let p = Spine.Persistent.create ~path dna in
         Spine.Persistent.append_string p "acgtacgtacgt";
         Spine.Persistent.close p;
+        (* close committed generation 1, which lives in shadow slot B *)
         f path)
   in
   (* control: untouched file reopens *)
   fresh (fun path ->
       let p = Spine.Persistent.open_ ~path () in
       Alcotest.(check int) "control reopens" 12 (Spine.Persistent.length p);
+      Alcotest.(check int) "generation recovered" 1
+        (Spine.Persistent.generation p);
       Spine.Persistent.close p);
-  (* blob cut short: parsing runs off the end *)
+  (* the only committed metadata slot damaged: nothing to recover *)
   fresh (fun path ->
-      patch_length path 9;
-      expect_failure "undersized metadata blob" path);
-  (* zero length: never written *)
-  fresh (fun path ->
-      patch_length path 0;
-      expect_failure "zero-length metadata blob" path);
-  (* absurd length: rejected before allocation *)
-  fresh (fun path ->
-      patch_length path 0x7FFFFFFF;
-      expect_failure "oversized metadata blob" path);
+      flip_byte path (slot_off 1);
+      expect_corrupt "index with damaged sole metadata slot" path);
   (* physical truncation: the device zero-fills past EOF *)
   fresh (fun path ->
       Unix.truncate path 6;
-      expect_failure "physically truncated file" path)
+      expect_corrupt "physically truncated file" path);
+  (* a damaged sequence page is caught during recovery's mirror rebuild *)
+  fresh (fun path ->
+      let seq_base = 16384 + (5 * 262144) in
+      flip_byte path ((seq_base * phys_page) + 100);
+      expect_corrupt "index with bit-flipped sequence page" path);
+  (* a damaged Link-Table page is caught at first query, not silently
+     decoded *)
+  fresh (fun path ->
+      flip_byte path ((16384 * phys_page) + 100);
+      let p = Spine.Persistent.open_ ~path () in
+      (match Spine.Persistent.occurrences p [| 0; 1; 2; 3 |] with
+       | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+       | occs ->
+         Alcotest.failf "query over flipped LT page returned %d hits"
+           (List.length occs));
+      Spine.Persistent.close p)
+
+(* Shadow-slot fallback: if the newest metadata generation is torn, the
+   previous one is recovered instead of failing. *)
+let test_shadow_fallback () =
+  with_tmp (fun path ->
+      let p = Spine.Persistent.create ~path dna in
+      Spine.Persistent.append_string p "acgtacgtacgt";
+      Spine.Persistent.flush p;  (* generation 1 -> slot B *)
+      Spine.Persistent.close p;  (* generation 2 -> slot A *)
+      flip_byte path (slot_off 0);
+      let p2 = Spine.Persistent.open_ ~path () in
+      Alcotest.(check int) "fell back one generation" 1
+        (Spine.Persistent.generation p2);
+      Alcotest.(check int) "previous generation length" 12
+        (Spine.Persistent.length p2);
+      Alcotest.(check bool) "previous generation queryable" true
+        (Spine.Persistent.contains p2 "gtacgt");
+      Spine.Persistent.close p2)
 
 let suite =
   [ Alcotest.test_case "parity with the in-memory index" `Quick
@@ -175,4 +216,6 @@ let suite =
   ; Alcotest.test_case "error handling" `Quick test_errors
   ; Alcotest.test_case "corrupt metadata rejected" `Quick
       test_corrupt_metadata
+  ; Alcotest.test_case "shadow-slot fallback recovers previous generation"
+      `Quick test_shadow_fallback
   ]

@@ -1,8 +1,45 @@
-(* Robustness: serializer fuzzing (random corruption must fail loudly,
-   never crash or hang) and data-race freedom of concurrent read-only
-   queries across OCaml 5 domains. *)
+(* Robustness: the fault-injection suite.
+
+   - serializer fuzzing: with the whole-snapshot checksum, ANY byte
+     change must be rejected with a typed error, never decoded;
+   - a crash-point matrix: the persistent index is killed (writes
+     frozen) at every single device write of a multi-flush workload and
+     reopened — each reopen must recover a flushed generation exactly
+     or fail with a typed [Corrupt], never answer from garbage;
+   - seeded bit-flip trials over every written on-disk region: scrub
+     must see the damage and queries must stay right or fail typed;
+   - typed buffer-pool exhaustion, transient-I/O retries, torn
+     metadata writes and the [SPINE_FAULTS] environment grammar;
+   - data-race freedom of concurrent read-only queries. *)
+
+module P = Spine.Persistent
+module FD = Pagestore.Fault_device
 
 let dna = Bioseq.Alphabet.dna
+
+let with_tmp f =
+  let path = Filename.temp_file "spine_robust" ".db" in
+  let result = try f path with e -> (try Sys.remove path with _ -> ()); raise e in
+  (try Sys.remove path with _ -> ());
+  result
+
+(* Physical geometry (mirrors lib/spine/persistent.ml): 4096-byte pages
+   with a 16-byte trailer, of which the last 4 bytes are reserved and
+   not covered by the checksum. *)
+let phys_page = 4096 + 16
+
+let flip_bit path off mask =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  let got = Unix.read fd b 0 1 in
+  let v = if got = 1 then Char.code (Bytes.get b 0) else 0 in
+  Bytes.set b 0 (Char.chr (v lxor mask));
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* --- serializer fuzzing --------------------------------------------- *)
 
 let test_serializer_fuzz () =
   let rng = Bioseq.Rng.create 401 in
@@ -17,25 +54,364 @@ let test_serializer_fuzz () =
         (Bioseq.Rng.int rng (Bytes.length data))
         (Char.chr (Bioseq.Rng.int rng 256))
     done;
-    match Spine.Serialize.of_bytes data with
-    | _loaded ->
-      (* corruption may go unnoticed when it hits payload fields that
-         stay in range — that is acceptable; crashing is not *)
-      ()
-    | exception Failure _ -> ()
-    | exception e ->
-      Alcotest.failf "unexpected exception from corrupted input: %s"
-        (Printexc.to_string e)
+    if Bytes.equal data original then
+      (* the mutation happened to write the bytes already there *)
+      ignore (Spine.Serialize.of_bytes data)
+    else
+      match Spine.Serialize.of_bytes data with
+      | _ ->
+        Alcotest.fail
+          "corrupted snapshot accepted: the whole-image checksum missed it"
+      | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+      | exception e ->
+        Alcotest.failf "unexpected exception from corrupted input: %s"
+          (Printexc.to_string e)
   done;
-  (* truncations at every length must raise Failure *)
+  (* truncations at every length must fail typed *)
   for len = 0 to min 120 (Bytes.length original - 1) do
     match Spine.Serialize.of_bytes (Bytes.sub original 0 len) with
     | _ -> Alcotest.failf "truncation to %d bytes accepted" len
-    | exception Failure _ -> ()
+    | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
     | exception e ->
       Alcotest.failf "unexpected exception on truncation: %s"
         (Printexc.to_string e)
   done
+
+(* --- crash-point recovery matrix ------------------------------------ *)
+
+(* A deterministic three-flush workload; the crash matrix freezes the
+   file image at every single device write of it. *)
+let crash_chunks = [ 500; 400; 300 ]
+let crash_total = List.fold_left ( + ) 0 crash_chunks
+
+let crash_seq =
+  lazy
+    (Bioseq.Synthetic.genomic dna (Bioseq.Rng.create 4040) crash_total)
+
+let run_crash_workload path fault =
+  let seq = Lazy.force crash_seq in
+  let p = P.create ~path dna in
+  (match fault with
+   | Some f -> FD.attach f (P.device p)
+   | None -> ());
+  let pos = ref 0 in
+  List.iter
+    (fun n ->
+      for _ = 1 to n do
+        P.append p (Bioseq.Packed_seq.get seq !pos);
+        incr pos
+      done;
+      P.flush p)
+    crash_chunks;
+  P.close p
+
+let test_crash_matrix () =
+  let seq = Lazy.force crash_seq in
+  (* flushed lengths and their in-memory oracles *)
+  let flush_points =
+    List.rev
+      (List.fold_left (fun acc n -> (List.hd acc + n) :: acc) [ 0 ]
+         crash_chunks)
+  in
+  let flush_points = List.filter (fun l -> l > 0) flush_points in
+  let oracles =
+    List.map
+      (fun l ->
+        let prefix =
+          Bioseq.Packed_seq.of_codes dna
+            (Array.init l (fun k -> Bioseq.Packed_seq.get seq k))
+        in
+        (l, Spine.Index.of_seq prefix))
+      flush_points
+  in
+  (* count the workload's device writes once, fault-free *)
+  let total_writes =
+    with_tmp (fun path ->
+        let p = P.create ~path dna in
+        let count = ref 0 in
+        Pagestore.Device.set_hooks (P.device p)
+          (Some
+             { Pagestore.Device.on_read = (fun ~page:_ -> ())
+             ; on_write =
+                 (fun ~page:_ ~phys:_ ->
+                   incr count;
+                   Pagestore.Device.Write_through)
+             });
+        let pos = ref 0 in
+        List.iter
+          (fun n ->
+            for _ = 1 to n do
+              P.append p (Bioseq.Packed_seq.get seq !pos);
+              incr pos
+            done;
+            P.flush p)
+          crash_chunks;
+        P.close p;
+        !count)
+  in
+  Alcotest.(check bool) "workload writes enough pages to matter" true
+    (total_writes > 10);
+  let rng = Bioseq.Rng.create 4041 in
+  let clean_failures = ref 0 in
+  let recovered_full = ref 0 in
+  let recovered_partial = ref 0 in
+  for k = 0 to total_writes - 1 do
+    with_tmp (fun path ->
+        let f = FD.create [ FD.arm ~after:k FD.Crash ] in
+        run_crash_workload path (Some f);
+        Alcotest.(check bool)
+          (Printf.sprintf "crash %d froze the image" k)
+          true (FD.frozen f);
+        match P.open_ ~path () with
+        | exception Spine_error.Error (Spine_error.Corrupt _) ->
+          incr clean_failures
+        | exception e ->
+          Alcotest.failf "crash at write %d: untyped exception on reopen: %s"
+            k (Printexc.to_string e)
+        | p ->
+          let len = P.length p in
+          (match List.assoc_opt len oracles with
+           | None ->
+             Alcotest.failf
+               "crash at write %d: recovered length %d is not a flushed state"
+               k len
+           | Some oracle ->
+             if len = crash_total then incr recovered_full
+             else incr recovered_partial;
+             (* answers must match the oracle of the recovered prefix,
+                or fail typed — never be silently wrong *)
+             for _ = 1 to 4 do
+               let plen = 3 + Bioseq.Rng.int rng 6 in
+               let pos = Bioseq.Rng.int rng (len - plen) in
+               let pat =
+                 Array.init plen (fun j -> Bioseq.Packed_seq.get seq (pos + j))
+               in
+               match P.occurrences p pat with
+               | occs ->
+                 Alcotest.(check (list int))
+                   (Printf.sprintf "crash %d: query parity" k)
+                   (Spine.Index.occurrences oracle pat)
+                   occs
+               | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+             done);
+          (try P.close p with Spine_error.Error _ -> ()))
+  done;
+  (* the matrix must have exercised both full recovery and shadow-slot
+     fallback to an earlier generation *)
+  Alcotest.(check bool) "some crash points recover the final flush" true
+    (!recovered_full >= 1);
+  Alcotest.(check bool) "some crash points fall back to an earlier flush"
+    true (!recovered_partial >= 1);
+  Alcotest.(check bool) "recovery is not universally impossible" true
+    (!clean_failures < total_writes)
+
+(* --- seeded bit-flip trials over every written region ---------------- *)
+
+let test_bitflip_trials () =
+  let rng = Bioseq.Rng.create 404 in
+  let seq = Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng) 600 in
+  let oracle = Spine.Index.of_seq seq in
+  (* region base pages (see lib/spine/persistent.ml) *)
+  let meta_span = 16384 and data_span = 262144 in
+  let base_of = function
+    | "meta/slot-a" -> 0
+    | "meta/slot-b" -> 4096
+    | "meta/epoch" -> 2 * 4096
+    | "lt" -> meta_span
+    | "rt0" -> meta_span + (1 * data_span)
+    | "rt1" -> meta_span + (2 * data_span)
+    | "rt2" -> meta_span + (3 * data_span)
+    | "rt3" -> meta_span + (4 * data_span)
+    | "seq" -> meta_span + (5 * data_span)
+    | r -> Alcotest.failf "unexpected region %S in scrub report" r
+  in
+  let build path =
+    let p = P.create ~path dna in
+    P.append_seq p seq;
+    P.close p
+  in
+  (* learn the written extent from one clean build: the workload is
+     deterministic, so every trial's file has the identical layout *)
+  let candidates =
+    with_tmp (fun path ->
+        build path;
+        let r = P.scrub ~path () in
+        Alcotest.(check int) "clean build scrubs clean" 0
+          (r.P.damaged_pages + r.P.stale_pages);
+        Alcotest.(check bool) "clean build is a clean shutdown" true
+          r.P.report_clean;
+        List.concat_map
+          (fun reg -> List.init reg.P.ok (fun i -> base_of reg.P.region + i))
+          r.P.regions)
+  in
+  Alcotest.(check bool) "several written pages to attack" true
+    (List.length candidates > 3);
+  let candidates = Array.of_list candidates in
+  let trials = 120 in
+  for trial = 1 to trials do
+    with_tmp (fun path ->
+        build path;
+        let page = candidates.(Bioseq.Rng.int rng (Array.length candidates)) in
+        (* anywhere in the page except its 4 reserved (unchecksummed)
+           trailer bytes *)
+        let off = (page * phys_page) + Bioseq.Rng.int rng (4096 + 12) in
+        flip_bit path off (1 lsl Bioseq.Rng.int rng 8);
+        let r = P.scrub ~path () in
+        if r.P.damaged_pages + r.P.stale_pages < 1 then
+          Alcotest.failf "trial %d: bit flip on page %d invisible to scrub"
+            trial page;
+        (* and no silent lies: reopen + query must agree with the
+           oracle or fail typed *)
+        match P.open_ ~path () with
+        | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+        | exception e ->
+          Alcotest.failf "trial %d: untyped exception on reopen: %s" trial
+            (Printexc.to_string e)
+        | p ->
+          for _ = 1 to 5 do
+            let len = 3 + Bioseq.Rng.int rng 6 in
+            let pos = Bioseq.Rng.int rng (600 - len) in
+            let pat =
+              Array.init len (fun j -> Bioseq.Packed_seq.get seq (pos + j))
+            in
+            match P.occurrences p pat with
+            | occs ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "trial %d: query parity" trial)
+                (Spine.Index.occurrences oracle pat)
+                occs
+            | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+          done;
+          (try P.close p with Spine_error.Error _ -> ()))
+  done
+
+(* --- typed pool exhaustion ------------------------------------------- *)
+
+let test_pool_exhausted () =
+  let dev = Pagestore.Device.create ~page_size:256 () in
+  let pool = Pagestore.Buffer_pool.create ~frames:2 dev in
+  match
+    Pagestore.Buffer_pool.with_page pool 0 ~dirty:false (fun _ ->
+        Pagestore.Buffer_pool.with_page pool 1 ~dirty:false (fun _ ->
+            Pagestore.Buffer_pool.with_page pool 2 ~dirty:false (fun _ -> ())))
+  with
+  | () -> Alcotest.fail "third latch over two frames must fail"
+  | exception Spine_error.Error (Spine_error.Pool_exhausted { frames; latched })
+    ->
+    Alcotest.(check int) "frames reported" 2 frames;
+    Alcotest.(check int) "latched reported" 2 latched
+  | exception e ->
+    Alcotest.failf "wrong exception on exhaustion: %s" (Printexc.to_string e)
+
+(* --- transient I/O retries ------------------------------------------- *)
+
+let test_transient_retry () =
+  let dev = Pagestore.Device.create ~checksums:true ~page_size:256 () in
+  let pool = Pagestore.Buffer_pool.create ~frames:4 dev in
+  Pagestore.Buffer_pool.with_page pool 3 ~dirty:true (fun b ->
+      Bytes.set b 0 'x');
+  Pagestore.Buffer_pool.flush pool;
+  Pagestore.Buffer_pool.drop pool;
+  (* two consecutive injected errors: inside the retry budget *)
+  let f = FD.create [ FD.arm ~times:2 FD.Read_error ] in
+  FD.attach f dev;
+  let c = Pagestore.Buffer_pool.with_page pool 3 ~dirty:false (fun b ->
+      Bytes.get b 0)
+  in
+  Alcotest.(check char) "read survives two transient errors" 'x' c;
+  Alcotest.(check int) "both injected errors were consumed" 2
+    (FD.stats f).FD.read_errors;
+  (* a persistent error storm: the typed failure must escape *)
+  Pagestore.Buffer_pool.drop pool;
+  let f2 = FD.create [ FD.arm ~times:100 FD.Read_error ] in
+  FD.attach f2 dev;
+  (match
+     Pagestore.Buffer_pool.with_page pool 3 ~dirty:false (fun b ->
+         Bytes.get b 0)
+   with
+   | _ -> Alcotest.fail "unrecoverable read error swallowed"
+   | exception Spine_error.Error (Spine_error.Io_failed { transient; _ }) ->
+     Alcotest.(check bool) "error marked transient" true transient
+   | exception e ->
+     Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  FD.detach dev;
+  (* after the storm clears, the pool still works *)
+  let c2 = Pagestore.Buffer_pool.with_page pool 3 ~dirty:false (fun b ->
+      Bytes.get b 0)
+  in
+  Alcotest.(check char) "pool usable after failed read" 'x' c2
+
+(* --- torn metadata write: shadow-slot fallback ----------------------- *)
+
+let test_torn_metadata () =
+  with_tmp (fun path ->
+      let p = P.create ~path dna in
+      P.append_string p "acgtacgtacgtacgt";
+      P.flush p;  (* generation 1 -> slot B, intact *)
+      (* tear the next metadata write (generation 2 -> slot A pages) *)
+      let f = FD.create [ FD.arm ~pages:(0, 4095) (FD.Torn_write 80) ] in
+      FD.attach f (P.device p);
+      P.close p;
+      Alcotest.(check bool) "torn write froze the image" true (FD.frozen f);
+      Alcotest.(check int) "exactly one torn write" 1
+        (FD.stats f).FD.torn_writes;
+      (* scrub sees the torn slot page and still identifies the good
+         generation *)
+      let r = P.scrub ~path () in
+      Alcotest.(check int) "scrub recovers the flushed generation" 1
+        r.P.report_generation;
+      Alcotest.(check bool) "torn page flagged as damage" true
+        (r.P.damaged_pages >= 1);
+      (match List.assoc_opt 0 r.P.slots with
+       | Some (P.Slot_invalid _) -> ()
+       | _ -> Alcotest.fail "torn slot A not reported invalid");
+      (match List.assoc_opt 1 r.P.slots with
+       | Some (P.Slot_valid { generation = 1; _ }) -> ()
+       | _ -> Alcotest.fail "slot B should hold valid generation 1");
+      (* reopen falls back to the flushed generation *)
+      let p2 = P.open_ ~path () in
+      Alcotest.(check int) "fell back to generation 1" 1 (P.generation p2);
+      Alcotest.(check int) "flushed length recovered" 16 (P.length p2);
+      Alcotest.(check bool) "flushed content queryable" true
+        (P.contains p2 "gtacgtacgt");
+      P.close p2;
+      (* the repaired commit overwrites the torn slot *)
+      let r2 = P.scrub ~path () in
+      Alcotest.(check int) "damage gone after a fresh commit" 0
+        r2.P.damaged_pages)
+
+(* --- the SPINE_FAULTS environment grammar ---------------------------- *)
+
+let test_env_faults () =
+  (match FD.parse "seed=7;flip:after=3;read_error:page=0-16:times=2" with
+   | Ok f -> Alcotest.(check int) "seed parsed" 7 (FD.seed f)
+   | Error e -> Alcotest.failf "valid spec rejected: %s" e);
+  (match FD.parse "torn:keep=100;crash:after=9" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "valid spec rejected: %s" e);
+  List.iter
+    (fun bad ->
+      match FD.parse bad with
+      | Ok _ -> Alcotest.failf "malformed spec %S accepted" bad
+      | Error _ -> ())
+    [ "bogus"; "seed=x"; "flip:page="; "torn:keep=nope"; "crash:wat=1"
+    ; "read_error:page=9-3" ];
+  (* a plan armed purely through the environment corrupts a build, and
+     scrub catches it *)
+  Unix.putenv FD.env_var "seed=11;flip:after=2";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv FD.env_var "")
+    (fun () ->
+      with_tmp (fun path ->
+          let p = P.create ~path dna in
+          P.append_string p "acgtacgtacgtacgtacgtacgt";
+          P.close p;
+          Unix.putenv FD.env_var "";  (* scrub itself runs fault-free *)
+          let r = P.scrub ~path () in
+          if r.P.damaged_pages + r.P.stale_pages < 1 then
+            Alcotest.fail "environment-armed bit flip invisible to scrub"))
+
+(* --- concurrent read-only queries ------------------------------------ *)
 
 let test_parallel_queries () =
   (* read-only queries never mutate the index, so concurrent domains
@@ -70,6 +446,16 @@ let test_parallel_queries () =
 let suite =
   [ Alcotest.test_case "serializer fuzz: corrupt input fails loudly" `Quick
       test_serializer_fuzz
+  ; Alcotest.test_case "crash-point recovery matrix" `Quick test_crash_matrix
+  ; Alcotest.test_case "seeded bit-flip trials: scrub + query safety" `Quick
+      test_bitflip_trials
+  ; Alcotest.test_case "typed pool exhaustion" `Quick test_pool_exhausted
+  ; Alcotest.test_case "transient I/O errors are retried" `Quick
+      test_transient_retry
+  ; Alcotest.test_case "torn metadata write falls back to the shadow slot"
+      `Quick test_torn_metadata
+  ; Alcotest.test_case "SPINE_FAULTS grammar and auto-arming" `Quick
+      test_env_faults
   ; Alcotest.test_case "concurrent read-only queries across domains" `Quick
       test_parallel_queries
   ]

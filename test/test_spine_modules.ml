@@ -105,14 +105,14 @@ let test_serialize_roundtrip () =
     [ dna; Bioseq.Alphabet.protein ]
 
 let test_serialize_bad_input () =
-  (match Spine.Serialize.of_bytes (Bytes.of_string "NOPE....") with
-   | exception Failure _ -> ()
+  (match Spine.Serialize.of_bytes (Bytes.of_string "NOPE.....") with
+   | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
    | _ -> Alcotest.fail "bad magic accepted");
   let idx = Spine.Index.of_string dna "acgt" in
   let b = Spine.Serialize.to_bytes idx in
   let truncated = Bytes.sub b 0 (Bytes.length b - 3) in
   (match Spine.Serialize.of_bytes truncated with
-   | exception Failure _ -> ()
+   | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
    | _ -> Alcotest.fail "truncated input accepted")
 
 let test_serialize_file () =
