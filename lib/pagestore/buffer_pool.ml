@@ -28,6 +28,7 @@ type t = {
   mutable head : int;
   mutable tail : int;
   table : int Xutil.Int_tbl.t;  (* page id -> frame *)
+  mutable on_writeback : (int -> unit) option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -47,10 +48,12 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
     next = Array.make frames (-1);
     head = -1; tail = -1;
     table = Xutil.Int_tbl.create (2 * frames);
+    on_writeback = None;
     hits = 0; misses = 0; evictions = 0; pinned_evictions = 0;
     writebacks = 0 }
 
 let device t = t.dev
+let set_writeback_hook t h = t.on_writeback <- h
 
 (* Transient I/O errors (the kind the fault injector scripts) are
    retried a few times before propagating; anything else — permanent
@@ -96,6 +99,10 @@ let touch t f =
 let writeback t f =
   if t.dirty.(f) then begin
     let page = t.page_of.(f) in
+    (* the hook runs before the device write so a transaction layer can
+       journal the page's current on-disk image (see Spine.Persistent);
+       if it raises, the frame stays dirty and nothing was overwritten *)
+    (match t.on_writeback with Some h -> h page | None -> ());
     with_io_retries page (fun () -> Device.write t.dev page t.buffers.(f));
     t.dirty.(f) <- false;
     t.writebacks <- t.writebacks + 1;

@@ -26,6 +26,14 @@ val create :
 
 val device : t -> Device.t
 
+val set_writeback_hook : t -> (int -> unit) option -> unit
+(** Install a callback invoked with the page id {e before} every dirty
+    frame is written back to the device (eviction, {!flush}, {!drop}).
+    {!Spine.Persistent} uses it to journal the preimage of committed
+    pages so a crash after an in-place overwrite stays recoverable.  An
+    exception from the hook aborts that writeback (the frame stays
+    dirty, the device page is untouched) and propagates. *)
+
 val with_page : t -> int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
 (** [with_page pool p ~dirty f] pins page [p] into a frame (reading it
     from the device on a miss), applies [f] to the frame's buffer, and

@@ -256,10 +256,47 @@ let write t page data =
      | Dropped -> ()
      | Torn keep ->
        (* first [keep] physical bytes land; the rest of the slot keeps
-          its previous content — a torn sector write *)
+          its previous content — a torn sector write.  [keep] comes from
+          user-controlled fault plans, so clamp it into the slot. *)
        let old = read_phys t page in
-       Bytes.blit phys 0 old 0 (min keep (Bytes.length old));
+       let keep = min (max 0 keep) (Bytes.length old) in
+       Bytes.blit phys 0 old 0 keep;
        write_phys t page old)
+
+(* raw physical-slot access: the preimage-journal primitives.  These
+   bypass sealing, validation and fault hooks — they exist so a
+   transaction layer can copy a slot exactly as it is on disk and later
+   put those exact bytes back (restoring the original epoch stamp), and
+   so recovery can read journal entries whose epochs are deliberately
+   beyond the committed ceiling.  Cost accounting still applies: a
+   capture or restore pays the same simulated latency as any other
+   page transfer. *)
+
+let raw_slot t page =
+  t.reads <- t.reads + 1;
+  Telemetry.incr c_reads;
+  Telemetry.add c_read_bytes t.page_size;
+  charge t page t.cost.read_us;
+  read_phys t page
+
+let write_raw_slot t page phys =
+  if Bytes.length phys <> phys_size t then
+    invalid_arg "Device.write_raw_slot: not exactly one physical slot";
+  t.writes <- t.writes + 1;
+  Telemetry.incr c_writes;
+  Telemetry.add c_write_bytes t.page_size;
+  charge t page t.cost.write_us;
+  if t.sync_writes then t.elapsed_us <- t.elapsed_us +. t.cost.sync_us;
+  write_phys t page phys
+
+let read_slot_any t page =
+  if not t.checksums then `Invalid
+  else begin
+    let phys = raw_slot t page in
+    match inspect t phys with
+    | `Ok e | `Stale e -> `Valid (Bytes.sub phys 0 t.page_size, e)
+    | `Unwritten | `Damaged _ -> `Invalid
+  end
 
 (* scrub support: raw classification of every slot, no exceptions *)
 

@@ -131,6 +131,31 @@ type hooks = {
 
 val set_hooks : t -> hooks option -> unit
 
+(** {2 Raw slot access — preimage-journal support}
+
+    A transaction layer that journals preimages (see
+    {!Spine.Persistent}) must copy a physical slot exactly as it sits
+    on disk and later put those exact bytes back, preserving the
+    original epoch stamp; and its recovery must read journal entries
+    whose epochs are deliberately beyond the committed ceiling.  These
+    primitives bypass sealing, trailer validation and fault hooks, but
+    still pay the normal simulated latency and count in {!stats}. *)
+
+val raw_slot : t -> int -> Bytes.t
+(** The full physical slot ([phys_size] bytes: data plus trailer when
+    checksummed), unvalidated; zero-filled if never written. *)
+
+val write_raw_slot : t -> int -> Bytes.t -> unit
+(** Store exact physical bytes (no sealing: the slot's trailer is
+    whatever the caller provides).
+    @raise Invalid_argument if the buffer is not exactly [phys_size]. *)
+
+val read_slot_any : t -> int -> [ `Valid of Bytes.t * int | `Invalid ]
+(** [`Valid (data, epoch)] when the slot's trailer checksums correctly
+    — {e ignoring} the epoch ceiling, so entries written by a crashed
+    session are still readable.  [`Invalid] for holes, damage, or any
+    slot of an unchecksummed device. *)
+
 (** {2 Scrub support} *)
 
 val physical_pages : t -> int

@@ -200,6 +200,13 @@ let parse spec =
     | Some v -> Ok v
     | None -> fail "not a number: %S" s
   in
+  (* every option is a count or a byte/page position: negatives would
+     reach Bytes.blit / modulo arithmetic as untyped Invalid_argument *)
+  let nonneg key s =
+    match int_of s with
+    | Ok v when v < 0 -> fail "negative %s=%d" key v
+    | r -> r
+  in
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let parse_item item =
     match String.split_on_char ':' (String.trim item) with
@@ -224,26 +231,26 @@ let parse spec =
              let value = String.sub o (eq + 1) (String.length o - eq - 1) in
              (match key with
               | "after" ->
-                let* v = int_of value in
+                let* v = nonneg "after" value in
                 opts_loop kind pages v times rest
               | "times" ->
-                let* v = int_of value in
+                let* v = nonneg "times" value in
                 opts_loop kind pages after v rest
               | "keep" ->
                 (match kind with
                  | Torn_write _ ->
-                   let* v = int_of value in
+                   let* v = nonneg "keep" value in
                    opts_loop (Torn_write v) pages after times rest
                  | _ -> fail "keep= only applies to torn")
               | "page" ->
                 (match String.index_opt value '-' with
                  | None ->
-                   let* v = int_of value in
+                   let* v = nonneg "page" value in
                    opts_loop kind (Some (v, v)) after times rest
                  | Some dash ->
-                   let* lo = int_of (String.sub value 0 dash) in
+                   let* lo = nonneg "page" (String.sub value 0 dash) in
                    let* hi =
-                     int_of
+                     nonneg "page"
                        (String.sub value (dash + 1)
                           (String.length value - dash - 1))
                    in

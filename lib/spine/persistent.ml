@@ -72,6 +72,7 @@ let region_base structure = meta_span + (structure * data_span)
 let lt_region = 0
 let rt_region table = 1 + table
 let seq_region = 5
+let journal_region = 6
 
 (* Metadata is double-buffered: generation [g] goes to slot [g land 1],
    so a crash while writing the new generation always leaves the
@@ -96,13 +97,41 @@ let region_name page =
     | 3 -> "rt2"
     | 4 -> "rt3"
     | 5 -> "seq"
+    | 6 -> "journal"
     | _ -> "data"
+
+(* Preimage-journal bookkeeping (the machinery itself lives further
+   down, after the device-write helpers it needs). *)
+let c_journal_captures = Telemetry.counter "persistent.journal.captures"
+let c_journal_restored = Telemetry.counter "persistent.journal.restored"
+
+let journal_magic = "SPNJ"
+let journal_base = region_base journal_region
+let journal_entries = data_span / 2
+
+(* pages the journal protects: everything in the data regions *)
+let is_data_page page = page >= meta_span && page < journal_base
+
+type journal = {
+  j_device : Pagestore.Device.t;
+  j_committed : unit Xutil.Int_tbl.t;
+      (* pages whose on-disk image belongs to the committed generation *)
+  j_journaled : unit Xutil.Int_tbl.t;  (* captured since the last commit *)
+  mutable j_next : int;
+}
+
+let journal_make device =
+  { j_device = device;
+    j_committed = Xutil.Int_tbl.create 1024;
+    j_journaled = Xutil.Int_tbl.create 256;
+    j_next = 0 }
 
 type t = {
   core : P.t;
   seq_tab : Paged_bytes.t;   (* vertebra codes, 1 byte per character *)
   device : Pagestore.Device.t;
   pool : Pagestore.Buffer_pool.t;
+  journal : journal;
   file_path : string;
   mutable generation : int;
   mutable closed : bool;
@@ -154,6 +183,112 @@ let dev_write device page data =
       go (attempt + 1)
   in
   go 1
+
+(* --- preimage journal ---
+
+   Data pages are overwritten in place, so after a commit the buffer
+   pool may write a dirty tail page (or a mutated rib-table page) over
+   its committed image — and a crash then leaves the committed
+   generation unrecoverable.  The journal closes that hole: before the
+   first post-commit overwrite of a committed page, its exact physical
+   slot (data + trailer, whatever its state) is copied into the journal
+   region; [open_] rolls every live entry back before recovery, so the
+   last flushed state is restored byte for byte.
+
+   Entry [i] occupies two pages at [journal_base + 2i]:
+
+     data page  (+1): the preimage's data bytes;
+     header page (+0): magic "SPNJ", u32 entry index, u64 target page,
+                       the preimage's raw 16-byte trailer, and a
+                       CRC-32C over the preimage data page.
+
+   The data page is written first; the header commits the entry.  The
+   header's own CRC binds header and data together: a crash between
+   the two (or a journal slot holding pages from different crashed
+   sessions) reads as an invalid entry, and an invalid entry's target
+   was by construction never overwritten.
+
+   Entries are sealed at the session's write epoch, which a commit
+   moves past — so the commit that makes the window's overwrites
+   permanent also invalidates its journal (entry epoch <= new ceiling)
+   with no extra write.  Recovery applies exactly the prefix of
+   entries whose epochs exceed the recovered commit epoch; every such
+   entry holds a committed-generation preimage (a crashed session only
+   captures pages while the disk is in committed-or-journaled state),
+   so rollback is idempotent across repeated crashes. *)
+
+(* Called by the buffer pool before every dirty writeback: first
+   overwrite of a committed page in this window copies its slot into
+   the journal.  Clean-path builds (no flush before close) never enter
+   the branch — the committed set is empty. *)
+let journal_capture j page =
+  if
+    is_data_page page
+    && Xutil.Int_tbl.mem j.j_committed page
+    && not (Xutil.Int_tbl.mem j.j_journaled page)
+  then begin
+    if j.j_next >= journal_entries then
+      Spine_error.io_failed ~op:Spine_error.Write ~page
+        "preimage journal full (%d entries since the last flush); flush to \
+         commit and reset it"
+        journal_entries;
+    let device = j.j_device in
+    let page_size = Pagestore.Device.page_size device in
+    let trailer = Pagestore.Device.phys_size device - page_size in
+    let phys = Pagestore.Device.raw_slot device page in
+    let data = Bytes.sub phys 0 page_size in
+    let hdr = Bytes.make page_size '\000' in
+    Bytes.blit_string journal_magic 0 hdr 0 4;
+    set_u32 hdr 4 j.j_next;
+    set_u32 hdr 8 (page land 0xFFFFFFFF);
+    set_u32 hdr 12 (page lsr 32);
+    Bytes.blit phys page_size hdr 16 trailer;
+    set_u32 hdr 32 (Xutil.Crc32c.bytes data);
+    let base = journal_base + (2 * j.j_next) in
+    dev_write device (base + 1) data;
+    dev_write device base hdr;  (* the header commits the entry *)
+    Xutil.Int_tbl.replace j.j_journaled page ();
+    j.j_next <- j.j_next + 1;
+    Telemetry.incr c_journal_captures
+  end
+
+(* Roll back every live journal entry (epoch beyond [ceiling], the
+   recovered generation's commit epoch): put each preimage slot back
+   exactly as captured, original trailer included, so the restored
+   pages re-validate under the recovered ceiling.  Stops at the first
+   invalid or obsolete entry — entries are written in order and each
+   precedes its target's overwrite, so nothing past that point ever
+   clobbered a committed page that is not also covered earlier. *)
+let journal_rollback device ~ceiling =
+  let page_size = Pagestore.Device.page_size device in
+  let restored = ref 0 in
+  (try
+     for i = 0 to journal_entries - 1 do
+       let base = journal_base + (2 * i) in
+       match Pagestore.Device.read_slot_any device base with
+       | `Valid (hdr, e)
+         when e > ceiling
+              && String.equal (Bytes.sub_string hdr 0 4) journal_magic
+              && get_u32 hdr 4 = i -> begin
+           let target = get_u32 hdr 8 lor (get_u32 hdr 12 lsl 32) in
+           match Pagestore.Device.read_slot_any device (base + 1) with
+           | `Valid (data, e')
+             when e' > ceiling && Xutil.Crc32c.bytes data = get_u32 hdr 32 ->
+             let phys =
+               Bytes.make (Pagestore.Device.phys_size device) '\000'
+             in
+             Bytes.blit data 0 phys 0 page_size;
+             Bytes.blit hdr 16 phys page_size
+               (Pagestore.Device.phys_size device - page_size);
+             Pagestore.Device.write_raw_slot device target phys;
+             incr restored;
+             Telemetry.incr c_journal_restored
+           | _ -> raise Exit
+         end
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  !restored
 
 (* --- epoch-declaration page --- *)
 
@@ -288,12 +423,67 @@ let payload_bytes t =
   Xutil.Int_tbl.iter (fun k v -> u32 k; u32 v) t.core.P.anchors;
   Buffer.to_bytes buf
 
+(* Reset the capture window at a commit point (and on reopen): nothing
+   is journaled yet, and the committed set becomes the used prefix of
+   every data region.  Data regions are append-only byte tables whose
+   rows are mutated in place, so an in-place overwrite can only ever
+   target a page inside a used prefix — this set is exact. *)
+let journal_commit_window t =
+  let j = t.journal in
+  Xutil.Int_tbl.reset j.j_journaled;
+  j.j_next <- 0;
+  Xutil.Int_tbl.reset j.j_committed;
+  let page_size = Pagestore.Device.page_size t.device in
+  let add base used =
+    for k = 0 to ((used + page_size - 1) / page_size) - 1 do
+      Xutil.Int_tbl.replace j.j_committed (base + k) ()
+    done
+  in
+  let n = P.length t.core in
+  add (region_base lt_region) ((n + 1) * Compact_store.lt_entry_bytes);
+  for table = 0 to 3 do
+    add (region_base (rt_region table)) (Paged_bytes.used t.core.P.rts.(table))
+  done;
+  add (region_base seq_region) n
+
+(* A crashed session may have extended a region past the committed
+   prefix.  Those pages hold no committed data (the journal only
+   protects the prefix) but are stamped beyond the recovered ceiling,
+   so a later append extending the table into one would fault its
+   read-modify-write with a misleading [Corrupt].  Reset them to sealed
+   zero pages at the session's fresh epoch.  Allocation is sequential,
+   so debris forms a dense run just above the prefix: stop after
+   [erase_hole_limit] consecutive holes, mirroring the scrub walk. *)
+let erase_hole_limit = 64
+
+let erase_stale_tail device ~base ~used_bytes =
+  let page_size = Pagestore.Device.page_size device in
+  let zero = Bytes.make page_size '\000' in
+  let first = base + ((used_bytes + page_size - 1) / page_size) in
+  let limit =
+    min (base + data_span) (Pagestore.Device.physical_pages device)
+  in
+  let holes = ref 0 in
+  let page = ref first in
+  while !holes < erase_hole_limit && !page < limit do
+    (match Pagestore.Device.verify_page device !page with
+     | `Unwritten -> incr holes
+     | `Ok _ -> holes := 0
+     | `Stale _ | `Damaged _ ->
+       holes := 0;
+       Pagestore.Device.write device !page zero);
+    incr page
+  done
+
 (* --- lifecycle --- *)
 
 let create ?frames ?page_size ?pin_top_lt_pages ~path alphabet =
   let device, pool =
     make_pool ?frames ?page_size ?pin_top_lt_pages ~path ~truncate:true ()
   in
+  let journal = journal_make device in
+  Pagestore.Buffer_pool.set_writeback_hook pool
+    (Some (journal_capture journal));
   Pagestore.Device.set_epoch device 1;
   Pagestore.Device.set_max_valid_epoch device 0;
   (* declare epoch 1 before any data write carries it *)
@@ -312,24 +502,34 @@ let create ?frames ?page_size ?pin_top_lt_pages ~path alphabet =
   in
   P.init_root core;
   let seq_tab = Paged_bytes.make pool ~base_page:(region_base seq_region) in
-  { core; seq_tab; device; pool; file_path = path; generation = 0;
+  { core; seq_tab; device; pool; journal; file_path = path; generation = 0;
     closed = false }
 
-(* Commit protocol: data pages first, then the new metadata generation
+(* Commit protocol: data pages first (journaling the preimage of any
+   committed page they overwrite), then the new metadata generation
    into the inactive slot, then raise the committed-epoch ceiling and
    move to a fresh (pre-declared) epoch.  A crash at ANY point leaves
-   either the old generation fully intact (its slot untouched, its
-   ceiling unchanged — later epochs' debris is detectably stale) or the
-   new one fully written. *)
+   either the old generation recoverable (its slot untouched, its
+   ceiling unchanged, its overwritten pages restorable from the
+   journal) or the new one fully written. *)
 let flush_internal t ~clean =
   Telemetry.with_span s_flush (fun () ->
       Pagestore.Buffer_pool.flush t.pool;
       let e = Pagestore.Device.epoch t.device in
-      t.generation <- t.generation + 1;
-      write_slot t.device ~generation:t.generation ~commit_epoch:e ~clean
+      let gen = t.generation + 1 in
+      write_slot t.device ~generation:gen ~commit_epoch:e ~clean
         (payload_bytes t);
+      (* the slot write is the commit point; bump the in-memory
+         generation only once it is durable, so a failed attempt leaves
+         it unchanged and a retried flush rewrites the same inactive
+         slot instead of clobbering the last valid generation's *)
+      t.generation <- gen;
       Pagestore.Device.set_max_valid_epoch t.device e;
       Pagestore.Device.set_epoch t.device (e + 1);
+      (* moving past epoch [e] just invalidated every journal entry
+         (entry epoch <= new ceiling): open a fresh capture window over
+         the newly committed prefix before any further write *)
+      journal_commit_window t;
       write_epoch_decl t.device (e + 1))
 
 let flush t =
@@ -350,6 +550,9 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
   let device, pool =
     make_pool ?frames ?pin_top_lt_pages ~path ~truncate:false ()
   in
+  let journal = journal_make device in
+  Pagestore.Buffer_pool.set_writeback_hook pool
+    (Some (journal_capture journal));
   try
     (* read both shadow slots and the epoch declaration while epoch
        validation is still disabled: all three may carry epochs from
@@ -375,6 +578,14 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
           (fun best c ->
             if c.sm_generation > best.sm_generation then c else best)
           first rest
+    in
+    (* undo the in-place overwrites a crashed session performed on
+       committed pages after its last commit: every journal entry
+       stamped beyond the recovered commit epoch holds the committed
+       preimage of its target, so restoring them puts the flushed
+       generation back on disk byte for byte *)
+    let (_restored : int) =
+      journal_rollback device ~ceiling:m.sm_commit_epoch
     in
     (* every epoch any crashed session may have stamped pages with is
        bounded by what the declaration page and the slots record; +2
@@ -447,6 +658,17 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
       let k = u32 () in
       Xutil.Int_tbl.replace anchors k (u32 ())
     done;
+    (* clear crash debris beyond each region's committed prefix so this
+       session's own appends can extend the tables into those pages *)
+    if Pagestore.Device.checksums device then begin
+      erase_stale_tail device ~base:(region_base lt_region)
+        ~used_bytes:((n + 1) * Compact_store.lt_entry_bytes);
+      for table = 0 to 3 do
+        erase_stale_tail device ~base:(region_base (rt_region table))
+          ~used_bytes:rt_used.(table)
+      done;
+      erase_stale_tail device ~base:(region_base seq_region) ~used_bytes:n
+    end;
     (* rebuild the in-memory sequence mirror from the code region; with
        the ceiling restored above, any crash debris page this touches
        surfaces as a typed Corrupt instead of phantom characters *)
@@ -468,8 +690,14 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
                  ~used:rt_used.(table)))
         alphabet
     in
-    { core; seq_tab; device; pool; file_path = path;
-      generation = m.sm_generation; closed = false }
+    let t =
+      { core; seq_tab; device; pool; journal; file_path = path;
+        generation = m.sm_generation; closed = false }
+    in
+    (* the recovered prefix is the committed state the journal must now
+       protect against this session's own in-place overwrites *)
+    journal_commit_window t;
+    t
   with e ->
     Pagestore.Device.close device;
     raise e
@@ -569,7 +797,7 @@ type report = {
    instead of walking a gigabyte of sparse address space per region. *)
 let hole_run_limit = 64
 
-let scan_region device ~name ~base ~span =
+let scan_region ?(stale_ok = false) device ~name ~base ~span =
   let cap = Pagestore.Device.physical_pages device in
   let limit = min span (max 0 (cap - base)) in
   let ok = ref 0 and unwritten = ref 0 in
@@ -582,10 +810,11 @@ let scan_region device ~name ~base ~span =
      | `Unwritten -> incr unwritten; incr holes
      | `Stale e ->
        holes := 0;
-       (* the declaration page is BY DESIGN one epoch ahead of the
-          committed ceiling; everywhere else a beyond-ceiling epoch is
-          debris from a crashed session *)
-       if String.equal name "meta/epoch" then incr ok
+       (* [stale_ok] regions live beyond the ceiling BY DESIGN: the
+          declaration page is one epoch ahead, and journal entries are
+          only meaningful while their epoch exceeds it; everywhere else
+          a beyond-ceiling epoch is debris from a crashed session *)
+       if stale_ok then incr ok
        else stale := (base + !page, e) :: !stale
      | `Damaged d ->
        holes := 0;
@@ -637,7 +866,8 @@ let run_scrub ?(retune = true) device path =
         ~span:slot_pages;
       scan_region device ~name:"meta/slot-b" ~base:(slot_base 1)
         ~span:slot_pages;
-      scan_region device ~name:"meta/epoch" ~base:epoch_page ~span:1;
+      scan_region ~stale_ok:true device ~name:"meta/epoch" ~base:epoch_page
+        ~span:1;
       scan_region device ~name:"lt" ~base:(region_base lt_region)
         ~span:data_span;
       scan_region device ~name:"rt0" ~base:(region_base (rt_region 0))
@@ -649,6 +879,8 @@ let run_scrub ?(retune = true) device path =
       scan_region device ~name:"rt3" ~base:(region_base (rt_region 3))
         ~span:data_span;
       scan_region device ~name:"seq" ~base:(region_base seq_region)
+        ~span:data_span;
+      scan_region ~stale_ok:true device ~name:"journal" ~base:journal_base
         ~span:data_span ]
   in
   let damaged_pages =

@@ -10,7 +10,7 @@
 
     File layout (page regions, sparse): a metadata area (two shadow
     slots and an epoch-declaration page), then the Link Table, the four
-    Rib Tables and the vertebra character codes.
+    Rib Tables, the vertebra character codes and the preimage journal.
 
     {2 Integrity and crash consistency}
 
@@ -20,12 +20,19 @@
     double-buffered: generation [g] goes to shadow slot [g mod 2] under
     its own checksum, so {!flush}'s commit sequence (data pages → new
     metadata generation → epoch ceiling bump) leaves either the old or
-    the new state fully intact across a crash at any point.  {!open_}
+    the new state fully intact across a crash at any point.  Data pages
+    are overwritten in place, so committed pages are additionally
+    protected by a {e preimage journal}: the first post-commit
+    overwrite of a committed page (a buffer-pool eviction of a dirty
+    tail page, a rib-row mutation, the next flush itself) copies the
+    page's exact physical slot into the journal region first, and
+    {!open_} rolls those preimages back before recovery.  {!open_}
     picks the newest valid generation, falls back to the other slot
-    when the newest write was torn, and restores the epoch ceiling so
-    page debris from a crashed session is detected lazily as [Corrupt]
-    rather than returned as phantom data.  {!verify}/{!scrub} walk the
-    file and report per-region damage.
+    when the newest write was torn, restores the journaled preimages,
+    and restores the epoch ceiling so any remaining page debris from a
+    crashed session is detected lazily as [Corrupt] rather than
+    returned as phantom data.  {!verify}/{!scrub} walk the file and
+    report per-region damage.
 
     Construction remains online: {!append} extends the index and the
     file together.  All query operations are the shared SPINE
@@ -59,9 +66,14 @@ val close : t -> unit
 
 val flush : t -> unit
 (** Durability point without closing: commit the data pages and a new
-    metadata generation.  After [flush], {!open_} on the same path
-    recovers exactly this state even if the process dies without
-    {!close}. *)
+    metadata generation, and reset the preimage-journal window.  After
+    [flush], {!open_} on the same path recovers exactly this state even
+    if the process dies without {!close} — later writes that land on
+    committed pages are journaled first and rolled back on reopen.
+    The journal holds 2^17 preimages per commit window; a workload that
+    overwrites more distinct committed pages (512 MB) between flushes
+    gets a typed [Io_failed] telling it to flush, never a silently
+    unprotected overwrite. *)
 
 val path : t -> string
 val alphabet : t -> Bioseq.Alphabet.t

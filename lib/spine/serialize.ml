@@ -107,21 +107,29 @@ let to_bytes (t : Index.t) =
 
 let of_bytes data =
   let len = Bytes.length data in
-  if len < header_size + trailer_size then
+  if len < header_size then
     corrupt "input too short to be a snapshot (%d bytes)" len;
   if not (String.equal (Bytes.sub_string data 0 4) magic) then
     corrupt "bad magic (not a SPINE snapshot)";
   let v = Char.code (Bytes.get data 4) in
-  if v <> version then corrupt "unsupported snapshot version %d" v;
-  (* verify the trailing checksum before trusting any field *)
-  let stored = ref 0 in
-  for k = 3 downto 0 do
-    stored := (!stored lsl 8) lor Char.code (Bytes.get data (len - 4 + k))
-  done;
-  let actual = Xutil.Crc32c.digest data ~pos:0 ~len:(len - trailer_size) in
-  if actual <> !stored then
-    corrupt "snapshot checksum mismatch (stored %08x, computed %08x)"
-      !stored actual;
+  if v <> 1 && v <> version then
+    corrupt "unsupported snapshot version %d" v;
+  (* Version 1 snapshots predate the whole-image checksum: same record
+     layout, no trailer.  They still load (without integrity cover) so
+     existing files need not be rebuilt. *)
+  if v = version then begin
+    if len < header_size + trailer_size then
+      corrupt "input too short to be a snapshot (%d bytes)" len;
+    (* verify the trailing checksum before trusting any field *)
+    let stored = ref 0 in
+    for k = 3 downto 0 do
+      stored := (!stored lsl 8) lor Char.code (Bytes.get data (len - 4 + k))
+    done;
+    let actual = Xutil.Crc32c.digest data ~pos:0 ~len:(len - trailer_size) in
+    if actual <> !stored then
+      corrupt "snapshot checksum mismatch (stored %08x, computed %08x)"
+        !stored actual
+  end;
   let r = { data; pos = header_size } in
   let sym_len = get_u32 r in
   need r sym_len;
@@ -174,6 +182,11 @@ let of_bytes data =
       corrupt ~page:r.pos "extrib record references node beyond the backbone";
     Fast_store.add_extrib store node ~dest ~pt ~prt ~anchor
   done;
+  (* a checksum-less v1 image must end exactly here: trailing bytes mean
+     a v2 image whose version byte was corrupted to 1 — rejecting them
+     keeps the flipped byte from silently bypassing the CRC *)
+  if v = 1 && r.pos <> len then
+    corrupt ~page:r.pos "trailing bytes after a version-1 snapshot";
   Index.of_store store
 
 let to_file path t =

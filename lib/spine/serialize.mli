@@ -7,7 +7,13 @@
     version, alphabet) and ends with a whole-snapshot CRC-32C, so a
     flipped bit anywhere in the image is rejected before any of it is
     decoded.  This is what {!Disk} images and the CLI's
-    [index save/load] commands use. *)
+    [index save/load] commands use.
+
+    Version history: v2 (current) added the trailing checksum; v1
+    images — same record layout, no trailer — still load, without the
+    whole-image integrity cover, and must consume their input exactly
+    (so a v2 image whose version byte is corrupted cannot sneak past
+    the CRC as v1). *)
 
 val to_bytes : Index.t -> Bytes.t
 

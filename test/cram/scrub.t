@@ -23,6 +23,7 @@ slots, and reports damage per on-disk region.
     rt2               65   0         65        0      0
     rt3               65   0         65        0      0
     seq                1   1          0        0      0
+    journal            0   0          0        0      0
   scrub: clean
 
 

@@ -116,6 +116,27 @@ let test_device_crash_freeze () =
    | `Unwritten -> ()
    | _ -> Alcotest.fail "the crashed-away page never landed")
 
+let test_device_torn_clamp () =
+  (* out-of-range tear lengths from a hook (or a hostile SPINE_FAULTS
+     spec) must clamp, not blow up in Bytes.blit *)
+  let d = Pagestore.Device.create ~checksums:true ~page_size:256 () in
+  Pagestore.Device.write d 0 (page_of_byte 'a');
+  let tearing keep =
+    Some
+      { Pagestore.Device.on_read = (fun ~page:_ -> ())
+      ; on_write = (fun ~page:_ ~phys:_ -> Pagestore.Device.Torn keep)
+      }
+  in
+  Pagestore.Device.set_hooks d (tearing (-5));
+  Pagestore.Device.write d 0 (page_of_byte 'b');
+  Alcotest.(check char) "negative keep tears the whole write away" 'a'
+    (Bytes.get (Pagestore.Device.read d 0) 0);
+  Pagestore.Device.set_hooks d (tearing 1_000_000);
+  Pagestore.Device.write d 0 (page_of_byte 'c');
+  Pagestore.Device.set_hooks d None;
+  Alcotest.(check char) "oversized keep lands the whole write" 'c'
+    (Bytes.get (Pagestore.Device.read d 0) 0)
+
 let test_pool_hit_miss () =
   let d = mk_device () in
   let p = Pagestore.Buffer_pool.create ~frames:4 d in
@@ -345,6 +366,8 @@ let suite =
       test_device_bit_flip_detected
   ; Alcotest.test_case "device crash point freezes the image" `Quick
       test_device_crash_freeze
+  ; Alcotest.test_case "device clamps out-of-range torn-write lengths" `Quick
+      test_device_torn_clamp
   ; Alcotest.test_case "pool hits and misses" `Quick test_pool_hit_miss
   ; Alcotest.test_case "pool LRU eviction order" `Quick test_pool_lru_eviction
   ; Alcotest.test_case "pool FIFO vs LRU" `Quick test_pool_fifo_vs_lru

@@ -79,39 +79,55 @@ let test_serializer_fuzz () =
 
 (* --- crash-point recovery matrix ------------------------------------ *)
 
-(* A deterministic three-flush workload; the crash matrix freezes the
-   file image at every single device write of it. *)
-let crash_chunks = [ 500; 400; 300 ]
-let crash_total = List.fold_left ( + ) 0 crash_chunks
+(* Deterministic multi-flush workloads; the crash matrix freezes the
+   file image at every single device write of one.  [frames] controls
+   buffer-pool pressure: the default pool never evicts between flushes,
+   a tiny pool constantly writes dirty committed pages back in place —
+   the case the preimage journal exists for. *)
+let crash_seq total =
+  Bioseq.Synthetic.genomic dna (Bioseq.Rng.create 4040) total
 
-let crash_seq =
-  lazy
-    (Bioseq.Synthetic.genomic dna (Bioseq.Rng.create 4040) crash_total)
-
-let run_crash_workload path fault =
-  let seq = Lazy.force crash_seq in
-  let p = P.create ~path dna in
+let run_crash_workload ?frames ~chunks ~seq path fault =
+  let p = P.create ?frames ~path dna in
+  let frozen () =
+    match fault with Some f -> FD.frozen f | None -> false
+  in
   (match fault with
    | Some f -> FD.attach f (P.device p)
    | None -> ());
+  (* Once a [Crash] arm freezes the image the simulated process is
+     dead: nothing it would do afterwards can reach the disk, and under
+     a small pool it may even trip over its own stale re-reads.  Stop
+     at the first sign of the freeze and abandon the handle — exactly
+     what kill -9 leaves behind. *)
   let pos = ref 0 in
-  List.iter
-    (fun n ->
-      for _ = 1 to n do
-        P.append p (Bioseq.Packed_seq.get seq !pos);
-        incr pos
-      done;
-      P.flush p)
-    crash_chunks;
-  P.close p
+  match
+    List.iter
+      (fun n ->
+        for _ = 1 to n do
+          if frozen () then raise Exit;
+          P.append p (Bioseq.Packed_seq.get seq !pos);
+          incr pos
+        done;
+        P.flush p)
+      chunks
+  with
+  | () -> P.close p
+  | exception _ when frozen () -> Pagestore.Device.close (P.device p)
 
-let test_crash_matrix () =
-  let seq = Lazy.force crash_seq in
+(* Freeze the image at every write of the workload, reopen, and demand
+   recovery of a flushed prefix with exact query parity.  A typed
+   [Corrupt] on reopen is tolerated only for crashes that can destroy
+   the sole metadata slot (nothing was ever fully committed); once
+   [open_] succeeds, the journal rollback must have put the committed
+   prefix back byte for byte, so queries may never fail OR lie. *)
+let crash_matrix ?frames ~chunks ~require_evictions () =
+  let total = List.fold_left ( + ) 0 chunks in
+  let seq = crash_seq total in
   (* flushed lengths and their in-memory oracles *)
   let flush_points =
     List.rev
-      (List.fold_left (fun acc n -> (List.hd acc + n) :: acc) [ 0 ]
-         crash_chunks)
+      (List.fold_left (fun acc n -> (List.hd acc + n) :: acc) [ 0 ] chunks)
   in
   let flush_points = List.filter (fun l -> l > 0) flush_points in
   let oracles =
@@ -125,9 +141,9 @@ let test_crash_matrix () =
       flush_points
   in
   (* count the workload's device writes once, fault-free *)
-  let total_writes =
+  let total_writes, evictions =
     with_tmp (fun path ->
-        let p = P.create ~path dna in
+        let p = P.create ?frames ~path dna in
         let count = ref 0 in
         Pagestore.Device.set_hooks (P.device p)
           (Some
@@ -145,12 +161,19 @@ let test_crash_matrix () =
               incr pos
             done;
             P.flush p)
-          crash_chunks;
+          chunks;
+        let evictions =
+          (Pagestore.Buffer_pool.stats (P.pool p)).Pagestore.Buffer_pool
+          .evictions
+        in
         P.close p;
-        !count)
+        (!count, evictions))
   in
   Alcotest.(check bool) "workload writes enough pages to matter" true
     (total_writes > 10);
+  if require_evictions then
+    Alcotest.(check bool)
+      "pool pressure causes evictions between flushes" true (evictions > 0);
   let rng = Bioseq.Rng.create 4041 in
   let clean_failures = ref 0 in
   let recovered_full = ref 0 in
@@ -158,11 +181,11 @@ let test_crash_matrix () =
   for k = 0 to total_writes - 1 do
     with_tmp (fun path ->
         let f = FD.create [ FD.arm ~after:k FD.Crash ] in
-        run_crash_workload path (Some f);
+        run_crash_workload ?frames ~chunks ~seq path (Some f);
         Alcotest.(check bool)
           (Printf.sprintf "crash %d froze the image" k)
           true (FD.frozen f);
-        match P.open_ ~path () with
+        match P.open_ ?frames ~path () with
         | exception Spine_error.Error (Spine_error.Corrupt _) ->
           incr clean_failures
         | exception e ->
@@ -176,23 +199,21 @@ let test_crash_matrix () =
                "crash at write %d: recovered length %d is not a flushed state"
                k len
            | Some oracle ->
-             if len = crash_total then incr recovered_full
+             if len = total then incr recovered_full
              else incr recovered_partial;
-             (* answers must match the oracle of the recovered prefix,
-                or fail typed — never be silently wrong *)
+             (* the journal rollback restored the committed prefix, so
+                every answer must match the oracle — no typed-failure
+                escape hatch, and certainly no silent lie *)
              for _ = 1 to 4 do
                let plen = 3 + Bioseq.Rng.int rng 6 in
                let pos = Bioseq.Rng.int rng (len - plen) in
                let pat =
                  Array.init plen (fun j -> Bioseq.Packed_seq.get seq (pos + j))
                in
-               match P.occurrences p pat with
-               | occs ->
-                 Alcotest.(check (list int))
-                   (Printf.sprintf "crash %d: query parity" k)
-                   (Spine.Index.occurrences oracle pat)
-                   occs
-               | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
+               Alcotest.(check (list int))
+                 (Printf.sprintf "crash %d: query parity" k)
+                 (Spine.Index.occurrences oracle pat)
+                 (P.occurrences p pat)
              done);
           (try P.close p with Spine_error.Error _ -> ()))
   done;
@@ -204,6 +225,170 @@ let test_crash_matrix () =
     true (!recovered_partial >= 1);
   Alcotest.(check bool) "recovery is not universally impossible" true
     (!clean_failures < total_writes)
+
+let test_crash_matrix () =
+  crash_matrix ~chunks:[ 500; 400; 300 ] ~require_evictions:false ()
+
+let test_crash_matrix_evictions () =
+  (* 2500 chars against 8 frames: the build keeps writing dirty
+     committed pages back in place between flushes *)
+  crash_matrix ~frames:8 ~chunks:[ 850; 850; 800 ] ~require_evictions:true ()
+
+(* --- eviction overwrite of committed pages + crash ------------------- *)
+
+(* The scenario the preimage journal exists for, without any fault
+   injection: flush, keep appending under a tiny pool so dirty
+   committed tail/rib pages are written back in place, then simulate a
+   kill -9 by reopening the path while the dirty handle is simply
+   abandoned.  The reopen must restore the flushed state exactly. *)
+let test_eviction_overwrite_recovery () =
+  with_tmp (fun path ->
+      let total = 7000 and committed = 5000 in
+      let seq = crash_seq total in
+      let code i = Bioseq.Packed_seq.get seq i in
+      let oracle_at l =
+        Spine.Index.of_seq
+          (Bioseq.Packed_seq.of_codes dna (Array.init l code))
+      in
+      let p = P.create ~frames:8 ~path dna in
+      for i = 0 to 2999 do P.append p (code i) done;
+      P.flush p;
+      for i = 3000 to committed - 1 do P.append p (code i) done;
+      P.flush p;
+      (* window 3: overwrite committed pages via evictions, never commit *)
+      for i = committed to total - 1 do P.append p (code i) done;
+      let evicted =
+        (Pagestore.Buffer_pool.stats (P.pool p)).Pagestore.Buffer_pool
+        .evictions
+      in
+      Alcotest.(check bool) "committed pages were rewritten in place" true
+        (evicted > 0);
+      (* the on-disk image now carries post-flush debris over committed
+         pages; the journal must have captured their preimages *)
+      let r = P.verify p in
+      (match
+         List.find_opt (fun reg -> String.equal reg.P.region "journal")
+           r.P.regions
+       with
+       | Some reg ->
+         Alcotest.(check bool) "journal holds captured preimages" true
+           (reg.P.ok > 0)
+       | None -> Alcotest.fail "no journal region in the scrub report");
+      (* abandon the dirty handle (kill -9): no flush, no close *)
+      Pagestore.Device.close (P.device p);
+      let p2 = P.open_ ~frames:8 ~path () in
+      Alcotest.(check int) "recovered the last flushed generation" 2
+        (P.generation p2);
+      Alcotest.(check int) "recovered the last flushed length" committed
+        (P.length p2);
+      let oracle = oracle_at committed in
+      let rng = Bioseq.Rng.create 4242 in
+      for _ = 1 to 40 do
+        let plen = 3 + Bioseq.Rng.int rng 8 in
+        let pos = Bioseq.Rng.int rng (committed - plen) in
+        let pat = Array.init plen (fun j -> code (pos + j)) in
+        Alcotest.(check (list int)) "parity after rollback"
+          (Spine.Index.occurrences oracle pat)
+          (P.occurrences p2 pat)
+      done;
+      (* the recovered index keeps working: extend and commit again *)
+      for i = committed to total - 1 do P.append p2 (code i) done;
+      P.close p2;
+      let p3 = P.open_ ~path () in
+      Alcotest.(check int) "full length after re-append" total (P.length p3);
+      let oracle_full = oracle_at total in
+      for _ = 1 to 20 do
+        let plen = 3 + Bioseq.Rng.int rng 8 in
+        let pos = Bioseq.Rng.int rng (total - plen) in
+        let pat = Array.init plen (fun j -> code (pos + j)) in
+        Alcotest.(check (list int)) "parity after re-append"
+          (Spine.Index.occurrences oracle_full pat)
+          (P.occurrences p3 pat)
+      done;
+      P.close p3)
+
+(* --- a failed metadata write must not burn a generation -------------- *)
+
+let test_flush_retry_generation () =
+  with_tmp (fun path ->
+      let p = P.create ~path dna in
+      P.append_string p "acgtacgtacgtacgt";
+      P.flush p;  (* generation 1 -> slot B *)
+      Alcotest.(check int) "first flush commits generation 1" 1
+        (P.generation p);
+      (* exhaust dev_write's 4 retries on every slot page: the next
+         flush must fail without consuming generation 2 — otherwise the
+         retry would target generation 3's slot, which is the one
+         holding the last valid metadata *)
+      let f =
+        FD.create [ FD.arm ~pages:(0, 8191) ~times:20 FD.Write_error ]
+      in
+      FD.attach f (P.device p);
+      (match P.flush p with
+       | () -> Alcotest.fail "flush must fail under a write-error storm"
+       | exception Spine_error.Error (Spine_error.Io_failed _) -> ()
+       | exception e ->
+         Alcotest.failf "wrong exception from failed flush: %s"
+           (Printexc.to_string e));
+      Alcotest.(check int) "failed flush does not bump the generation" 1
+        (P.generation p);
+      FD.detach (P.device p);
+      (* the retry writes generation 2 into the same inactive slot A *)
+      P.flush p;
+      Alcotest.(check int) "retried flush commits generation 2" 2
+        (P.generation p);
+      P.close p;  (* generation 3 -> slot B *)
+      let r = P.scrub ~path () in
+      Alcotest.(check int) "newest generation recovered" 3
+        r.P.report_generation;
+      Alcotest.(check int) "no damage from the failed attempt" 0
+        r.P.damaged_pages;
+      let p2 = P.open_ ~path () in
+      Alcotest.(check int) "reopen sees generation 3" 3 (P.generation p2);
+      Alcotest.(check bool) "content intact" true
+        (P.contains p2 "gtacgtacgt");
+      P.close p2)
+
+(* --- snapshot version-1 back-compatibility --------------------------- *)
+
+let test_serialize_v1_compat () =
+  let rng = Bioseq.Rng.create 405 in
+  let seq = Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng) 400 in
+  let idx = Spine.Index.of_seq seq in
+  let v2 = Spine.Serialize.to_bytes idx in
+  (* a v1 image is the v2 image minus the CRC trailer, version byte 1 *)
+  let v1 =
+    Bytes.sub v2 0 (Bytes.length v2 - Spine.Serialize.trailer_size)
+  in
+  Bytes.set v1 4 '\001';
+  let loaded = Spine.Serialize.of_bytes v1 in
+  Alcotest.(check int) "v1 length" (Spine.Index.length idx)
+    (Spine.Index.length loaded);
+  for _ = 1 to 20 do
+    let len = 3 + Bioseq.Rng.int rng 6 in
+    let pos = Bioseq.Rng.int rng (400 - len) in
+    let pat = Array.init len (fun j -> Bioseq.Packed_seq.get seq (pos + j)) in
+    Alcotest.(check (list int)) "v1 query parity"
+      (Spine.Index.occurrences idx pat)
+      (Spine.Index.occurrences loaded pat)
+  done;
+  (* flipping a v2 image's version byte to 1 must NOT bypass the CRC:
+     the unconsumed trailer is rejected as trailing garbage *)
+  let masquerade = Bytes.copy v2 in
+  Bytes.set masquerade 4 '\001';
+  (match Spine.Serialize.of_bytes masquerade with
+   | _ -> Alcotest.fail "v2 image accepted as v1 (CRC bypassed)"
+   | exception Spine_error.Error (Spine_error.Corrupt _) -> ());
+  (* truncated v1 images still fail typed *)
+  (match Spine.Serialize.of_bytes (Bytes.sub v1 0 (Bytes.length v1 - 3)) with
+   | _ -> Alcotest.fail "truncated v1 image accepted"
+   | exception Spine_error.Error (Spine_error.Corrupt _) -> ());
+  (* versions beyond the current one are still rejected *)
+  let future = Bytes.copy v2 in
+  Bytes.set future 4 '\007';
+  match Spine.Serialize.of_bytes future with
+  | _ -> Alcotest.fail "future version accepted"
+  | exception Spine_error.Error (Spine_error.Corrupt _) -> ()
 
 (* --- seeded bit-flip trials over every written region ---------------- *)
 
@@ -223,6 +408,7 @@ let test_bitflip_trials () =
     | "rt2" -> meta_span + (3 * data_span)
     | "rt3" -> meta_span + (4 * data_span)
     | "seq" -> meta_span + (5 * data_span)
+    | "journal" -> meta_span + (6 * data_span)
     | r -> Alcotest.failf "unexpected region %S in scrub report" r
   in
   let build path =
@@ -395,7 +581,8 @@ let test_env_faults () =
       | Ok _ -> Alcotest.failf "malformed spec %S accepted" bad
       | Error _ -> ())
     [ "bogus"; "seed=x"; "flip:page="; "torn:keep=nope"; "crash:wat=1"
-    ; "read_error:page=9-3" ];
+    ; "read_error:page=9-3"; "torn:keep=-1"; "flip:after=-2"
+    ; "crash:times=-1"; "read_error:page=-3" ];
   (* a plan armed purely through the environment corrupts a build, and
      scrub catches it *)
   Unix.putenv FD.env_var "seed=11;flip:after=2";
@@ -447,6 +634,14 @@ let suite =
   [ Alcotest.test_case "serializer fuzz: corrupt input fails loudly" `Quick
       test_serializer_fuzz
   ; Alcotest.test_case "crash-point recovery matrix" `Quick test_crash_matrix
+  ; Alcotest.test_case "crash-point matrix under eviction pressure" `Quick
+      test_crash_matrix_evictions
+  ; Alcotest.test_case "eviction overwrite of committed pages + crash" `Quick
+      test_eviction_overwrite_recovery
+  ; Alcotest.test_case "failed metadata write does not burn a generation"
+      `Quick test_flush_retry_generation
+  ; Alcotest.test_case "snapshot v1 back-compat (and no CRC bypass)" `Quick
+      test_serialize_v1_compat
   ; Alcotest.test_case "seeded bit-flip trials: scrub + query safety" `Quick
       test_bitflip_trials
   ; Alcotest.test_case "typed pool exhaustion" `Quick test_pool_exhausted
