@@ -191,9 +191,25 @@ let emit_trace_artifact () =
 (* The machine-readable run trajectory: config, wall time per
    experiment, and the Bechamel per-run estimates.  CI uploads it so
    successive runs can be diffed without scraping stdout. *)
+(* The committed baseline lives at the repo root; dune runs executables
+   from _build contexts, so resolve the default path by walking up to
+   the directory holding dune-project rather than trusting cwd. *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
 let emit_bench_artifact ~experiments ~micro =
   let path =
-    Option.value (Sys.getenv_opt "SPINE_BENCH_JSON") ~default:"BENCH_spine.json"
+    match Sys.getenv_opt "SPINE_BENCH_JSON" with
+    | Some path -> path
+    | None ->
+      let root = Option.value (repo_root ()) ~default:"." in
+      Filename.concat root "BENCH_spine.json"
   in
   let buf = Buffer.create 4096 in
   let json_float f =

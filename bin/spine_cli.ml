@@ -173,6 +173,42 @@ let seq_of_literal alphabet s =
     s;
   seq
 
+(* Shared by query, stats --space and workload: build the chosen
+   backend from an in-memory sequence and pack it into an engine,
+   returning a cleanup to run when done (persistent uses a scratch
+   file). *)
+let engine_of_source ~backend ~frames ~page_size seq =
+  match backend with
+  | `Fast -> (Spine.Index.engine (Spine.Index.of_seq seq), ignore)
+  | `Compact -> (Spine.Compact.engine (Spine.Compact.of_seq seq), ignore)
+  | `Disk ->
+    let config =
+      { Spine.Disk.default_config with Spine.Disk.frames; page_size }
+    in
+    (Spine.Disk.engine (Spine.Disk.build ~config seq), ignore)
+  | `Persistent ->
+    (* a transient paged index in a scratch file, removed afterwards *)
+    let path = Filename.temp_file "spine_query" ".db" in
+    let p =
+      Spine.Persistent.create ~frames ~page_size ~path
+        (Bioseq.Packed_seq.alphabet seq)
+    in
+    Spine.Persistent.append_seq p seq;
+    ( Spine.Persistent.engine p,
+      fun () ->
+        Spine.Persistent.close p;
+        (try Sys.remove path with Sys_error _ -> ()) )
+
+let frames_arg =
+  Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.frames
+       & info [ "frames" ] ~docv:"N"
+           ~doc:"Buffer-pool frames (persistent/disk backends).")
+
+let page_size_arg =
+  Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.page_size
+       & info [ "page-size" ] ~docv:"BYTES"
+           ~doc:"Device page size (persistent/disk backends).")
+
 let query_cmd =
   let patterns =
     Arg.(non_empty & pos_all string []
@@ -192,38 +228,8 @@ let query_cmd =
          & info [ "limit" ] ~docv:"N"
              ~doc:"Print at most N positions per pattern.")
   in
-  let frames =
-    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.frames
-         & info [ "frames" ] ~docv:"N"
-             ~doc:"Buffer-pool frames (persistent/disk backends).")
-  in
-  let page_size =
-    Arg.(value & opt int Spine.Disk.default_config.Spine.Disk.page_size
-         & info [ "page-size" ] ~docv:"BYTES"
-             ~doc:"Device page size (persistent/disk backends).")
-  in
-  let engine_of_source ~backend ~frames ~page_size seq =
-    match backend with
-    | `Fast -> (Spine.Index.engine (Spine.Index.of_seq seq), ignore)
-    | `Compact -> (Spine.Compact.engine (Spine.Compact.of_seq seq), ignore)
-    | `Disk ->
-      let config =
-        { Spine.Disk.default_config with Spine.Disk.frames; page_size }
-      in
-      (Spine.Disk.engine (Spine.Disk.build ~config seq), ignore)
-    | `Persistent ->
-      (* a transient paged index in a scratch file, removed afterwards *)
-      let path = Filename.temp_file "spine_query" ".db" in
-      let p =
-        Spine.Persistent.create ~frames ~page_size ~path
-          (Bioseq.Packed_seq.alphabet seq)
-      in
-      Spine.Persistent.append_seq p seq;
-      ( Spine.Persistent.engine p,
-        fun () ->
-          Spine.Persistent.close p;
-          (try Sys.remove path with Sys_error _ -> ()) )
-  in
+  let frames = frames_arg in
+  let page_size = page_size_arg in
   let run alphabet fasta synthetic scale text seq_str backend index patterns
       limit frames page_size stats =
     with_stats stats @@ fun () ->
@@ -296,7 +302,81 @@ let query_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run index =
+  let index =
+    Arg.(value & opt (some string) None
+         & info [ "index"; "i" ] ~docv:"FILE"
+             ~doc:"Index file (serialized fast-backend snapshot). \
+                   Required unless --space builds from an input source.")
+  in
+  let space =
+    Arg.(value & flag
+         & info [ "space" ]
+             ~doc:"Report the measured space footprint attributed to \
+                   components (vertebrae, links, ribs, extribs, pages, \
+                   pool frames) instead of structure statistics; works \
+                   on every --backend.")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"With --space, also write the report as one JSON line \
+                   (- for stdout).")
+  in
+  let space_run ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str ~backend
+      ~index ~jsonl_out ~frames ~page_size =
+    let has_source =
+      fasta <> None || synthetic <> None || text <> None || seq_str <> None
+    in
+    let acquired =
+      match index, has_source with
+      | Some _, true ->
+        Error "provide either --index or an input source, not both"
+      | Some file, false ->
+        (match backend with
+         | `Fast ->
+           Ok (Spine.Index.engine (Spine.Serialize.of_file file), ignore)
+         | `Persistent ->
+           (try
+              let p = Spine.Persistent.open_ ~frames ~path:file () in
+              Ok (Spine.Persistent.engine p,
+                  fun () -> Spine.Persistent.close p)
+            with Spine_error.Error e -> Error (Spine_error.to_string e))
+         | `Compact | `Disk ->
+           Error "--backend compact/disk builds from an input source \
+                  (--text, --fasta, --synthetic, --seq), not --index")
+      | None, _ ->
+        Result.map
+          (engine_of_source ~backend ~frames ~page_size)
+          (Result.bind (alphabet_of_string alphabet) (fun alphabet ->
+               match seq_str with
+               | Some s -> Ok (seq_of_literal alphabet s)
+               | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text))
+    in
+    match acquired with
+    | Error e -> prerr_endline e; 1
+    | Ok (engine, cleanup) ->
+      Fun.protect ~finally:cleanup (fun () ->
+          let report = Spine.Engine.space engine in
+          Report.Table.print
+            ~title:
+              (Printf.sprintf "space (%s, %d chars)"
+                 report.Spine.Space_report.backend
+                 report.Spine.Space_report.chars)
+            ~note:
+              (Printf.sprintf "index footprint %.2f bytes/char"
+                 (Spine.Space_report.bytes_per_char report))
+            ~headers:[ "component"; "bytes"; "bytes/char"; "share" ]
+            (Spine.Space_report.rows report);
+          (match jsonl_out with
+           | Some "-" -> print_endline (Spine.Space_report.jsonl report)
+           | Some path ->
+             let oc = open_out path in
+             output_string oc (Spine.Space_report.jsonl report ^ "\n");
+             close_out oc
+           | None -> ());
+          0)
+  in
+  let structure_run index =
     let idx = Spine.Serialize.of_file index in
     let n = Spine.Index.length idx in
     let { Spine.Index.vertebras; ribs; extribs; links } =
@@ -316,8 +396,230 @@ let stats_cmd =
       (float_of_int (Spine.Index.model_bytes idx) /. float_of_int (max 1 n));
     0
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Print structure statistics of an index.")
-    Term.(const run $ index_arg ~doc:"Index file.")
+  let run alphabet fasta synthetic scale text seq_str backend index space
+      jsonl_out frames page_size =
+    if space then
+      space_run ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str ~backend
+        ~index ~jsonl_out ~frames ~page_size
+    else
+      match index with
+      | Some index -> structure_run index
+      | None ->
+        prerr_endline "provide --index FILE (or use --space with a source)";
+        1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print structure statistics of an index, or (--space) its \
+             measured per-component space footprint on any backend.")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ seq_literal_arg $ backend_arg $ index $ space
+          $ jsonl_out $ frames_arg $ page_size_arg)
+
+(* --- workload --- *)
+
+let workload_cmd =
+  let requests =
+    Arg.(value & opt int Workload.default_config.Workload.requests
+         & info [ "requests"; "n" ] ~docv:"N" ~doc:"Number of requests.")
+  in
+  let seed =
+    Arg.(value & opt int Workload.default_config.Workload.seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+  in
+  let min_len =
+    Arg.(value & opt int Workload.default_config.Workload.min_len
+         & info [ "min-len" ] ~docv:"N" ~doc:"Minimum pattern length.")
+  in
+  let max_len =
+    Arg.(value & opt int Workload.default_config.Workload.max_len
+         & info [ "max-len" ] ~docv:"N" ~doc:"Maximum pattern length.")
+  in
+  let batch_size =
+    Arg.(value & opt int Workload.default_config.Workload.batch_size
+         & info [ "batch-size" ] ~docv:"N" ~doc:"Patterns per batch request.")
+  in
+  let cursor_steps =
+    Arg.(value & opt int Workload.default_config.Workload.cursor_steps
+         & info [ "cursor-steps" ] ~docv:"N"
+             ~doc:"Extensions per cursor request.")
+  in
+  let miss_fraction =
+    Arg.(value & opt float Workload.default_config.Workload.miss_fraction
+         & info [ "miss-fraction" ] ~docv:"P"
+             ~doc:"Probability of a random (likely missing) pattern.")
+  in
+  let mix =
+    Arg.(value & opt (t3 ~sep:',' int int int) (6, 2, 2)
+         & info [ "mix" ] ~docv:"S,B,C"
+             ~doc:"Relative weights of single,batch,cursor requests.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"RPS"
+             ~doc:"Open-loop request rate (requests/second); latency is \
+                   measured from each request's scheduled start.  \
+                   Default: closed loop.")
+  in
+  let slowest =
+    Arg.(value & opt int Workload.default_config.Workload.slowest
+         & info [ "slowest" ] ~docv:"K"
+             ~doc:"Report the K slowest requests from the trace slow-op \
+                   log.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write a full telemetry snapshot to FILE after the \
+                   run (and periodically with --metrics-every).")
+  in
+  let metrics_format =
+    Arg.(value & opt (enum [ ("prom", `Prom); ("jsonl", `Jsonl) ]) `Prom
+         & info [ "metrics-format" ] ~docv:"FMT"
+             ~doc:"Metrics exposition format: prom (Prometheus text) or \
+                   jsonl.")
+  in
+  let metrics_every =
+    Arg.(value & opt int 0
+         & info [ "metrics-every" ] ~docv:"N"
+             ~doc:"Rewrite the --metrics file every N completed requests \
+                   (0: only at the end).")
+  in
+  let report_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "report-jsonl" ] ~docv:"FILE"
+             ~doc:"Also write the per-operation latency report as JSON \
+                   lines (- for stdout).")
+  in
+  let write_metrics path format =
+    match format with
+    | `Prom -> Telemetry.write_prometheus ~path (Telemetry.snapshot ())
+    | `Jsonl -> Telemetry.write_jsonl ~path (Telemetry.snapshot ())
+  in
+  let run alphabet fasta synthetic scale text seq_str backend frames page_size
+      requests seed min_len max_len batch_size cursor_steps miss_fraction
+      (mix_s, mix_b, mix_c) rate slowest metrics metrics_format metrics_every
+      report_jsonl =
+    match
+      Result.bind (alphabet_of_string alphabet) (fun alphabet ->
+          match seq_str with
+          | Some s -> Ok (seq_of_literal alphabet s)
+          | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text)
+    with
+    | Error e -> prerr_endline e; 1
+    | Ok seq ->
+      let engine, cleanup = engine_of_source ~backend ~frames ~page_size seq in
+      Fun.protect ~finally:cleanup (fun () ->
+          let config =
+            { Workload.requests; seed; min_len; max_len; batch_size;
+              cursor_steps; miss_fraction;
+              mix = { Workload.single = mix_s; batch = mix_b; cursor = mix_c };
+              rate;
+              slow_us = Workload.default_config.Workload.slow_us;
+              slowest;
+              tick_every = (if metrics = None then 0 else metrics_every) }
+          in
+          let on_tick =
+            match metrics with
+            | Some path when metrics_every > 0 ->
+              Some (fun _done -> write_metrics path metrics_format)
+            | _ -> None
+          in
+          (* an exposition sink was requested: collect for the whole
+             command so the space gauges and the run's histograms land
+             in the same snapshot *)
+          if metrics <> None then Telemetry.set_enabled true;
+          ignore (Spine.Engine.space engine);
+          let report = Workload.run ~config ?on_tick engine seq in
+          Workload.print report;
+          (match metrics with
+           | Some path -> write_metrics path metrics_format
+           | None -> ());
+          (match report_jsonl with
+           | Some "-" -> List.iter print_endline (Workload.jsonl report)
+           | Some path ->
+             let oc = open_out path in
+             List.iter (fun l -> output_string oc (l ^ "\n"))
+               (Workload.jsonl report);
+             close_out oc
+           | None -> ());
+          0)
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Drive a backend with a deterministic mix of single, \
+             batched and cursor queries; report per-operation latency \
+             quantiles, the slowest requests, and optionally a metrics \
+             snapshot (Prometheus text or JSONL).")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ seq_literal_arg $ backend_arg $ frames_arg
+          $ page_size_arg $ requests $ seed $ min_len $ max_len $ batch_size
+          $ cursor_steps $ miss_fraction $ mix $ rate $ slowest $ metrics
+          $ metrics_format $ metrics_every $ report_jsonl)
+
+(* --- bench-compare --- *)
+
+let bench_compare_cmd =
+  let old_path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OLD" ~doc:"Baseline BENCH_spine.json.")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"NEW" ~doc:"Candidate BENCH_spine.json.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.25
+         & info [ "tolerance" ] ~docv:"FRACTION"
+             ~doc:"Relative slowdown allowed before a benchmark counts \
+                   as regressed (0.25 = 25% slower).")
+  in
+  let floors =
+    Arg.(value & opt_all (pair ~sep:'=' string float) []
+         & info [ "floor" ] ~docv:"UNIT=VALUE"
+             ~doc:"Noise floor for a unit (repeatable), e.g. \
+                   wall_s=0.01: when both sides of a comparison are at \
+                   or below the floor, the ratio is timer noise and \
+                   never counts as a regression.")
+  in
+  let run old_path new_path tolerance floors =
+    match Bench_gate.load ~path:old_path, Bench_gate.load ~path:new_path with
+    | Error e, _ ->
+      Printf.eprintf "bench-compare: %s: %s\n" old_path e; 2
+    | _, Error e ->
+      Printf.eprintf "bench-compare: %s: %s\n" new_path e; 2
+    | Ok old_b, Ok new_b ->
+      let comparisons =
+        Bench_gate.compare_baselines ~floors ~tolerance old_b new_b
+      in
+      Report.Table.print
+        ~title:
+          (Printf.sprintf "bench trajectory (tolerance %.0f%%)"
+             (100.0 *. tolerance))
+        ~headers:[ "group"; "name"; "unit"; "old"; "new"; "ratio"; "verdict" ]
+        (Bench_gate.rows comparisons);
+      (match Bench_gate.failures comparisons with
+       | [] ->
+         Printf.printf "bench-compare: ok (%d benchmark(s))\n"
+           (List.length comparisons);
+         0
+       | failures ->
+         Printf.printf "bench-compare: %d failure(s)\n"
+           (List.length failures);
+         List.iter
+           (fun c ->
+             Printf.printf "  %s/%s: %s\n" c.Bench_gate.c_group
+               c.Bench_gate.c_name
+               (Bench_gate.verdict_string c.Bench_gate.c_verdict))
+           failures;
+         1)
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:"Compare two bench trajectory artifacts; exit 1 when any \
+             benchmark regressed beyond the tolerance or disappeared, \
+             2 when an artifact cannot be parsed.")
+    Term.(const run $ old_path $ new_path $ tolerance $ floors)
 
 (* --- match --- *)
 
@@ -826,8 +1128,8 @@ let scrub_cmd =
 let main_cmd =
   let doc = "SPINE string index (ICDE 2004 reproduction)" in
   Cmd.group (Cmd.info "spine" ~doc)
-    [ build_cmd; query_cmd; stats_cmd; match_cmd; approx_cmd; align_cmd;
-      trace_cmd; scrub_cmd ]
+    [ build_cmd; query_cmd; stats_cmd; workload_cmd; bench_compare_cmd;
+      match_cmd; approx_cmd; align_cmd; trace_cmd; scrub_cmd ]
 
 (* Typed storage errors can surface lazily (a damaged page is only read
    mid-query); render them as a diagnosis, not an "internal error". *)

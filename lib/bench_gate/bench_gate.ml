@@ -1,0 +1,323 @@
+(* The regression gate over committed BENCH_spine.json trajectories.
+   The toolchain has no JSON library, so this carries a minimal
+   recursive-descent parser — complete for the JSON grammar, tuned for
+   nothing beyond "parse a bench artifact a human may have edited". *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let fail pos msg =
+    raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
+
+  let parse_exn s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail !pos (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail !pos (Printf.sprintf "expected %s" word)
+    in
+    let utf8_of_code buf c =
+      (* enough for \uXXXX escapes outside the surrogate range *)
+      if c < 0x80 then Buffer.add_char buf (Char.chr c)
+      else if c < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail !pos "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail !pos "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail !pos "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> pos := !pos + 4; utf8_of_code buf code
+              | None -> fail !pos "bad \\u escape")
+           | _ -> fail (!pos - 1) "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match float_of_string_opt text with
+      | Some f -> Num f
+      | None -> fail start (Printf.sprintf "bad number %S" text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail !pos "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail !pos "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail !pos "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail !pos "trailing garbage";
+    v
+
+  let parse s =
+    match parse_exn s with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* --- the bench artifact schema ------------------------------------ *)
+
+type entry = {
+  group : string;  (** top-level array name: "experiments", "micro" *)
+  name : string;
+  unit_ : string;  (** the value field's key: "wall_s", "ns_per_run" *)
+  value : float option;  (** [None] when the artifact recorded null *)
+}
+
+type baseline = { schema : string; entries : entry list }
+
+let entry_of_item group item =
+  match Json.member "name" item with
+  | Some (Json.Str name) ->
+    (* the measurement is the first non-"name" scalar field *)
+    let rec first = function
+      | [] -> None
+      | ("name", _) :: rest -> first rest
+      | (key, Json.Num v) :: _ -> Some (key, Some v)
+      | (key, Json.Null) :: _ -> Some (key, None)
+      | _ :: rest -> first rest
+    in
+    (match item with
+     | Json.Obj fields ->
+       (match first fields with
+        | Some (unit_, value) -> Some { group; name; unit_; value }
+        | None -> None)
+     | _ -> None)
+  | _ -> None
+
+let of_string text =
+  match Json.parse text with
+  | Error msg -> Error msg
+  | Ok json ->
+    let schema =
+      match Json.member "schema" json with
+      | Some (Json.Str s) -> s
+      | _ -> ""
+    in
+    let entries =
+      match json with
+      | Json.Obj fields ->
+        List.concat_map
+          (fun (group, v) ->
+            match v with
+            | Json.List items -> List.filter_map (entry_of_item group) items
+            | _ -> [])
+          fields
+      | _ -> []
+    in
+    if schema = "" then Error "missing \"schema\" field"
+    else Ok { schema; entries }
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+(* --- comparison --------------------------------------------------- *)
+
+type verdict =
+  | Ok_within     (** within tolerance (including improvements) *)
+  | Regressed     (** new value exceeds old by more than tolerance *)
+  | Added         (** only in the new artifact — informational *)
+  | Removed       (** dropped from the new artifact — a failure: a
+                      silently vanished benchmark hides a regression *)
+  | Incomparable  (** null (failed fit) on either side *)
+
+type comparison = {
+  c_group : string;
+  c_name : string;
+  c_unit : string;
+  c_old : float option;
+  c_new : float option;
+  c_ratio : float option;  (** new / old where both are measured *)
+  c_verdict : verdict;
+}
+
+let compare_baselines ?(floors = []) ~tolerance old_b new_b =
+  let key e = (e.group, e.name) in
+  let in_new e = List.find_opt (fun e' -> key e' = key e) new_b.entries in
+  let below_floor unit_ o n =
+    match List.assoc_opt unit_ floors with
+    | Some floor -> o <= floor && n <= floor
+    | None -> false
+  in
+  let olds =
+    List.map
+      (fun e ->
+        match in_new e with
+        | None ->
+          { c_group = e.group; c_name = e.name; c_unit = e.unit_;
+            c_old = e.value; c_new = None; c_ratio = None;
+            c_verdict = Removed }
+        | Some e' ->
+          let ratio, verdict =
+            match e.value, e'.value with
+            | Some o, Some n when o > 0.0 ->
+              let r = n /. o in
+              ( Some r,
+                if r > 1.0 +. tolerance && not (below_floor e.unit_ o n)
+                then Regressed
+                else Ok_within )
+            | Some _, Some _ -> (None, Incomparable)
+            | _ -> (None, Incomparable)
+          in
+          { c_group = e.group; c_name = e.name; c_unit = e.unit_;
+            c_old = e.value; c_new = e'.value; c_ratio = ratio;
+            c_verdict = verdict })
+      old_b.entries
+  in
+  let added =
+    List.filter_map
+      (fun e' ->
+        if List.exists (fun e -> key e = key e') old_b.entries then None
+        else
+          Some
+            { c_group = e'.group; c_name = e'.name; c_unit = e'.unit_;
+              c_old = None; c_new = e'.value; c_ratio = None;
+              c_verdict = Added })
+      new_b.entries
+  in
+  olds @ added
+
+let failures comparisons =
+  List.filter
+    (fun c -> match c.c_verdict with
+       | Regressed | Removed -> true
+       | Ok_within | Added | Incomparable -> false)
+    comparisons
+
+let verdict_string = function
+  | Ok_within -> "ok"
+  | Regressed -> "REGRESSED"
+  | Added -> "added"
+  | Removed -> "REMOVED"
+  | Incomparable -> "n/a"
+
+let fmt_value = function
+  | None -> "-"
+  | Some v ->
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+
+let rows comparisons =
+  List.map
+    (fun c ->
+      [ c.c_group; c.c_name; c.c_unit; fmt_value c.c_old; fmt_value c.c_new;
+        (match c.c_ratio with
+         | None -> "-"
+         | Some r -> Printf.sprintf "%.2fx" r);
+        verdict_string c.c_verdict ])
+    comparisons

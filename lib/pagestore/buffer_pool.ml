@@ -53,6 +53,7 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
     writebacks = 0 }
 
 let device t = t.dev
+let frames t = t.frames
 let set_writeback_hook t h = t.on_writeback <- h
 
 (* Transient I/O errors (the kind the fault injector scripts) are

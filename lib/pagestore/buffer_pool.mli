@@ -26,6 +26,10 @@ val create :
 
 val device : t -> Device.t
 
+val frames : t -> int
+(** The pool's fixed frame capacity (the [frames] passed to
+    {!create}); frame memory is [frames * page size] bytes. *)
+
 val set_writeback_hook : t -> (int -> unit) option -> unit
 (** Install a callback invoked with the page id {e before} every dirty
     frame is written back to the device (eviction, {!flush}, {!drop}).

@@ -520,6 +520,19 @@ module Core (B : BYTES) = struct
   let row_bytes t table = t.lo.row_bytes.(table)
   let rows_allocated t table = B.used t.rts.(table) / t.lo.row_bytes.(table)
   let overflow_count t = t.overflow_count
+
+  (* The Section 5 layout maps cleanly onto the component vocabulary:
+     the bit-packed character labels are the vertebrae (destinations
+     are implicit), the LT is the links, the RT live rows are the ribs
+     (their PRT area carries the extrib fields), and the overflow /
+     anchor side tables are extrib bookkeeping. *)
+  let space_components t =
+    let s = space t in
+    [ ("vertebrae", s.string_bytes);
+      ("links", s.lt_bytes);
+      ("ribs", s.rt_bytes);
+      ("rib_slack", s.rt_slack_bytes);
+      ("extribs", s.overflow_bytes) ]
 end
 
 include Core (Btab)

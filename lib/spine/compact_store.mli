@@ -132,6 +132,11 @@ module Core (B : BYTES) : sig
   val row_bytes : t -> int -> int
   val rows_allocated : t -> int -> int
   val overflow_count : t -> int
+
+  val space_components : t -> (string * int) list
+  (** {!space} re-attributed to the shared component vocabulary
+      ([vertebrae]/[links]/[ribs]/[rib_slack]/[extribs]); see
+      {!Store_sig.S}. *)
 end
 
 include module type of Core (Btab)

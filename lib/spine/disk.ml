@@ -84,8 +84,16 @@ let caps =
   { Engine.backend = "disk"; persistent = false; paged = true;
     traced = true }
 
+(* The simulated device mirrors the in-memory tables page-for-page and
+   the pool caches it; both are storage overlays on top of the store's
+   own components, reported so `stats --space` shows the whole stack. *)
+let space_extra t () =
+  let page = Pagestore.Device.page_size t.device in
+  [ ("pagestore_pages", Pagestore.Device.pages_allocated t.device * page);
+    ("bufferpool_frames", Pagestore.Buffer_pool.frames t.pool * page) ]
+
 let engine t =
-  Engine.pack ~caps
+  Engine.pack ~caps ~space_extra:(space_extra t)
     (module Compact_store : Store_sig.S with type t = Compact_store.t)
     (Compact.store t.index)
 

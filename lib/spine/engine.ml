@@ -105,11 +105,12 @@ module type BACKEND = sig
   val store : S.t
   val caps : caps
   val guard : unit -> unit
+  val space_extra : unit -> (string * int) list
 end
 
 type t = (module BACKEND)
 
-let pack (type s) ?(guard = ignore) ~caps
+let pack (type s) ?(guard = ignore) ?(space_extra = fun () -> []) ~caps
     (module S : Store_sig.S with type t = s) (store : s) : t =
   (module struct
     module S = S
@@ -118,6 +119,7 @@ let pack (type s) ?(guard = ignore) ~caps
     let store = store
     let caps = caps
     let guard = guard
+    let space_extra = space_extra
   end)
 
 (* --- the query surface, defined exactly once --- *)
@@ -196,6 +198,15 @@ let edge_counts (module B : BACKEND) =
 let link_histogram (module B : BACKEND) ~buckets =
   B.guard ();
   B.A.link_histogram B.store ~buckets
+
+let space (module B : BACKEND) =
+  B.guard ();
+  let report =
+    Space_report.make ~backend:B.caps.backend ~chars:(B.A.length B.store)
+      (B.S.space_components B.store @ B.space_extra ())
+  in
+  Space_report.set_gauges report;
+  report
 
 (* --- batched query path --- *)
 

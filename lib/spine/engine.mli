@@ -113,18 +113,26 @@ module type BACKEND = sig
   val guard : unit -> unit
   (** Raises when the backend is unusable (e.g. a closed persistent
       index); called before every query. *)
+
+  val space_extra : unit -> (string * int) list
+  (** Storage components beyond the store itself (buffer-pool frames,
+      device pages); see {!pack}'s [space_extra]. *)
 end
 
 type t = (module BACKEND)
 
 val pack :
   ?guard:(unit -> unit) ->
+  ?space_extra:(unit -> (string * int) list) ->
   caps:caps ->
   (module Store_sig.S with type t = 's) -> 's -> t
 (** [pack (module S) store] packs a store with its instantiated
     algorithms into an engine.  Construction applies the algorithm
     functors — cheap, but callers should build an engine once and
-    reuse it rather than re-packing per query. *)
+    reuse it rather than re-packing per query.  [space_extra] (default
+    none) lets paged constructors report storage components that live
+    outside the store — buffer-pool frames, device pages — into
+    {!space}. *)
 
 (** {2 The query surface} *)
 
@@ -158,6 +166,13 @@ val label_maxima : t -> label_maxima
 val rib_distribution : t -> int array
 val edge_counts : t -> edge_counts
 val link_histogram : t -> buckets:int -> int array
+
+val space : t -> Space_report.t
+(** Measured footprint of the backend, attributed to named components:
+    the store's {!Store_sig.S.space_components} plus the constructor's
+    [space_extra] (pool frames, device pages).  Also publishes the
+    report as telemetry gauges ([space.<backend>.<component>_bytes])
+    when collection is enabled. *)
 
 (** {2 Batched queries}
 

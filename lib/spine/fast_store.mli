@@ -37,3 +37,7 @@ val model_bytes : t -> int
 
 val rib_count : t -> int
 val extrib_count : t -> int
+
+val space_components : t -> (string * int) list
+(** Measured live bytes of this OCaml representation per component
+    ([vertebrae]/[links]/[ribs]/[extribs]); see {!Store_sig.S}. *)

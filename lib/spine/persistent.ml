@@ -756,8 +756,20 @@ let caps =
   { Engine.backend = "persistent"; persistent = true; paged = true;
     traced = false }
 
+(* The file footprint (physical slots: pages + checksum trailers) and
+   the pool's frame memory; the paged byte tables themselves are
+   already attributed through the store's space_components. *)
+let space_extra t () =
+  [ ("pagestore_pages",
+     Pagestore.Device.pages_allocated t.device
+     * Pagestore.Device.phys_size t.device);
+    ("bufferpool_frames",
+     Pagestore.Buffer_pool.frames t.pool
+     * Pagestore.Device.page_size t.device) ]
+
 let engine t =
   Engine.pack ~guard:(fun () -> check_open t) ~caps
+    ~space_extra:(space_extra t)
     (module P : Store_sig.S with type t = P.t)
     t.core
 

@@ -64,4 +64,11 @@ module type S = sig
   val fold_ribs : t -> int -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
   (** [fold_ribs t node ~init ~f] folds [f acc code dest pt] over the
       ribs leaving [node]. *)
+
+  val space_components : t -> (string * int) list
+  (** Measured live bytes of the store, attributed to named components
+      (["vertebrae"], ["links"], ["ribs"], ["extribs"], …).  The sum is
+      the store's whole footprint: anything the store allocates must be
+      attributed to some component.  {!Engine.space} aggregates this
+      into a {!Space_report.t}. *)
 end

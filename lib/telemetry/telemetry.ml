@@ -101,6 +101,46 @@ let observe h v =
 let bucket_bounds i =
   if i <= 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
 
+(* Interpolated quantile over log-bucket counts: find the bucket holding
+   the target rank, then place the value linearly within the bucket's
+   [lo, hi] range by the rank's position among that bucket's
+   observations.  Exact for the single-value buckets 0 and 1; an upper
+   bound (the bucket ceiling) for q = 1. *)
+let quantile ~counts ~total q =
+  if total <= 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int total)) in
+    let rec find i cum =
+      if i >= Array.length counts then
+        (* rank beyond the recorded counts (inconsistent total): clamp
+           to the ceiling of the last occupied bucket *)
+        let rec last j = if j < 0 then 0.0 else if counts.(j) > 0 then float_of_int (snd (bucket_bounds j)) else last (j - 1) in
+        last (Array.length counts - 1)
+      else begin
+        let c = counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= rank then begin
+          let lo, hi = bucket_bounds i in
+          let f = (rank -. float_of_int cum) /. float_of_int c in
+          float_of_int lo +. (f *. float_of_int (hi - lo))
+        end
+        else find (i + 1) cum'
+      end
+    in
+    find 0 0
+  end
+
+let hist_total h = h.h_total
+let hist_sum h = h.h_sum
+let hist_quantile h q = quantile ~counts:h.h_counts ~total:h.h_total q
+
+let hist_max h =
+  let rec last j =
+    if j < 0 then 0 else if h.h_counts.(j) > 0 then snd (bucket_bounds j) else last (j - 1)
+  in
+  last (hist_buckets - 1)
+
 let span name =
   match
     register name (fun () -> Span { s_name = name; s_calls = 0; s_total_ns = 0 })
@@ -253,9 +293,16 @@ let jsonl snap =
           done;
           String.concat "," !parts
         in
+        let qn q =
+          let v = quantile ~counts ~total q in
+          if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.sprintf "%.0f" v
+          else Printf.sprintf "%.6g" v
+        in
         Printf.sprintf
-          "{\"metric\":\"%s\",\"kind\":\"histogram\",\"total\":%d,\"sum\":%d,\"buckets\":[%s]}"
-          name total sum buckets
+          "{\"metric\":\"%s\",\"kind\":\"histogram\",\"total\":%d,\"sum\":%d,\
+           \"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s,\"buckets\":[%s]}"
+          name total sum (qn 0.5) (qn 0.9) (qn 0.99) (qn 1.0) buckets
       | Timing { calls; total_ns } ->
         Printf.sprintf
           "{\"metric\":\"%s\",\"kind\":\"span\",\"calls\":%d,\"total_ns\":%d}"
@@ -272,3 +319,74 @@ let write_jsonl ~path snap =
           output_string oc line;
           output_char oc '\n')
         (jsonl snap))
+
+(* --- Prometheus text exposition --- *)
+
+let prom_name prefix name =
+  let buf = Buffer.create (String.length prefix + String.length name) in
+  Buffer.add_string buf prefix;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus ?(prefix = "spine_") snap =
+  List.concat_map
+    (fun (name, v) ->
+      let n = prom_name prefix name in
+      match v with
+      | Count c ->
+        [ Printf.sprintf "# TYPE %s counter" n;
+          Printf.sprintf "%s %d" n c ]
+      | Level x ->
+        [ Printf.sprintf "# TYPE %s gauge" n;
+          Printf.sprintf "%s %s" n (prom_float x) ]
+      | Dist { counts; total; sum } ->
+        (* cumulative buckets at the occupied boundaries only — any
+           subset of boundaries is a valid Prometheus histogram *)
+        let buckets = ref [] and cum = ref 0 in
+        for i = 0 to hist_buckets - 1 do
+          if counts.(i) > 0 then begin
+            cum := !cum + counts.(i);
+            let _, hi = bucket_bounds i in
+            buckets :=
+              Printf.sprintf "%s_bucket{le=\"%d\"} %d" n hi !cum :: !buckets
+          end
+        done;
+        let q p tag =
+          Printf.sprintf "%s_quantile{q=\"%s\"} %s" n tag
+            (prom_float (quantile ~counts ~total p))
+        in
+        Printf.sprintf "# TYPE %s histogram" n
+        :: List.rev_append !buckets
+             [ Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n total;
+               Printf.sprintf "%s_sum %d" n sum;
+               Printf.sprintf "%s_count %d" n total;
+               Printf.sprintf "# TYPE %s_quantile gauge" n;
+               q 0.5 "0.5"; q 0.9 "0.9"; q 0.99 "0.99"; q 1.0 "1" ]
+      | Timing { calls; total_ns } ->
+        [ Printf.sprintf "# TYPE %s_calls counter" n;
+          Printf.sprintf "%s_calls %d" n calls;
+          Printf.sprintf "# TYPE %s_ns_total counter" n;
+          Printf.sprintf "%s_ns_total %d" n total_ns ])
+    snap
+
+let write_prometheus ?prefix ~path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (prometheus ?prefix snap))

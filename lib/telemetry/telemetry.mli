@@ -46,6 +46,17 @@ val observe : histogram -> int -> unit
     (i.e. the bucket covering [[2^(i-1), 2^i - 1]]); values [<= 0] land
     in bucket 0. *)
 
+val hist_total : histogram -> int
+val hist_sum : histogram -> int
+
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h q] is the interpolated [q]-quantile ([q] clamped to
+    [[0, 1]]) of the live histogram; see {!quantile}. *)
+
+val hist_max : histogram -> int
+(** Upper bound of the highest occupied bucket (the recorded maximum is
+    somewhere in that bucket); [0] when empty. *)
+
 type span
 val span : string -> span
 val with_span : span -> (unit -> 'a) -> 'a
@@ -81,6 +92,14 @@ val bucket_bounds : int -> int * int
 (** [bucket_bounds i] is the inclusive [(lo, hi)] value range of
     histogram bucket [i]. *)
 
+val quantile : counts:int array -> total:int -> float -> float
+(** Interpolated quantile over log-bucket counts (a snapshot's
+    [Dist.counts], or any array indexed like one): locate the bucket
+    holding rank [round (q * total)] (clamped to at least 1) and place
+    the value linearly within that bucket's [(lo, hi)] range.  Exact
+    for the single-value buckets 0 and 1; [q = 1] returns the ceiling
+    of the highest occupied bucket; [0] when [total <= 0]. *)
+
 (** {1 Exporters} *)
 
 val print_table : ?title:string -> ?omit_zero:bool -> snapshot -> unit
@@ -90,6 +109,20 @@ val print_table : ?title:string -> ?omit_zero:bool -> snapshot -> unit
 
 val jsonl : snapshot -> string list
 (** One JSON object per metric, e.g.
-    [{"metric":"pool.hits","kind":"counter","value":42}]. *)
+    [{"metric":"pool.hits","kind":"counter","value":42}].  Histograms
+    carry [total], [sum], interpolated [p50]/[p90]/[p99]/[max] and the
+    non-empty [[lo, hi, count]] buckets. *)
 
 val write_jsonl : path:string -> snapshot -> unit
+
+val prometheus : ?prefix:string -> snapshot -> string list
+(** The snapshot in the Prometheus text exposition format.  Metric
+    names are [prefix] (default ["spine_"]) plus the registry name with
+    every non-[[a-zA-Z0-9_]] character replaced by [_].  Counters and
+    gauges map directly; a histogram becomes cumulative
+    [_bucket{le="…"}] samples at its occupied bucket ceilings plus
+    [_sum]/[_count], with the interpolated quantiles as a companion
+    [<name>_quantile{q="…"}] gauge; a span becomes the two counters
+    [<name>_calls] and [<name>_ns_total]. *)
+
+val write_prometheus : ?prefix:string -> path:string -> snapshot -> unit

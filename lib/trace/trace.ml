@@ -74,6 +74,7 @@ let on () = !recording
 
 let set_sample_rate r = sample_rate := min 1.0 (max 0.0 r)
 let set_slow_us us = slow_ns := us * 1000
+let slow_us () = !slow_ns / 1000
 let set_clock f = clock := f
 let capacity () = Array.length !ring
 

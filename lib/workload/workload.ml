@@ -1,0 +1,298 @@
+(* Synthetic query workloads over one Engine.t.  The generator is
+   deterministic (Bioseq.Rng) so a (seed, config, sequence) triple
+   replays the exact same request stream on any backend; only the
+   measured latencies differ. *)
+
+type mix = { single : int; batch : int; cursor : int }
+
+type config = {
+  requests : int;
+  seed : int;
+  min_len : int;
+  max_len : int;
+  batch_size : int;
+  cursor_steps : int;
+  miss_fraction : float;
+  mix : mix;
+  rate : float option;
+  slow_us : int;
+  slowest : int;
+  tick_every : int;
+}
+
+let default_config =
+  { requests = 1000;
+    seed = 42;
+    min_len = 4;
+    max_len = 12;
+    batch_size = 16;
+    cursor_steps = 24;
+    miss_fraction = 0.1;
+    mix = { single = 6; batch = 2; cursor = 2 };
+    rate = None;
+    slow_us = 1;
+    slowest = 10;
+    tick_every = 0 }
+
+type op_report = {
+  op : string;
+  count : int;
+  hits : int;
+  mean_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : int;
+}
+
+type slow = { s_op : string; s_request : int; s_ns : int }
+
+type report = {
+  backend : string;
+  total_requests : int;
+  wall_ns : int;
+  achieved_rps : float;
+  offered_rps : float option;
+  ops : op_report list;
+  slowest : slow list;
+}
+
+(* --- per-op accumulation ---------------------------------------- *)
+
+(* Local mirror of the telemetry log-bucketing so the report is scoped
+   to this run even though the global histograms accumulate across
+   runs in one process. *)
+let n_buckets = 64
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+    min (n_buckets - 1) (log2 v 0 + 1)
+  end
+
+type acc = {
+  a_op : string;
+  a_hist : Telemetry.histogram;  (* global: feeds the exposition formats *)
+  counts : int array;            (* local: feeds this run's report *)
+  mutable count : int;
+  mutable hits : int;
+  mutable sum_ns : int;
+  mutable max_ns : int;
+}
+
+let acc backend op =
+  { a_op = op;
+    a_hist = Telemetry.histogram (Printf.sprintf "workload.%s.%s.ns" backend op);
+    counts = Array.make n_buckets 0;
+    count = 0; hits = 0; sum_ns = 0; max_ns = 0 }
+
+let record a ~hit ns =
+  Telemetry.observe a.a_hist ns;
+  a.counts.(bucket_of ns) <- a.counts.(bucket_of ns) + 1;
+  a.count <- a.count + 1;
+  if hit then a.hits <- a.hits + 1;
+  a.sum_ns <- a.sum_ns + ns;
+  if ns > a.max_ns then a.max_ns <- ns
+
+let report_of_acc a =
+  let q = Telemetry.quantile ~counts:a.counts ~total:a.count in
+  { op = a.a_op;
+    count = a.count;
+    hits = a.hits;
+    mean_ns = (if a.count = 0 then 0.0 else float_of_int a.sum_ns /. float_of_int a.count);
+    p50_ns = q 0.5;
+    p90_ns = q 0.9;
+    p99_ns = q 0.99;
+    max_ns = a.max_ns }
+
+(* --- request generation ----------------------------------------- *)
+
+(* A pattern is either a random substring of the subject (guaranteed
+   hit) or, with probability [miss_fraction], uniform random codes
+   (an almost-certain miss on any non-trivial sequence). *)
+let gen_pattern cfg rng seq =
+  let n = Bioseq.Packed_seq.length seq in
+  let sigma = Bioseq.Alphabet.size (Bioseq.Packed_seq.alphabet seq) in
+  let len =
+    let lo = max 1 cfg.min_len in
+    let hi = max lo (min cfg.max_len (max 1 n)) in
+    lo + Bioseq.Rng.int rng (hi - lo + 1)
+  in
+  if Bioseq.Rng.float rng 1.0 < cfg.miss_fraction || n < len then
+    Array.init len (fun _ -> Bioseq.Rng.int rng sigma)
+  else begin
+    let pos = Bioseq.Rng.int rng (n - len + 1) in
+    Array.init len (fun i -> Bioseq.Packed_seq.get seq (pos + i))
+  end
+
+let pick_op mix rng =
+  let s = max 0 mix.single and b = max 0 mix.batch and c = max 0 mix.cursor in
+  let total = s + b + c in
+  if total = 0 then `Single
+  else begin
+    let r = Bioseq.Rng.int rng total in
+    if r < s then `Single else if r < s + b then `Batch else `Cursor
+  end
+
+let run_single engine pattern =
+  match Spine.Engine.occurrences engine pattern with
+  | [] -> false
+  | _ :: _ -> true
+
+let run_batch_op cfg engine rng seq =
+  let patterns = List.init cfg.batch_size (fun _ -> gen_pattern cfg rng seq) in
+  let items = Spine.Engine.run_batch engine patterns in
+  List.exists (fun it -> it.Spine.Engine.count > 0) items
+
+let run_cursor_op cfg engine rng seq =
+  let cur = Spine.Engine.cursor engine in
+  let steps = max 1 cfg.cursor_steps in
+  (* walk a guaranteed-matching path where possible so the cursor does
+     real extension work; restart from the root on a mismatch *)
+  let n = Bioseq.Packed_seq.length seq in
+  let pos = ref (if n = 0 then 0 else Bioseq.Rng.int rng n) in
+  for _ = 1 to steps do
+    if n > 0 then begin
+      let code = Bioseq.Packed_seq.get seq (!pos mod n) in
+      incr pos;
+      if not (cur.Spine.Engine.advance code) then cur.Spine.Engine.reset ()
+    end
+  done;
+  cur.Spine.Engine.first_occurrence () <> None
+
+(* --- the runner -------------------------------------------------- *)
+
+let op_name = function
+  | `Single -> "single"
+  | `Batch -> "batch"
+  | `Cursor -> "cursor"
+
+let run ?(config = default_config) ?on_tick engine seq =
+  let cfg = config in
+  let backend = Spine.Engine.backend engine in
+  let rng = Bioseq.Rng.create cfg.seed in
+  let accs =
+    [ (`Single, acc backend "single");
+      (`Batch, acc backend "batch");
+      (`Cursor, acc backend "cursor") ]
+  in
+  (* Scoped observability: collection on and the slow-op threshold low
+     for the duration of the run, everything restored afterwards. *)
+  let telemetry_was = Telemetry.is_enabled () in
+  let trace_was = Trace.is_enabled () in
+  let slow_was = Trace.slow_us () in
+  let slow_before = List.length (Trace.slow_ops ()) in
+  Telemetry.set_enabled true;
+  Trace.set_enabled true;
+  Trace.set_slow_us (max 1 cfg.slow_us);
+  let restore () =
+    Telemetry.set_enabled telemetry_was;
+    Trace.set_enabled trace_was;
+    Trace.set_slow_us slow_was
+  in
+  let t_start = Xutil.Stopwatch.now_ns () in
+  Fun.protect ~finally:restore (fun () ->
+      for i = 0 to cfg.requests - 1 do
+        let op = pick_op cfg.mix rng in
+        (* Open loop: request [i] is due at [start + i/rate]; latency is
+           measured from the scheduled start, so falling behind shows up
+           as queueing delay in the histogram (the coordinated-omission
+           correction).  Closed loop: due now, latency = service time. *)
+        let due =
+          match cfg.rate with
+          | None -> Xutil.Stopwatch.now_ns ()
+          | Some r ->
+            let due = t_start + int_of_float (float_of_int i /. r *. 1e9) in
+            let now = Xutil.Stopwatch.now_ns () in
+            if due > now then Unix.sleepf (float_of_int (due - now) /. 1e9);
+            due
+        in
+        let hit =
+          Trace.with_op
+            (Printf.sprintf "workload.%s" (op_name op))
+            [ Trace.Int ("request", i) ]
+            (fun () ->
+              match op with
+              | `Single -> run_single engine (gen_pattern cfg rng seq)
+              | `Batch -> run_batch_op cfg engine rng seq
+              | `Cursor -> run_cursor_op cfg engine rng seq)
+        in
+        let ns = Xutil.Stopwatch.now_ns () - due in
+        record (List.assq op accs) ~hit ns;
+        (match on_tick with
+         | Some f when cfg.tick_every > 0 && (i + 1) mod cfg.tick_every = 0 ->
+           f (i + 1)
+         | _ -> ())
+      done;
+      let wall_ns = max 1 (Xutil.Stopwatch.now_ns () - t_start) in
+      let request_arg args =
+        List.fold_left
+          (fun r a -> match a with Trace.Int ("request", v) -> v | _ -> r)
+          (-1) args
+      in
+      let slowest =
+        Trace.slow_ops ()
+        |> List.filteri (fun i _ -> i >= slow_before)
+        |> List.map (fun (s : Trace.slow_op) ->
+               { s_op = s.Trace.so_name;
+                 s_request = request_arg s.Trace.so_args;
+                 s_ns = s.Trace.so_ns })
+        |> List.sort (fun a b -> compare b.s_ns a.s_ns)
+        |> List.filteri (fun i _ -> i < max 0 cfg.slowest)
+      in
+      { backend;
+        total_requests = cfg.requests;
+        wall_ns;
+        achieved_rps = float_of_int cfg.requests /. (float_of_int wall_ns /. 1e9);
+        offered_rps = cfg.rate;
+        ops = List.map (fun (_, a) -> report_of_acc a) accs;
+        slowest })
+
+(* --- rendering ---------------------------------------------------- *)
+
+let ns_ms ns = Printf.sprintf "%.3f" (ns /. 1e6)
+
+let print r =
+  let mode =
+    match r.offered_rps with
+    | None -> "closed loop"
+    | Some rate -> Printf.sprintf "open loop @ %.0f req/s" rate
+  in
+  Report.Say.printf "workload: %d requests on %s (%s), %.0f req/s achieved\n"
+    r.total_requests r.backend mode r.achieved_rps;
+  Report.Table.print ~title:"Latency by operation"
+    ~headers:[ "op"; "count"; "hits"; "mean ms"; "p50 ms"; "p90 ms"; "p99 ms"; "max ms" ]
+    (List.map
+       (fun o ->
+         [ o.op; string_of_int o.count; string_of_int o.hits;
+           ns_ms o.mean_ns; ns_ms o.p50_ns; ns_ms o.p90_ns; ns_ms o.p99_ns;
+           ns_ms (float_of_int o.max_ns) ])
+       r.ops);
+  if r.slowest <> [] then
+    Report.Table.print ~title:"Slowest requests (trace slow-op log)"
+      ~headers:[ "rank"; "op"; "request"; "ms" ]
+      (List.mapi
+         (fun i s ->
+           [ string_of_int (i + 1); s.s_op; string_of_int s.s_request;
+             ns_ms (float_of_int s.s_ns) ])
+         r.slowest)
+
+let jsonl r =
+  let op_line o =
+    Printf.sprintf
+      "{\"workload_op\":%S,\"backend\":%S,\"count\":%d,\"hits\":%d,\
+       \"mean_ns\":%.0f,\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f,\
+       \"max_ns\":%d}"
+      o.op r.backend o.count o.hits o.mean_ns o.p50_ns o.p90_ns o.p99_ns
+      o.max_ns
+  in
+  let summary =
+    Printf.sprintf
+      "{\"workload\":%S,\"requests\":%d,\"wall_ns\":%d,\"achieved_rps\":%.1f%s}"
+      r.backend r.total_requests r.wall_ns r.achieved_rps
+      (match r.offered_rps with
+       | None -> ""
+       | Some rate -> Printf.sprintf ",\"offered_rps\":%.1f" rate)
+  in
+  summary :: List.map op_line r.ops

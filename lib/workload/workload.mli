@@ -1,0 +1,96 @@
+(** Synthetic query workloads over one {!Spine.Engine.t}.
+
+    The runner drives an engine with a deterministic, seeded mix of
+    query operations and records per-request latency three ways at
+    once: into the process-global telemetry histograms
+    ([workload.<backend>.<op>.ns], so the exposition formats see them),
+    into a run-local accumulator (so the returned {!report} covers
+    exactly this run even when the process has run workloads before),
+    and through {!Trace.with_op} (so the trace slow-op log captures the
+    slowest individual requests with their request ids).
+
+    Operation kinds:
+    - {e single} — one pattern, full occurrence resolution;
+    - {e batch} — [batch_size] patterns through
+      {!Spine.Engine.run_batch} (the Section 4 shared backbone scan);
+    - {e cursor} — an incremental valid-path walk of [cursor_steps]
+      character extensions.
+
+    Patterns are random substrings of the subject sequence (guaranteed
+    hits) except for a [miss_fraction] of uniform random code strings.
+    Because generation is deterministic in [(seed, config, sequence)],
+    the same request stream replays against every backend — the
+    latency distributions are comparable across backends by
+    construction. *)
+
+type mix = { single : int; batch : int; cursor : int }
+(** Relative weights; all zero degenerates to single-pattern only. *)
+
+type config = {
+  requests : int;
+  seed : int;
+  min_len : int;         (** pattern length range, inclusive *)
+  max_len : int;
+  batch_size : int;      (** patterns per batch request *)
+  cursor_steps : int;    (** extensions per cursor request *)
+  miss_fraction : float; (** probability of a random (miss) pattern *)
+  mix : mix;
+  rate : float option;
+      (** [Some r]: open loop at [r] requests/second — request [i] is
+          due at [start + i/r] and its latency is measured from that
+          schedule, so falling behind is charged as queueing delay
+          (coordinated-omission correction).  [None]: closed loop,
+          back-to-back. *)
+  slow_us : int;
+      (** Trace slow-op threshold during the run (min 1 so the log
+          catches everything measurable); restored afterwards. *)
+  slowest : int;         (** how many slowest requests to report *)
+  tick_every : int;      (** invoke [on_tick] every N requests; 0 = never *)
+}
+
+val default_config : config
+(** 1000 requests, seed 42, lengths 4–12, batches of 16, 24-step
+    cursors, 10% misses, mix 6/2/2, closed loop, slowest-10. *)
+
+type op_report = {
+  op : string;
+  count : int;
+  hits : int;    (** requests that found at least one occurrence *)
+  mean_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;  (** interpolated, see {!Telemetry.quantile} *)
+  max_ns : int;    (** exact (not bucketed) *)
+}
+
+type slow = {
+  s_op : string;
+  s_request : int;  (** request index within the run, -1 if unknown *)
+  s_ns : int;
+}
+
+type report = {
+  backend : string;
+  total_requests : int;
+  wall_ns : int;
+  achieved_rps : float;
+  offered_rps : float option;  (** the configured open-loop rate *)
+  ops : op_report list;
+  slowest : slow list;  (** descending by duration, at most [slowest] *)
+}
+
+val run :
+  ?config:config -> ?on_tick:(int -> unit) -> Spine.Engine.t ->
+  Bioseq.Packed_seq.t -> report
+(** [run engine seq] drives [engine] with patterns drawn from [seq].
+    Telemetry and tracing are force-enabled for the duration (prior
+    state restored); [on_tick done] fires every [tick_every] completed
+    requests — the CLI uses it to emit periodic metrics snapshots. *)
+
+val print : report -> unit
+(** Render through {!Report.Table}: a latency table (count, hits, mean
+    and p50/p90/p99/max per operation) and the slowest-K request
+    table. *)
+
+val jsonl : report -> string list
+(** One summary object plus one object per operation. *)

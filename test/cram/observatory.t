@@ -1,0 +1,151 @@
+The perf observatory surface: space accounting, the workload runner with
+its metrics exposition, and the bench trajectory regression gate.
+
+  $ printf 'aaccacaacaaccacaacaaccacaaca' > data.txt
+
+Space accounting attributes the measured footprint to named components on
+any backend.  The fast store is pure in-memory structure:
+
+  $ spine stats --space --text data.txt --backend fast
+  
+  space (fast, 28 chars)
+  ----------------------
+    component  bytes  bytes/char  share 
+    ---------  -----  ----------  ------
+    vertebrae     28        1.00    3.5%
+    links        464       16.57   58.3%
+    ribs         160        5.71   20.1%
+    extribs      144        5.14   18.1%
+    total        796       28.43  100.0%
+    index footprint 28.43 bytes/char
+
+The disk backend adds its storage overlays (device pages, buffer-pool
+frames); overlays count toward the total but not the index footprint.
+A small pool keeps the numbers readable:
+
+  $ spine stats --space --text data.txt --backend disk --frames 8 --page-size 512
+  
+  space (disk, 28 chars)
+  ----------------------
+    component          bytes  bytes/char  share 
+    -----------------  -----  ----------  ------
+    vertebrae              7        0.25    0.1%
+    links                174        6.21    2.9%
+    ribs                  84        3.00    1.4%
+    rib_slack              0        0.00    0.0%
+    extribs               16        0.57    0.3%
+    pagestore_pages     1536       54.86   26.0%
+    bufferpool_frames   4096      146.29   69.3%
+    total               5913      211.18  100.0%
+    index footprint 10.04 bytes/char
+
+The same report as one JSON line:
+
+  $ spine stats --space --text data.txt --backend compact --jsonl - | tail -1
+  {"backend":"compact","chars":28,"total_bytes":281,"index_bytes":281,"bytes_per_char":10.0357,"components":{"vertebrae":7,"links":174,"ribs":84,"rib_slack":0,"extribs":16}}
+
+The workload runner drives a deterministic request mix and reports
+per-operation latency quantiles; timings vary, the shape does not:
+
+  $ spine workload --text data.txt --backend fast -n 40 --seed 3 \
+  >   --metrics metrics.prom --report-jsonl report.jsonl > workload.out
+  $ grep -o 'workload: 40 requests on fast (closed loop)' workload.out
+  workload: 40 requests on fast (closed loop)
+  $ grep -c 'Latency by operation' workload.out
+  1
+  $ grep -c 'Slowest requests (trace slow-op log)' workload.out
+  1
+  $ sed -n 's/^  \(single\|batch\|cursor\) .*/\1/p' workload.out | sort
+  batch
+  cursor
+  single
+
+The JSONL report carries the counts (deterministic in the seed) and the
+quantile fields:
+
+  $ grep -o '"workload_op":"single","backend":"fast","count":28,"hits":27' report.jsonl
+  "workload_op":"single","backend":"fast","count":28,"hits":27
+  $ grep -o '"p50_ns"\|"p90_ns"\|"p99_ns"\|"max_ns"' report.jsonl | sort -u
+  "max_ns"
+  "p50_ns"
+  "p90_ns"
+  "p99_ns"
+
+The Prometheus exposition carries the workload histograms with their
+cumulative buckets and quantile companions:
+
+  $ grep -c '^# TYPE spine_workload_fast_single_ns histogram' metrics.prom
+  1
+  $ grep -c 'spine_workload_fast_single_ns_bucket{le="+Inf"} 28' metrics.prom
+  1
+  $ grep -o 'spine_workload_fast_single_ns_quantile{q="0.99"}' metrics.prom
+  spine_workload_fast_single_ns_quantile{q="0.99"}
+
+The space gauges published during the run are exposed too:
+
+  $ grep -o '^spine_space_fast_total_bytes' metrics.prom
+  spine_space_fast_total_bytes
+
+The JSONL metrics format exposes the same snapshot:
+
+  $ spine workload --text data.txt --backend disk --frames 8 -n 20 --seed 3 \
+  >   --metrics metrics.jsonl --metrics-format jsonl > /dev/null
+  $ grep -o '"metric":"workload.disk.single.ns","kind":"histogram"' metrics.jsonl
+  "metric":"workload.disk.single.ns","kind":"histogram"
+  $ grep -o '"p99":' metrics.jsonl | sort -u
+  "p99":
+
+The regression gate: identical trajectories pass...
+
+  $ cat > old.json <<'EOF'
+  > {"schema": "spine-bench/1",
+  >  "experiments": [{"name": "table2", "wall_s": 1.0},
+  >                  {"name": "table3", "wall_s": 0.4}],
+  >  "micro": [{"name": "construct/fast", "ns_per_run": 1500}]}
+  > EOF
+  $ spine bench-compare old.json old.json --tolerance 0.25
+  
+  bench trajectory (tolerance 25%)
+  --------------------------------
+    group        name            unit        old   new   ratio  verdict
+    -----------  --------------  ----------  ----  ----  -----  -------
+    experiments  table2          wall_s         1     1  1.00x  ok     
+    experiments  table3          wall_s       0.4   0.4  1.00x  ok     
+    micro        construct/fast  ns_per_run  1500  1500  1.00x  ok     
+  bench-compare: ok (3 benchmark(s))
+
+...an injected slowdown beyond the tolerance fails with exit 1...
+
+  $ sed 's/"wall_s": 0.4/"wall_s": 1.4/' old.json > new.json
+  $ spine bench-compare old.json new.json --tolerance 0.25
+  
+  bench trajectory (tolerance 25%)
+  --------------------------------
+    group        name            unit        old   new   ratio  verdict  
+    -----------  --------------  ----------  ----  ----  -----  ---------
+    experiments  table2          wall_s         1     1  1.00x  ok       
+    experiments  table3          wall_s       0.4   1.4  3.50x  REGRESSED
+    micro        construct/fast  ns_per_run  1500  1500  1.00x  ok       
+  bench-compare: 1 failure(s)
+    experiments/table3: REGRESSED
+  [1]
+
+...a benchmark that silently disappears also fails...
+
+  $ cat > shrunk.json <<'EOF'
+  > {"schema": "spine-bench/1",
+  >  "experiments": [{"name": "table2", "wall_s": 1.0}],
+  >  "micro": [{"name": "construct/fast", "ns_per_run": 1500}]}
+  > EOF
+  $ spine bench-compare old.json shrunk.json --tolerance 0.25 | tail -2
+  bench-compare: 1 failure(s)
+    experiments/table3: REMOVED
+  $ spine bench-compare old.json shrunk.json --tolerance 0.25 > /dev/null
+  [1]
+
+...and a malformed artifact exits 2.
+
+  $ echo '{not json' > bad.json
+  $ spine bench-compare old.json bad.json
+  bench-compare: bad.json: at offset 1: expected '"'
+  [2]

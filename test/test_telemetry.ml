@@ -143,9 +143,94 @@ let test_jsonl_golden () =
   in
   Alcotest.(check (list string)) "jsonl"
     [ {|{"metric":"a.count","kind":"counter","value":3}|};
-      {|{"metric":"b.dist","kind":"histogram","total":3,"sum":7,"buckets":[[1,1,2],[4,7,1]]}|};
+      {|{"metric":"b.dist","kind":"histogram","total":3,"sum":7,"p50":1,"p90":7,"p99":7,"max":7,"buckets":[[1,1,2],[4,7,1]]}|};
       {|{"metric":"c.span","kind":"span","calls":2,"total_ns":1500}|} ]
     (Telemetry.jsonl snap)
+
+let test_quantiles () =
+  (* empty: everything is 0 *)
+  let empty = Array.make 63 0 in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0
+    (Telemetry.quantile ~counts:empty ~total:0 0.5);
+  (* single-value buckets (0 and 1) are exact at every quantile *)
+  let ones = Array.make 63 0 in
+  ones.(1) <- 5;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "all-ones q=%g" q)
+        1.0
+        (Telemetry.quantile ~counts:ones ~total:5 q))
+    [ 0.01; 0.5; 0.99; 1.0 ];
+  (* interpolation inside one wide bucket: 10 observations in [4, 7]
+     spread linearly across the bucket's range *)
+  let wide = Array.make 63 0 in
+  wide.(3) <- 10;
+  Alcotest.(check (float 1e-9)) "wide p50 interpolates" (4.0 +. (0.5 *. 3.0))
+    (Telemetry.quantile ~counts:wide ~total:10 0.5);
+  Alcotest.(check (float 1e-9)) "wide q=1 is the ceiling" 7.0
+    (Telemetry.quantile ~counts:wide ~total:10 1.0);
+  (* two buckets: rank selection crosses the boundary *)
+  let two = Array.make 63 0 in
+  two.(1) <- 2;
+  two.(3) <- 1;
+  Alcotest.(check (float 0.0)) "two-bucket p50 stays low" 1.0
+    (Telemetry.quantile ~counts:two ~total:3 0.5);
+  Alcotest.(check (float 0.0)) "two-bucket p99 reaches the top" 7.0
+    (Telemetry.quantile ~counts:two ~total:3 0.99);
+  (* out-of-range q clamps instead of raising *)
+  Alcotest.(check (float 0.0)) "q clamps below" 1.0
+    (Telemetry.quantile ~counts:two ~total:3 (-1.0));
+  Alcotest.(check (float 0.0)) "q clamps above" 7.0
+    (Telemetry.quantile ~counts:two ~total:3 2.0)
+
+let test_hist_accessors () =
+  with_enabled true (fun () ->
+      let h = Telemetry.histogram "test.hist_accessors" in
+      Telemetry.reset ();
+      Alcotest.(check int) "empty total" 0 (Telemetry.hist_total h);
+      Alcotest.(check int) "empty max" 0 (Telemetry.hist_max h);
+      List.iter (Telemetry.observe h) [ 1; 1; 6; 100 ];
+      Alcotest.(check int) "total" 4 (Telemetry.hist_total h);
+      Alcotest.(check int) "sum" 108 (Telemetry.hist_sum h);
+      (* 100 lives in bucket [64, 127]: the max accessor reports the
+         bucket ceiling, an upper bound on the true maximum *)
+      Alcotest.(check int) "max is the bucket ceiling" 127
+        (Telemetry.hist_max h);
+      Alcotest.(check (float 0.0)) "p50 exact in bucket 1" 1.0
+        (Telemetry.hist_quantile h 0.5))
+
+let test_prometheus_golden () =
+  let counts = Array.make 63 0 in
+  counts.(1) <- 2;
+  counts.(3) <- 1;
+  let snap =
+    [ ("a.count", Telemetry.Count 3);
+      ("b.dist", Telemetry.Dist { counts; total = 3; sum = 7 });
+      ("c.span", Telemetry.Timing { calls = 2; total_ns = 1500 });
+      ("g.level", Telemetry.Level 2.5) ]
+  in
+  Alcotest.(check (list string)) "prometheus"
+    [ "# TYPE spine_a_count counter";
+      "spine_a_count 3";
+      "# TYPE spine_b_dist histogram";
+      "spine_b_dist_bucket{le=\"1\"} 2";
+      "spine_b_dist_bucket{le=\"7\"} 3";
+      "spine_b_dist_bucket{le=\"+Inf\"} 3";
+      "spine_b_dist_sum 7";
+      "spine_b_dist_count 3";
+      "# TYPE spine_b_dist_quantile gauge";
+      "spine_b_dist_quantile{q=\"0.5\"} 1";
+      "spine_b_dist_quantile{q=\"0.9\"} 7";
+      "spine_b_dist_quantile{q=\"0.99\"} 7";
+      "spine_b_dist_quantile{q=\"1\"} 7";
+      "# TYPE spine_c_span_calls counter";
+      "spine_c_span_calls 2";
+      "# TYPE spine_c_span_ns_total counter";
+      "spine_c_span_ns_total 1500";
+      "# TYPE spine_g_level gauge";
+      "spine_g_level 2.5" ]
+    (Telemetry.prometheus snap)
 
 let test_instrumented_build () =
   (* end-to-end determinism: constructing the paper's running example
@@ -175,5 +260,8 @@ let suite =
   ; Alcotest.test_case "snapshot diff reset" `Quick test_snapshot_diff_reset
   ; Alcotest.test_case "span" `Quick test_span
   ; Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden
+  ; Alcotest.test_case "quantiles" `Quick test_quantiles
+  ; Alcotest.test_case "hist accessors" `Quick test_hist_accessors
+  ; Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden
   ; Alcotest.test_case "instrumented build" `Quick test_instrumented_build
   ]

@@ -1,0 +1,196 @@
+(* Tests for the workload runner and the engine space accounting it
+   reports: deterministic request generation, report shape, slow-op
+   capture, and component attribution across every backend. *)
+
+let seq_of n =
+  let rng = Bioseq.Rng.create 99 in
+  Bioseq.Synthetic.markov ~order:1 Bioseq.Alphabet.dna rng n
+
+(* Every backend over the same sequence; persistent gets a scratch
+   file which the cleanup removes. *)
+let with_engines n f =
+  let seq = seq_of n in
+  let fast = Spine.Index.engine (Spine.Index.of_seq seq) in
+  let compact = Spine.Compact.engine (Spine.Compact.of_seq seq) in
+  let disk = Spine.Disk.engine (Spine.Disk.build seq) in
+  let path = Filename.temp_file "test_workload" ".db" in
+  let p = Spine.Persistent.create ~path (Bioseq.Packed_seq.alphabet seq) in
+  Spine.Persistent.append_seq p seq;
+  Fun.protect
+    ~finally:(fun () ->
+      Spine.Persistent.close p;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      f seq
+        [ ("fast", fast); ("compact", compact); ("disk", disk);
+          ("persistent", Spine.Persistent.engine p) ])
+
+let small_config =
+  { Workload.default_config with
+    Workload.requests = 60; batch_size = 4; cursor_steps = 8 }
+
+let test_runner_shape () =
+  with_engines 600 (fun seq engines ->
+      List.iter
+        (fun (name, engine) ->
+          let r = Workload.run ~config:small_config engine seq in
+          Alcotest.(check string) (name ^ " backend") name r.Workload.backend;
+          Alcotest.(check int) (name ^ " requests") 60
+            r.Workload.total_requests;
+          let total_ops =
+            List.fold_left (fun acc o -> acc + o.Workload.count) 0
+              r.Workload.ops
+          in
+          Alcotest.(check int) (name ^ " op counts sum") 60 total_ops;
+          List.iter
+            (fun (o : Workload.op_report) ->
+              if o.Workload.count > 0 then begin
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s quantiles ordered" name o.Workload.op)
+                  true
+                  (o.Workload.p50_ns <= o.Workload.p90_ns
+                   && o.Workload.p90_ns <= o.Workload.p99_ns);
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s positive mean" name o.Workload.op)
+                  true (o.Workload.mean_ns > 0.0)
+              end)
+            r.Workload.ops)
+        engines)
+
+let test_determinism () =
+  with_engines 600 (fun seq engines ->
+      let engine = List.assoc "compact" engines in
+      let shape (r : Workload.report) =
+        List.map
+          (fun (o : Workload.op_report) ->
+            (o.Workload.op, o.Workload.count, o.Workload.hits))
+          r.Workload.ops
+      in
+      let a = Workload.run ~config:small_config engine seq in
+      let b = Workload.run ~config:small_config engine seq in
+      (* same seed: same request stream, so op counts and hit counts
+         replay exactly (latencies of course differ) *)
+      Alcotest.(check bool) "same op/hit shape" true (shape a = shape b);
+      let c =
+        Workload.run
+          ~config:{ small_config with Workload.seed = 7 }
+          engine seq
+      in
+      Alcotest.(check bool) "hits present" true
+        (List.exists (fun (_, _, h) -> h > 0) (shape c)))
+
+let test_slow_ops_captured () =
+  with_engines 400 (fun seq engines ->
+      let engine = List.assoc "fast" engines in
+      let r =
+        Workload.run
+          ~config:{ small_config with Workload.slowest = 5 }
+          engine seq
+      in
+      (* the threshold is forced >= 1us, so some request slower than
+         1us always exists on a real machine *)
+      Alcotest.(check bool) "slowest non-empty" true (r.Workload.slowest <> []);
+      Alcotest.(check bool) "at most K" true
+        (List.length r.Workload.slowest <= 5);
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          a.Workload.s_ns >= b.Workload.s_ns && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "descending" true (sorted r.Workload.slowest);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "request id recovered" true
+            (s.Workload.s_request >= 0 && s.Workload.s_request < 60))
+        r.Workload.slowest)
+
+let test_tick_hook () =
+  with_engines 300 (fun seq engines ->
+      let engine = List.assoc "compact" engines in
+      let ticks = ref [] in
+      let config =
+        { small_config with Workload.requests = 50; tick_every = 20 }
+      in
+      let r =
+        Workload.run ~config
+          ~on_tick:(fun n -> ticks := n :: !ticks)
+          engine seq
+      in
+      Alcotest.(check (list int)) "ticks at every 20 requests" [ 20; 40 ]
+        (List.rev !ticks);
+      Alcotest.(check int) "jsonl lines" 4 (List.length (Workload.jsonl r)))
+
+let test_space_attribution () =
+  (* ISSUE acceptance: >= 95% of the measured footprint attributed to
+     named components on all four backends (the built-in stores name
+     everything, so this is exactly 1.0) *)
+  with_engines 800 (fun _seq engines ->
+      List.iter
+        (fun (name, engine) ->
+          let report = Spine.Engine.space engine in
+          Alcotest.(check string) (name ^ " backend name") name
+            report.Spine.Space_report.backend;
+          Alcotest.(check int) (name ^ " chars") 800
+            report.Spine.Space_report.chars;
+          Alcotest.(check bool) (name ^ " non-empty") true
+            (Spine.Space_report.total_bytes report > 0);
+          Alcotest.(check bool) (name ^ " attribution >= 0.95") true
+            (Spine.Space_report.attributed_fraction report >= 0.95);
+          Alcotest.(check bool) (name ^ " index <= total") true
+            (Spine.Space_report.index_bytes report
+             <= Spine.Space_report.total_bytes report);
+          Alcotest.(check bool) (name ^ " bytes/char positive") true
+            (Spine.Space_report.bytes_per_char report > 0.0))
+        engines)
+
+let test_space_overlays () =
+  with_engines 800 (fun _seq engines ->
+      let components name =
+        let r = Spine.Engine.space (List.assoc name engines) in
+        List.map
+          (fun c -> c.Spine.Space_report.comp)
+          r.Spine.Space_report.components
+      in
+      (* paged backends report their storage overlays; in-memory ones
+         don't *)
+      Alcotest.(check bool) "disk has pagestore overlay" true
+        (List.mem "pagestore_pages" (components "disk"));
+      Alcotest.(check bool) "disk has pool overlay" true
+        (List.mem "bufferpool_frames" (components "disk"));
+      Alcotest.(check bool) "persistent has pagestore overlay" true
+        (List.mem "pagestore_pages" (components "persistent"));
+      Alcotest.(check bool) "fast has no overlay" false
+        (List.mem "pagestore_pages" (components "fast"));
+      (* overlays are excluded from the index footprint *)
+      let disk = Spine.Engine.space (List.assoc "disk" engines) in
+      Alcotest.(check bool) "disk index < total" true
+        (Spine.Space_report.index_bytes disk
+         < Spine.Space_report.total_bytes disk))
+
+let test_space_gauges () =
+  let prev = Telemetry.is_enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled prev)
+    (fun () ->
+      let seq = seq_of 200 in
+      let engine = Spine.Compact.engine (Spine.Compact.of_seq seq) in
+      let report = Spine.Engine.space engine in
+      match
+        Telemetry.find (Telemetry.snapshot ()) "space.compact.total_bytes"
+      with
+      | Some (Telemetry.Level v) ->
+        Alcotest.(check (float 0.0)) "gauge mirrors the report"
+          (float_of_int (Spine.Space_report.total_bytes report))
+          v
+      | _ -> Alcotest.fail "space gauge missing")
+
+let suite =
+  [ Alcotest.test_case "runner shape (all backends)" `Quick test_runner_shape
+  ; Alcotest.test_case "determinism" `Quick test_determinism
+  ; Alcotest.test_case "slow ops captured" `Quick test_slow_ops_captured
+  ; Alcotest.test_case "tick hook" `Quick test_tick_hook
+  ; Alcotest.test_case "space attribution" `Quick test_space_attribution
+  ; Alcotest.test_case "space overlays" `Quick test_space_overlays
+  ; Alcotest.test_case "space gauges" `Quick test_space_gauges
+  ]
