@@ -1,3 +1,9 @@
+(* Designated unsafe boundary (spine-lint L11): every unchecked access
+   below sits behind an assert-checked bound or a caller-validated
+   range, and nothing outside this module touches the raw buffer. *)
+[@@@spine.checked_boundary
+  "bounds asserted locally; raw buffer never escapes the module"]
+
 open Bigarray
 
 type buffer = (int, int8_unsigned_elt, c_layout) Array1.t

@@ -7,6 +7,10 @@
    specialises) from an [int option] one (which drops to the generic
    runtime walk). *)
 
+(* the interprocedural pass lives in its own module; re-exported so
+   CLI and tests can name its types through the library interface *)
+module Domain_safety = Domain_safety
+
 type severity = Error | Warning
 
 type rule =
@@ -18,10 +22,14 @@ type rule =
   | Partial_call
   | Raw_clock
   | Bare_failwith
+  | Shared_mutation
+  | Global_mutable
+  | Unguarded_unsafe
 
 let all_rules =
   [ Poly_compare; Obj_magic; Catch_all; Direct_stdout; Missing_mli;
-    Partial_call; Raw_clock; Bare_failwith ]
+    Partial_call; Raw_clock; Bare_failwith; Shared_mutation;
+    Global_mutable; Unguarded_unsafe ]
 
 let rule_id = function
   | Poly_compare -> "poly-compare"
@@ -32,6 +40,9 @@ let rule_id = function
   | Partial_call -> "partial-call"
   | Raw_clock -> "raw-clock"
   | Bare_failwith -> "bare-failwith"
+  | Shared_mutation -> "shared-mutation"
+  | Global_mutable -> "global-mutable"
+  | Unguarded_unsafe -> "unguarded-unsafe"
 
 let rule_of_id s =
   match String.lowercase_ascii s with
@@ -43,6 +54,9 @@ let rule_of_id s =
   | "partial-call" | "l6" -> Some Partial_call
   | "raw-clock" | "l7" -> Some Raw_clock
   | "bare-failwith" | "l8" -> Some Bare_failwith
+  | "shared-mutation" | "l9" -> Some Shared_mutation
+  | "global-mutable" | "l10" -> Some Global_mutable
+  | "unguarded-unsafe" | "l11" -> Some Unguarded_unsafe
   | _ -> None
 
 let rule_doc = function
@@ -65,10 +79,24 @@ let rule_doc = function
     "no bare failwith/Failure raises in the typed-error storage stack \
      (lib/pagestore, lib/spine persistent/serialize); raise a typed \
      Spine_error instead"
+  | Shared_mutation ->
+    "no write reachable from the engine's query surface may touch \
+     state that outlives the call (module-level values, fields of the \
+     shared store argument, stored closures) unless guarded by \
+     Mutex/Atomic/Domain.DLS or annotated [@spine.domain_safe]"
+  | Global_mutable ->
+    "no module-level mutable value in lib/spine or lib/pagestore \
+     without a Mutex/Atomic guard or a [@spine.domain_safe \
+     \"reason\"] annotation"
+  | Unguarded_unsafe ->
+    "no Array.unsafe_*/Bytes.unsafe_* outside modules that declare \
+     themselves a checked boundary with [@@@spine.checked_boundary \
+     \"reason\"]"
 
 let default_severity = function
   | Poly_compare | Obj_magic | Catch_all | Missing_mli | Raw_clock
-  | Bare_failwith -> Error
+  | Bare_failwith | Shared_mutation | Global_mutable | Unguarded_unsafe
+    -> Error
   | Direct_stdout | Partial_call -> Warning
 
 let severity_id = function Error -> "error" | Warning -> "warning"
@@ -86,6 +114,8 @@ type result = {
   findings : finding list;
   suppressed : finding list;
   files_scanned : int;
+  certification : Domain_safety.cert_row list;
+      (* per-module query-surface verdicts; empty unless [domains] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +144,11 @@ let rule_in_scope ~all_paths rule file =
     && not (starts_with_any stdout_exempt file)
   | Missing_mli -> starts_with_any mli_prefixes file
   | Bare_failwith -> starts_with_any typed_error_prefixes file
+  (* L9 roots live on the engine's query surface *)
+  | Shared_mutation -> String.starts_with ~prefix:"lib/spine/" file
+  | Global_mutable ->
+    starts_with_any [ "lib/spine/"; "lib/pagestore/" ] file
+  | Unguarded_unsafe -> String.starts_with ~prefix:"lib/" file
 
 (* ------------------------------------------------------------------ *)
 (* Identifier classification                                           *)
@@ -417,7 +452,8 @@ let walk_cmts root =
   go root;
   List.sort String.compare !out
 
-let run ?(all_paths = false) ?(demote = []) ~build_dir ~source_root () =
+let run ?(all_paths = false) ?(demote = []) ?(only = []) ?(except = [])
+    ?(domains = false) ~build_dir ~source_root () =
   if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
     Stdlib.Error (Printf.sprintf "build dir %S does not exist" build_dir)
   else begin
@@ -429,6 +465,14 @@ let run ?(all_paths = false) ?(demote = []) ~build_dir ~source_root () =
            build_dir)
     else begin
       let flagged = ref [] and waived = ref [] and scanned = ref 0 in
+      let rule_enabled r =
+        (only = [] || List.mem r only) && not (List.mem r except)
+      in
+      (* interprocedural state shared across every scanned file *)
+      let ds = Domain_safety.create () in
+      (* suppressions are re-consulted after the cross-file fixpoint,
+         when the L9 findings materialise *)
+      let sups : (string, suppressions) Hashtbl.t = Hashtbl.create 64 in
       (* a module built in several modes leaves several cmts; scan once *)
       let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
       let emit sup rule (line, col) file message =
@@ -448,15 +492,22 @@ let run ?(all_paths = false) ?(demote = []) ~build_dir ~source_root () =
             | None -> ()
             | Some src ->
               let src_on_disk = Filename.concat source_root src in
-              let wants r = rule_in_scope ~all_paths r src in
+              let wants r = rule_enabled r && rule_in_scope ~all_paths r src in
+              (* L9 summaries come from every library module, even ones
+                 no per-file rule applies to *)
+              let feeds_summaries =
+                domains
+                && (all_paths || String.starts_with ~prefix:"lib/" src)
+              in
               if
-                List.exists wants all_rules
+                (List.exists wants all_rules || feeds_summaries)
                 && Sys.file_exists src_on_disk
                 && not (Hashtbl.mem seen src)
               then begin
                 Hashtbl.replace seen src ();
                 incr scanned;
                 let sup = load_suppressions src_on_disk in
+                Hashtbl.replace sups src sup;
                 (* L5 is a file-level property, not a tree walk *)
                 if wants Missing_mli && Filename.check_suffix src ".ml" then begin
                   let mli =
@@ -490,10 +541,52 @@ let run ?(all_paths = false) ?(demote = []) ~build_dir ~source_root () =
                         ( pos.Lexing.pos_lnum,
                           pos.Lexing.pos_cnum - pos.Lexing.pos_bol )
                         src r_msg)
-                    (collect_structure ~wants str)
+                    (collect_structure ~wants str);
+                  if
+                    feeds_summaries || wants Global_mutable
+                    || wants Unguarded_unsafe
+                  then begin
+                    let l10, l11 =
+                      Domain_safety.scan_file ds ~source:src str
+                    in
+                    if wants Global_mutable then
+                      List.iter
+                        (fun (s : Domain_safety.site) ->
+                          emit sup Global_mutable (s.st_line, s.st_col)
+                            src s.st_msg)
+                        l10;
+                    if wants Unguarded_unsafe then
+                      List.iter
+                        (fun (s : Domain_safety.site) ->
+                          emit sup Unguarded_unsafe (s.st_line, s.st_col)
+                            src s.st_msg)
+                        l11
+                  end
                 | _ -> ()
               end))
         cmts;
+      (* the cross-file fixpoint: L9 findings and the certification
+         table for every module exposing query-surface roots *)
+      let certification =
+        if not domains then []
+        else begin
+          let roots_in f =
+            all_paths || String.starts_with ~prefix:"lib/spine/" f
+          in
+          let l9s, rows = Domain_safety.finalize ds ~roots_in in
+          if rule_enabled Shared_mutation then
+            List.iter
+              (fun (f : Domain_safety.l9) ->
+                let sup =
+                  Option.value ~default:no_suppressions
+                    (Hashtbl.find_opt sups f.l9_file)
+                in
+                emit sup Shared_mutation (f.l9_line, f.l9_col) f.l9_file
+                  f.l9_msg)
+              l9s;
+          rows
+        end
+      in
       let order a b =
         match String.compare a.file b.file with
         | 0 -> (
@@ -507,6 +600,7 @@ let run ?(all_paths = false) ?(demote = []) ~build_dir ~source_root () =
           findings = List.sort order !flagged;
           suppressed = List.sort order !waived;
           files_scanned = !scanned;
+          certification;
         }
     end
   end
@@ -544,3 +638,18 @@ let table_rows findings =
       [ rule_id f.rule; severity_id f.severity;
         Printf.sprintf "%s:%d:%d" f.file f.line f.col; f.message ])
     findings
+
+let cert_table_rows rows =
+  List.map
+    (fun (r : Domain_safety.cert_row) ->
+      [ r.cm_module; r.cm_verdict; r.cm_witness ])
+    rows
+
+let cert_jsonl rows =
+  List.map
+    (fun (r : Domain_safety.cert_row) ->
+      Printf.sprintf
+        "{\"module\":\"%s\",\"verdict\":\"%s\",\"witness\":\"%s\"}"
+        (json_escape r.cm_module) (json_escape r.cm_verdict)
+        (json_escape r.cm_witness))
+    rows

@@ -16,6 +16,10 @@
     Suppressed findings are still collected and reported separately so
     the waiver surface stays visible.  See docs/STATIC_ANALYSIS.md. *)
 
+module Domain_safety : module type of Domain_safety
+(** The interprocedural domain-safety pass (rules L9/L10/L11), re-
+    exported so callers can name its certification and site types. *)
+
 type severity = Error | Warning
 
 type rule =
@@ -43,6 +47,23 @@ type rule =
           storage stack ([lib/pagestore], [lib/spine/persistent.ml],
           [lib/spine/serialize.ml]); failures there are typed
           [Spine_error.Error] values. *)
+  | Shared_mutation
+      (** L9: no write reachable from the engine's query surface
+          (the read operations rooted in [lib/spine]) may touch state
+          that outlives the call — a module-level value, a field of
+          the shared store argument, or state behind a stored closure
+          — unless it goes through [Atomic]/[Domain.DLS], runs under
+          a [Mutex], or the binding is annotated
+          [@spine.domain_safe "reason"].  Interprocedural; only
+          reported when {!run} is called with [~domains:true]. *)
+  | Global_mutable
+      (** L10: no module-level mutable value in [lib/spine] or
+          [lib/pagestore] without a Mutex/Atomic guard or a
+          [@spine.domain_safe "reason"] annotation. *)
+  | Unguarded_unsafe
+      (** L11: no [Array.unsafe_*]/[Bytes.unsafe_*]/
+          [Bigarray...unsafe_*] in library code outside modules that
+          declare [@@@spine.checked_boundary "reason"]. *)
 
 val all_rules : rule list
 
@@ -50,7 +71,9 @@ val rule_id : rule -> string
 (** Stable kebab-case id used in output and suppression comments:
     ["poly-compare"], ["obj-magic"], ["catch-all"], ["stdout"],
     ["missing-mli"], ["partial-call"], ["raw-clock"],
-    ["bare-failwith"]. *)
+    ["bare-failwith"], ["shared-mutation"], ["global-mutable"],
+    ["unguarded-unsafe"].  The short aliases ["l1"].["l11"] are
+    accepted by {!rule_of_id}. *)
 
 val rule_of_id : string -> rule option
 val rule_doc : rule -> string
@@ -70,11 +93,17 @@ type result = {
   findings : finding list;    (** unsuppressed, sorted by file/line *)
   suppressed : finding list;
   files_scanned : int;        (** [.cmt] files read *)
+  certification : Domain_safety.cert_row list;
+      (** per-module verdicts for the query surface; populated only
+          when {!run} was called with [~domains:true] *)
 }
 
 val run :
   ?all_paths:bool ->
   ?demote:rule list ->
+  ?only:rule list ->
+  ?except:rule list ->
+  ?domains:bool ->
   build_dir:string ->
   source_root:string ->
   unit ->
@@ -85,8 +114,13 @@ val run :
     context root, since both cmts and copied sources live there.
     [all_paths] disables path scoping so fixture trees outside [lib/]
     can be linted (tests use this).  [demote] downgrades the listed
-    rules to [Warning].  [Error _] is returned only for environmental
-    failures (unreadable build dir), never for findings. *)
+    rules to [Warning].  [only]/[except] restrict which rules run
+    ([only = []] means all).  [domains] enables the interprocedural
+    domain-safety pass: per-function summaries are collected from
+    every library module, rule L9 fires on writes escaping the query
+    surface, and [certification] is populated.  [Error _] is returned
+    only for environmental failures (unreadable build dir), never for
+    findings. *)
 
 val jsonl : finding list -> string list
 (** One JSON object per finding, in the style of the telemetry
@@ -97,3 +131,10 @@ val jsonl : finding list -> string list
 val table_rows : finding list -> string list list
 (** [[rule; severity; file:line:col; message]] rows for
     {!Report.Table.print}-style rendering. *)
+
+val cert_table_rows : Domain_safety.cert_row list -> string list list
+(** [[module; verdict; witness]] rows of the certification table. *)
+
+val cert_jsonl : Domain_safety.cert_row list -> string list
+(** One JSON object per certification row:
+    [{"module":"Engine","verdict":"certified","witness":"..."}]. *)

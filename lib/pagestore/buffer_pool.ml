@@ -18,6 +18,16 @@ type t = {
   dev : Device.t;
   pin : int -> bool;
   replacement : replacement;
+  (* Every public entry point serialises on [lock], so one pool can be
+     shared by parallel domains: paged reads race on the frame table,
+     the LRU list and the stats, and the lock makes those writes
+     domain-safe (certified by spine-lint L9).  The lock is reentrant
+     per domain ([lock_owner]/[lock_depth]) because [with_page] runs
+     its callback under the lock and callbacks — the writeback hook, a
+     trace router — may legitimately land back in the pool. *)
+  lock : Mutex.t;
+  mutable lock_owner : int;     (* Domain.self of the holder, -1 = free *)
+  mutable lock_depth : int;
   frames : int;
   buffers : Bytes.t array;
   page_of : int array;          (* frame -> page id, -1 = free *)
@@ -40,6 +50,7 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
   if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
   let page_size = Device.page_size dev in
   { dev; pin; replacement; frames;
+    lock = Mutex.create (); lock_owner = -1; lock_depth = 0;
     buffers = Array.init frames (fun _ -> Bytes.make page_size '\000');
     page_of = Array.make frames (-1);
     dirty = Array.make frames false;
@@ -54,7 +65,29 @@ let create ?(pin = fun _ -> false) ?(replacement = `Lru) ~frames dev =
 
 let device t = t.dev
 let frames t = t.frames
-let set_writeback_hook t h = t.on_writeback <- h
+
+(* reentrant per-domain critical section around the pool's mutable
+   innards; [lock_owner] is only compared against the caller's own
+   domain id, so a stale read of another domain's id cannot match *)
+let locked t f =
+  let me = (Domain.self () :> int) in
+  if t.lock_owner = me then begin
+    t.lock_depth <- t.lock_depth + 1;
+    Fun.protect ~finally:(fun () -> t.lock_depth <- t.lock_depth - 1) f
+  end
+  else begin
+    Mutex.lock t.lock;
+    t.lock_owner <- me;
+    t.lock_depth <- 1;
+    Fun.protect
+      ~finally:(fun () ->
+        t.lock_depth <- 0;
+        t.lock_owner <- -1;
+        Mutex.unlock t.lock)
+      f
+  end
+
+let set_writeback_hook t h = locked t (fun () -> t.on_writeback <- h)
 
 (* Transient I/O errors (the kind the fault injector scripts) are
    retried a few times before propagating; anything else — permanent
@@ -201,42 +234,46 @@ let frame_for t page =
     f
 
 let with_page t page ~dirty f =
-  let frame = frame_for t page in
-  t.in_use.(frame) <- t.in_use.(frame) + 1;
-  let result =
-    try f t.buffers.(frame)
-    with e ->
+  locked t (fun () ->
+      let frame = frame_for t page in
+      t.in_use.(frame) <- t.in_use.(frame) + 1;
+      let result =
+        try f t.buffers.(frame)
+        with e ->
+          t.in_use.(frame) <- t.in_use.(frame) - 1;
+          raise e
+      in
       t.in_use.(frame) <- t.in_use.(frame) - 1;
-      raise e
-  in
-  t.in_use.(frame) <- t.in_use.(frame) - 1;
-  if dirty then t.dirty.(frame) <- true;
-  result
+      if dirty then t.dirty.(frame) <- true;
+      result)
 
 let flush t =
-  Telemetry.incr c_flushes;
-  (* write back in page order, as any real writeback elevator would *)
-  let dirty = ref [] in
-  for f = 0 to t.frames - 1 do
-    if t.page_of.(f) >= 0 && t.dirty.(f) then dirty := f :: !dirty
-  done;
-  !dirty
-  |> List.sort (fun a b -> compare t.page_of.(a) t.page_of.(b))
-  |> List.iter (fun f -> writeback t f)
+  locked t (fun () ->
+      Telemetry.incr c_flushes;
+      (* write back in page order, as any real writeback elevator would *)
+      let dirty = ref [] in
+      for f = 0 to t.frames - 1 do
+        if t.page_of.(f) >= 0 && t.dirty.(f) then dirty := f :: !dirty
+      done;
+      !dirty
+      |> List.sort (fun a b -> compare t.page_of.(a) t.page_of.(b))
+      |> List.iter (fun f -> writeback t f))
 
 let drop t =
-  flush t;
-  Xutil.Int_tbl.reset t.table;
-  Array.fill t.page_of 0 t.frames (-1);
-  Array.fill t.dirty 0 t.frames false;
-  Array.fill t.prev 0 t.frames (-1);
-  Array.fill t.next 0 t.frames (-1);
-  t.head <- -1;
-  t.tail <- -1
+  locked t (fun () ->
+      flush t;
+      Xutil.Int_tbl.reset t.table;
+      Array.fill t.page_of 0 t.frames (-1);
+      Array.fill t.dirty 0 t.frames false;
+      Array.fill t.prev 0 t.frames (-1);
+      Array.fill t.next 0 t.frames (-1);
+      t.head <- -1;
+      t.tail <- -1)
 
 let reset_stats t =
-  t.hits <- 0; t.misses <- 0; t.evictions <- 0;
-  t.pinned_evictions <- 0; t.writebacks <- 0
+  locked t (fun () ->
+      t.hits <- 0; t.misses <- 0; t.evictions <- 0;
+      t.pinned_evictions <- 0; t.writebacks <- 0)
 
 type stats = {
   hits : int;
@@ -247,6 +284,7 @@ type stats = {
 }
 
 let stats (t : t) =
-  { hits = t.hits; misses = t.misses;
-    evictions = t.evictions; pinned_evictions = t.pinned_evictions;
-    writebacks = t.writebacks }
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses;
+        evictions = t.evictions; pinned_evictions = t.pinned_evictions;
+        writebacks = t.writebacks })

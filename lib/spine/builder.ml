@@ -37,10 +37,14 @@ let h_upstream = Telemetry.histogram "build.upstream_hops"
 (* Trace events mirror the counters but keep the per-step context the
    aggregates lose: which node each CASE fired at and where every new
    edge went, inside the enclosing operation's timeline. *)
-let ev_case = [| "build.case1"; "build.case2"; "build.case3"; "build.case4" |]
+let ev_case = function
+  | 1 -> "build.case1"
+  | 2 -> "build.case2"
+  | 3 -> "build.case3"
+  | _ -> "build.case4"
 
 let trace_case k ~node ~tail =
-  Trace.instant ev_case.(k - 1)
+  Trace.instant (ev_case k)
     [ Trace.Int ("node", node); Trace.Int ("tail", tail) ]
 
 module Make (S : Store_sig.S) = struct

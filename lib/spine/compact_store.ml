@@ -165,7 +165,16 @@ module Core (B : BYTES) = struct
 
   let init_root t = ignore (B.alloc t.lt lt_entry_bytes)
 
-  let touch t ~structure ~index ~write =
+  (* The trace callback is the one opaque call on the query path; its
+     domain-safety is the hook installer's obligation.  Post-build
+     stores shared across domains either carry no hook ([trace = None],
+     the default) or the in-tree disk router, whose effects serialise
+     through Buffer_pool's reentrant lock and the per-domain Trace
+     state. *)
+  let[@spine.domain_safe
+       "trace hooks must be domain-safe by contract; in-tree hooks \
+        (Trace_router over a locked Buffer_pool, per-domain Trace) are"]
+      touch t ~structure ~index ~write =
     match t.trace with
     | None -> ()
     | Some f -> f ~structure ~index ~write

@@ -61,11 +61,11 @@ module Make (St : Store_sig.S) = struct
       done
 
   let longest_extension t code =
-    (* reuse the matcher's consume step on a borrowed state *)
-    let st = { M.t = t.store; v = t.v; len = t.len; nodes = 0; suffixes = 0 } in
+    (* reuse the matcher's consume step on a resumed state *)
+    let st = M.resume t.store ~node:t.v ~len:t.len in
     M.consume st code;
-    t.v <- st.M.v;
-    t.len <- st.M.len
+    t.v <- M.node_of st;
+    t.len <- M.len_of st
 
   let length t = t.len
   let node t = t.v

@@ -33,16 +33,13 @@ type mmatch = {
 module type S = sig
   type store
 
-  type state = {
-    t : store;
-    mutable v : int;
-    mutable len : int;
-    mutable nodes : int;
-    mutable suffixes : int;
-  }
+  type state
 
   val make : store -> state
+  val resume : store -> node:int -> len:int -> state
   val consume : state -> int -> unit
+  val node_of : state -> int
+  val len_of : state -> int
   val stats_of : state -> stats
 
   val matching_statistics :
@@ -67,6 +64,13 @@ module Make (S : Store_sig.S) = struct
   }
 
   let make t = { t; v = 0; len = 0; nodes = 0; suffixes = 0 }
+
+  (* A state positioned mid-match: Cursor resumes the streaming step
+     from its own (node, len) window without seeing the fields. *)
+  let resume t ~node ~len = { t; v = node; len; nodes = 0; suffixes = 0 }
+
+  let node_of st = st.v
+  let len_of st = st.len
 
   (* Largest pathlength the rib [pt] + its extrib chain supports, i.e.
      the longest suffix ending at this node that the edge can extend. *)

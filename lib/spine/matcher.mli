@@ -43,23 +43,33 @@ type mmatch = {
 module type S = sig
   type store
 
-  (** Exposed concretely so {!Cursor} can wrap the streaming state;
-      treat [nodes]/[suffixes] as read-only. *)
-  type state = {
-    t : store;
-    mutable v : int;      (** termination node of the current match *)
-    mutable len : int;    (** current match length *)
-    mutable nodes : int;
-    mutable suffixes : int;
-  }
+  type state
+  (** The streaming accumulator: current (node, length) position plus
+      work counters.  Abstract — one [state] belongs to one operation
+      on one domain; the store underneath stays read-only, so sharing
+      the {e store} across domains is safe while each domain makes its
+      own states ({!make}/{!resume}). *)
 
   val make : store -> state
+  (** A state for the empty match, at the root. *)
+
+  val resume : store -> node:int -> len:int -> state
+  (** A state positioned mid-match (work counters zeroed): how
+      {!Cursor.S.longest_extension} borrows the streaming step for its
+      own (node, len) window. *)
 
   val consume : state -> int -> unit
   (** Consume one query character, updating the state to the longest
       suffix of (current match + c) present in the data string. *)
 
+  val node_of : state -> int
+  (** Termination node of the current match. *)
+
+  val len_of : state -> int
+  (** Current match length. *)
+
   val stats_of : state -> stats
+  (** Immutable snapshot of the work counters. *)
 
   val matching_statistics :
     store -> Bioseq.Packed_seq.t -> int array * stats

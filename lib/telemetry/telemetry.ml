@@ -1,33 +1,37 @@
-(* The registry is a plain hashtable keyed by metric name; metrics
-   themselves are mutable records so a hot-path update is one flag
-   check plus one in-place store — no allocation, no lookup. *)
+(* The registry is a mutex-guarded hashtable keyed by metric name;
+   metrics themselves hold [Atomic.t] cells so a hot-path update is one
+   flag check plus one lock-free atomic store — no allocation, no
+   lookup, and safe to race from parallel domains sharing one
+   post-build index (the domain-safety contract spine-lint L9/L10
+   certifies).  Registration goes through the lock, but every metric is
+   registered once at module initialisation, never from the hot path. *)
 
 let enabled =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "SPINE_TELEMETRY" with
     | Some ("1" | "true" | "yes" | "on") -> true
     | _ -> false)
 
-let is_enabled () = !enabled
-let set_enabled b = enabled := b
+let is_enabled () = Atomic.get enabled
+let set_enabled b = Atomic.set enabled b
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 (* 63 log2 buckets cover every positive OCaml int. *)
 let hist_buckets = 63
 
 type histogram = {
   h_name : string;
-  h_counts : int array;
-  mutable h_total : int;
-  mutable h_sum : int;
+  h_counts : int Atomic.t array;
+  h_total : int Atomic.t;
+  h_sum : int Atomic.t;
 }
 
 type span = {
   s_name : string;
-  mutable s_calls : int;
-  mutable s_total_ns : int;
+  s_calls : int Atomic.t;
+  s_total_ns : int Atomic.t;
 }
 
 type metric =
@@ -37,43 +41,54 @@ type metric =
   | Span of span
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
 let register name make =
-  match Hashtbl.find_opt registry name with
-  | Some existing -> existing
-  | None ->
-    let m = make () in
-    Hashtbl.replace registry name m;
-    m
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> existing
+      | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m)
 
 let kind_error name =
   invalid_arg
     (Printf.sprintf "Telemetry: %S already registered as another kind" name)
 
 let counter name =
-  match register name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  match
+    register name (fun () ->
+        Counter { c_name = name; c_value = Atomic.make 0 })
+  with
   | Counter c -> c
   | _ -> kind_error name
 
-let incr c = if !enabled then c.c_value <- c.c_value + 1
-let add c n = if !enabled then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value 1)
+
+let add c n =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value n)
+
+let counter_value c = Atomic.get c.c_value
 
 let gauge name =
-  match register name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  match
+    register name (fun () -> Gauge { g_name = name; g_value = Atomic.make 0.0 })
+  with
   | Gauge g -> g
   | _ -> kind_error name
 
-let set g v = if !enabled then g.g_value <- v
+let set g v = if Atomic.get enabled then Atomic.set g.g_value v
 
 let histogram name =
   match
     register name (fun () ->
         Histogram
           { h_name = name;
-            h_counts = Array.make hist_buckets 0;
-            h_total = 0;
-            h_sum = 0 })
+            h_counts = Array.init hist_buckets (fun _ -> Atomic.make 0);
+            h_total = Atomic.make 0;
+            h_sum = Atomic.make 0 })
   with
   | Histogram h -> h
   | _ -> kind_error name
@@ -91,11 +106,11 @@ let bucket_of v =
   end
 
 let observe h v =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let b = bucket_of v in
-    h.h_counts.(b) <- h.h_counts.(b) + 1;
-    h.h_total <- h.h_total + 1;
-    h.h_sum <- h.h_sum + v
+    ignore (Atomic.fetch_and_add h.h_counts.(b) 1);
+    ignore (Atomic.fetch_and_add h.h_total 1);
+    ignore (Atomic.fetch_and_add h.h_sum v)
   end
 
 let bucket_bounds i =
@@ -131,31 +146,37 @@ let quantile ~counts ~total q =
     find 0 0
   end
 
-let hist_total h = h.h_total
-let hist_sum h = h.h_sum
-let hist_quantile h q = quantile ~counts:h.h_counts ~total:h.h_total q
+let hist_total h = Atomic.get h.h_total
+let hist_sum h = Atomic.get h.h_sum
+
+let hist_quantile h q =
+  quantile ~counts:(Array.map Atomic.get h.h_counts) ~total:(Atomic.get h.h_total) q
 
 let hist_max h =
   let rec last j =
-    if j < 0 then 0 else if h.h_counts.(j) > 0 then snd (bucket_bounds j) else last (j - 1)
+    if j < 0 then 0
+    else if Atomic.get h.h_counts.(j) > 0 then snd (bucket_bounds j)
+    else last (j - 1)
   in
   last (hist_buckets - 1)
 
 let span name =
   match
-    register name (fun () -> Span { s_name = name; s_calls = 0; s_total_ns = 0 })
+    register name (fun () ->
+        Span { s_name = name; s_calls = Atomic.make 0; s_total_ns = Atomic.make 0 })
   with
   | Span s -> s
   | _ -> kind_error name
 
 let with_span s f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
     let t0 = Xutil.Stopwatch.now_ns () in
     Fun.protect
       ~finally:(fun () ->
-        s.s_calls <- s.s_calls + 1;
-        s.s_total_ns <- s.s_total_ns + (Xutil.Stopwatch.now_ns () - t0))
+        ignore (Atomic.fetch_and_add s.s_calls 1);
+        ignore
+          (Atomic.fetch_and_add s.s_total_ns (Xutil.Stopwatch.now_ns () - t0)))
       f
   end
 
@@ -170,18 +191,25 @@ type value =
 type snapshot = (string * value) list
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
-      let v =
-        match m with
-        | Counter c -> Count c.c_value
-        | Gauge g -> Level g.g_value
-        | Histogram h ->
-          Dist { counts = Array.copy h.h_counts; total = h.h_total; sum = h.h_sum }
-        | Span s -> Timing { calls = s.s_calls; total_ns = s.s_total_ns }
-      in
-      (name, v) :: acc)
-    registry []
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | Counter c -> Count (Atomic.get c.c_value)
+            | Gauge g -> Level (Atomic.get g.g_value)
+            | Histogram h ->
+              Dist
+                { counts = Array.map Atomic.get h.h_counts;
+                  total = Atomic.get h.h_total;
+                  sum = Atomic.get h.h_sum }
+            | Span s ->
+              Timing
+                { calls = Atomic.get s.s_calls;
+                  total_ns = Atomic.get s.s_total_ns }
+          in
+          (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let diff later earlier =
@@ -203,19 +231,20 @@ let diff later earlier =
     later
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-        Array.fill h.h_counts 0 hist_buckets 0;
-        h.h_total <- 0;
-        h.h_sum <- 0
-      | Span s ->
-        s.s_calls <- 0;
-        s.s_total_ns <- 0)
-    registry
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.0
+          | Histogram h ->
+            Array.iter (fun cell -> Atomic.set cell 0) h.h_counts;
+            Atomic.set h.h_total 0;
+            Atomic.set h.h_sum 0
+          | Span s ->
+            Atomic.set s.s_calls 0;
+            Atomic.set s.s_total_ns 0)
+        registry)
 
 let find snap name = List.assoc_opt name snap
 

@@ -1,8 +1,20 @@
-(* One process-global ring of events plus a little operation state.
-   The hot-path contract is the same as Telemetry's: when collection
-   is off (or the current operation is sampled out) every entry point
-   is one flag check — callers guard argument-list construction with
-   [Trace.on ()] so nothing allocates. *)
+(* One ring of events per domain plus a little per-domain operation
+   state.  The hot-path contract is the same as Telemetry's: when
+   collection is off (or the current operation is sampled out) every
+   entry point is one domain-local state fetch plus one flag check —
+   callers guard argument-list construction with [Trace.on ()] so
+   nothing allocates.
+
+   Domain safety: everything an instrumented query path mutates (the
+   ring, the span stack, the operation bookkeeping, the sampling RNG)
+   lives in a [Domain.DLS] slot, so parallel domains querying one
+   shared index each trace into their own ring with no shared writes —
+   the contract spine-lint's L9 rule certifies.  The configuration
+   cells below ([enabled], sample rate, slow threshold, clock,
+   capacity, seed) are process-global and meant to be set before
+   spawning domains: a fresh domain's state is initialised from them on
+   first use, and the setters additionally refresh the calling domain's
+   state.  Readback and the exporters see the calling domain's ring. *)
 
 type arg =
   | Int of string * int
@@ -43,160 +55,196 @@ let env_int name fallback =
   | Some v -> (match int_of_string_opt v with Some n -> n | None -> fallback)
   | None -> fallback
 
-(* --- state --- *)
+(* --- configuration (process-global, set before spawning domains) --- *)
 
 let enabled = ref (env_bool "SPINE_TRACE")
-let muted = ref false           (* inside a sampled-out operation *)
-let recording = ref !enabled    (* = enabled && not muted, kept in sync *)
 let sample_rate = ref (min 1.0 (max 0.0 (env_float "SPINE_TRACE_SAMPLE" 1.0)))
 let slow_ns = ref (env_int "SPINE_TRACE_SLOW_US" 0 * 1000)
 let clock = ref Xutil.Stopwatch.now_ns
+let ring_capacity = ref (max 1 (env_int "SPINE_TRACE_CAPACITY" 65536))
+let seed = ref (env_int "SPINE_TRACE_SEED" 0x5eed)
 
 let dummy = { ts_ns = 0; phase = Instant; name = ""; args = []; op = 0 }
-let ring = ref (Array.make (max 1 (env_int "SPINE_TRACE_CAPACITY" 65536)) dummy)
-let start = ref 0
-let len = ref 0
-let dropped_count = ref 0
 
-let op_counter = ref 0
-let cur_op = ref 0
-let op_names = ref []           (* (id, name), newest first; for exporters *)
-let span_stack = ref []
-let slow = ref []               (* newest first *)
+(* --- per-domain state --- *)
+
+type dstate = {
+  mutable muted : bool;         (* inside a sampled-out operation *)
+  mutable recording : bool;     (* = !enabled && not muted, kept in sync *)
+  mutable ring : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable dropped_count : int;
+  mutable op_counter : int;
+  mutable cur_op : int;
+  mutable op_names : (int * string) list;  (* newest first; for exporters *)
+  mutable span_stack : string list;
+  mutable slow : slow_op list;  (* newest first *)
+  mutable rng : int64;          (* sampling RNG (SplitMix64) *)
+}
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      { muted = false;
+        recording = !enabled;
+        ring = Array.make !ring_capacity dummy;
+        start = 0;
+        len = 0;
+        dropped_count = 0;
+        op_counter = 0;
+        cur_op = 0;
+        op_names = [];
+        span_stack = [];
+        slow = [];
+        rng = Int64.of_int !seed })
+
+let ds () = Domain.DLS.get state_key
 
 let is_enabled () = !enabled
 
 let set_enabled b =
   enabled := b;
-  recording := b && not !muted
+  let d = ds () in
+  d.recording <- b && not d.muted
 
-let on () = !recording
+let on () = (ds ()).recording
 
 let set_sample_rate r = sample_rate := min 1.0 (max 0.0 r)
 let set_slow_us us = slow_ns := us * 1000
 let slow_us () = !slow_ns / 1000
 let set_clock f = clock := f
-let capacity () = Array.length !ring
+let capacity () = Array.length (ds ()).ring
 
 let set_capacity n =
-  ring := Array.make (max 1 n) dummy;
-  start := 0;
-  len := 0;
-  dropped_count := 0
+  ring_capacity := max 1 n;
+  let d = ds () in
+  d.ring <- Array.make !ring_capacity dummy;
+  d.start <- 0;
+  d.len <- 0;
+  d.dropped_count <- 0
 
 let reset () =
-  start := 0;
-  len := 0;
-  dropped_count := 0;
-  op_counter := 0;
-  cur_op := 0;
-  op_names := [];
-  span_stack := [];
-  slow := [];
-  muted := false;
-  recording := !enabled
+  let d = ds () in
+  d.start <- 0;
+  d.len <- 0;
+  d.dropped_count <- 0;
+  d.op_counter <- 0;
+  d.cur_op <- 0;
+  d.op_names <- [];
+  d.span_stack <- [];
+  d.slow <- [];
+  d.muted <- false;
+  d.recording <- !enabled
 
 (* --- sampling RNG (SplitMix64, as lib/bioseq/rng.ml) --- *)
 
-let rng = ref (Int64.of_int (env_int "SPINE_TRACE_SEED" 0x5eed))
-let set_seed s = rng := Int64.of_int s
+let set_seed s =
+  seed := s;
+  (ds ()).rng <- Int64.of_int s
 
-let next64 () =
+let next64 d =
   let open Int64 in
-  rng := add !rng 0x9E3779B97F4A7C15L;
-  let z = !rng in
+  d.rng <- add d.rng 0x9E3779B97F4A7C15L;
+  let z = d.rng in
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
 (* uniform in [0, 1) from the top 53 bits *)
-let draw () =
-  Int64.to_float (Int64.shift_right_logical (next64 ()) 11) /. 9007199254740992.0
+let draw d =
+  Int64.to_float (Int64.shift_right_logical (next64 d) 11) /. 9007199254740992.0
 
-let sample_keeps () =
-  !sample_rate >= 1.0 || (!sample_rate > 0.0 && draw () < !sample_rate)
+let sample_keeps d =
+  !sample_rate >= 1.0 || (!sample_rate > 0.0 && draw d < !sample_rate)
 
 (* --- recording --- *)
 
-let push e =
-  let cap = Array.length !ring in
-  if !len < cap then begin
-    !ring.((!start + !len) mod cap) <- e;
-    incr len
+let push d e =
+  let cap = Array.length d.ring in
+  if d.len < cap then begin
+    d.ring.((d.start + d.len) mod cap) <- e;
+    d.len <- d.len + 1
   end
   else begin
     (* head drop: overwrite the oldest, keep the newest window *)
-    !ring.(!start) <- e;
-    start := (!start + 1) mod cap;
-    incr dropped_count
+    d.ring.(d.start) <- e;
+    d.start <- (d.start + 1) mod cap;
+    d.dropped_count <- d.dropped_count + 1
   end
 
-let record phase name args =
-  push { ts_ns = !clock (); phase; name; args; op = !cur_op }
+let record d phase name args =
+  push d { ts_ns = !clock (); phase; name; args; op = d.cur_op }
 
-let instant name args = if !recording then record Instant name args
+let instant name args =
+  let d = ds () in
+  if d.recording then record d Instant name args
 
 let begin_span name args =
-  if !recording then begin
-    span_stack := name :: !span_stack;
-    record Begin name args
+  let d = ds () in
+  if d.recording then begin
+    d.span_stack <- name :: d.span_stack;
+    record d Begin name args
   end
 
 let end_span () =
-  if !recording then
-    match !span_stack with
+  let d = ds () in
+  if d.recording then
+    match d.span_stack with
     | [] -> ()
     | name :: rest ->
-      span_stack := rest;
-      record End name []
+      d.span_stack <- rest;
+      record d End name []
 
 let span name args f =
-  if not !recording then f ()
+  let d = ds () in
+  if not d.recording then f ()
   else begin
-    record Begin name args;
-    Fun.protect ~finally:(fun () -> if !recording then record End name []) f
+    record d Begin name args;
+    Fun.protect ~finally:(fun () -> if d.recording then record d End name []) f
   end
 
 let with_op name args f =
   if not !enabled then f ()
   else begin
-    let parent_op = !cur_op and parent_muted = !muted in
-    incr op_counter;
-    let id = !op_counter in
+    let d = ds () in
+    let parent_op = d.cur_op and parent_muted = d.muted in
+    d.op_counter <- d.op_counter + 1;
+    let id = d.op_counter in
     (* one draw per operation, taken even under a muted parent so the
        keep/drop pattern depends only on the seed and operation order *)
-    let sampled = sample_keeps () in
-    cur_op := id;
-    muted := parent_muted || not sampled;
-    recording := !enabled && not !muted;
-    if !recording then begin
-      op_names := (id, name) :: !op_names;
-      record Begin name args
+    let sampled = sample_keeps d in
+    d.cur_op <- id;
+    d.muted <- parent_muted || not sampled;
+    d.recording <- !enabled && not d.muted;
+    if d.recording then begin
+      d.op_names <- (id, name) :: d.op_names;
+      record d Begin name args
     end;
     let t0 = !clock () in
     Fun.protect
       ~finally:(fun () ->
         let dt = !clock () - t0 in
-        if !recording then record End name [];
+        if d.recording then record d End name [];
         if !slow_ns > 0 && dt >= !slow_ns then
-          slow :=
+          d.slow <-
             { so_op = id; so_name = name; so_args = args; so_ns = dt;
               so_sampled = sampled && not parent_muted }
-            :: !slow;
-        cur_op := parent_op;
-        muted := parent_muted;
-        recording := !enabled && not !muted)
+            :: d.slow;
+        d.cur_op <- parent_op;
+        d.muted <- parent_muted;
+        d.recording <- !enabled && not d.muted)
       f
   end
 
-(* --- reading back --- *)
+(* --- reading back (the calling domain's ring) --- *)
 
 let events () =
-  let cap = Array.length !ring in
-  List.init !len (fun i -> !ring.((!start + i) mod cap))
+  let d = ds () in
+  let cap = Array.length d.ring in
+  List.init d.len (fun i -> d.ring.((d.start + i) mod cap))
 
-let dropped () = !dropped_count
-let slow_ops () = List.rev !slow
+let dropped () = (ds ()).dropped_count
+let slow_ops () = List.rev (ds ()).slow
 
 (* --- exporters --- *)
 
@@ -232,6 +280,7 @@ let ph_id = function Begin -> "B" | End -> "E" | Instant -> "i"
    operation is rendered as its own thread so Perfetto shows one track
    per traced operation, named via thread_name metadata. *)
 let chrome_json () =
+  let d = ds () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
@@ -243,7 +292,7 @@ let chrome_json () =
         (Printf.sprintf
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s #%d\"}}"
            id (json_escape name) id))
-    (List.rev !op_names);
+    (List.rev d.op_names);
   List.iter
     (fun e ->
       sep ();

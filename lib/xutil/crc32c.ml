@@ -2,6 +2,12 @@
    the checksum used by iSCSI, ext4 and Btrfs for exactly this job:
    catching bit flips and torn sectors in storage pages. *)
 
+(* Designated unsafe boundary (spine-lint L11): the unchecked byte
+   reads follow an explicit range validation at the digest entry, and
+   [Bytes.unsafe_of_string] never leaks the bytes to a writer. *)
+[@@@spine.checked_boundary
+  "range validated at entry; converted bytes are read-only here"]
+
 let table =
   Array.init 256 (fun n ->
       let c = ref n in

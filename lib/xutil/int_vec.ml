@@ -1,3 +1,9 @@
+(* Designated unsafe boundary (spine-lint L11): unchecked array slots
+   are guarded by the [len] asserts right above them, and the backing
+   array never escapes the module. *)
+[@@@spine.checked_boundary
+  "bounds asserted locally; backing array never escapes the module"]
+
 type t = {
   mutable data : int array;
   mutable len : int;

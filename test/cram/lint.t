@@ -22,14 +22,17 @@ the dune-style relative source path in the cmt.
 The rule list:
 
   $ spine-lint rules
-  poly-compare   error   no polymorphic compare/=/Hashtbl.hash or polymorphic Hashtbl on hot-path libraries (lib/spine, lib/pagestore, lib/bioseq)
-  obj-magic      error   no Obj.magic/Obj.repr/Obj.obj in library code
-  catch-all      error   no catch-all `try ... with _ ->` swallowing exceptions
-  stdout         warning no direct stdout printing from library code; route through lib/report or lib/telemetry
-  missing-mli    error   every module in lib/spine and lib/pagestore has a .mli interface
-  partial-call   warning no partial stdlib calls (List.hd, List.tl, Option.get) in library code
-  raw-clock      error   no raw clock reads (Unix.gettimeofday, Unix.time, Sys.time) in library code; time through Xutil.Stopwatch's monotonic clock
-  bare-failwith  error   no bare failwith/Failure raises in the typed-error storage stack (lib/pagestore, lib/spine persistent/serialize); raise a typed Spine_error instead
+  poly-compare      error   no polymorphic compare/=/Hashtbl.hash or polymorphic Hashtbl on hot-path libraries (lib/spine, lib/pagestore, lib/bioseq)
+  obj-magic         error   no Obj.magic/Obj.repr/Obj.obj in library code
+  catch-all         error   no catch-all `try ... with _ ->` swallowing exceptions
+  stdout            warning no direct stdout printing from library code; route through lib/report or lib/telemetry
+  missing-mli       error   every module in lib/spine and lib/pagestore has a .mli interface
+  partial-call      warning no partial stdlib calls (List.hd, List.tl, Option.get) in library code
+  raw-clock         error   no raw clock reads (Unix.gettimeofday, Unix.time, Sys.time) in library code; time through Xutil.Stopwatch's monotonic clock
+  bare-failwith     error   no bare failwith/Failure raises in the typed-error storage stack (lib/pagestore, lib/spine persistent/serialize); raise a typed Spine_error instead
+  shared-mutation   error   no write reachable from the engine's query surface may touch state that outlives the call (module-level values, fields of the shared store argument, stored closures) unless guarded by Mutex/Atomic/Domain.DLS or annotated [@spine.domain_safe]
+  global-mutable    error   no module-level mutable value in lib/spine or lib/pagestore without a Mutex/Atomic guard or a [@spine.domain_safe "reason"] annotation
+  unguarded-unsafe  error   no Array.unsafe_*/Bytes.unsafe_* outside modules that declare themselves a checked boundary with [@@@spine.checked_boundary "reason"]
 
 The typed-error rule is scoped to the storage stack: a stringly failure
 in lib/pagestore is an error, the identical code elsewhere is not.
@@ -78,3 +81,63 @@ the waivers.
     RULE       SEVERITY  WHERE                 MESSAGE
     obj-magic  error     lib/demo/bad.ml:1:30  Obj.magic defeats the type system
     catch-all  error     lib/demo/bad.ml:3:30  catch-all handler swallows every exception, including the ones that signal bugs (match the specific exceptions)
+
+--only restricts the run to the listed rules; --except drops them.
+
+  $ spine-lint check --build-dir lib/demo --source-root . --only partial-call
+    RULE          SEVERITY  WHERE                 MESSAGE
+    partial-call  warning   lib/demo/bad.ml:2:15  List.hd raises Failure on []; match the shape explicitly
+  spine-lint: 1 finding(s) in 1 files scanned
+  [1]
+  $ spine-lint check --build-dir lib/demo --source-root . --except partial-call
+  spine-lint: 1 files scanned, no findings (2 suppressed)
+  $ spine-lint check --build-dir lib/demo --source-root . --only no-such-rule
+  spine-lint: unknown rule "no-such-rule" in --only (ignored)
+  spine-lint: --only matched no known rules
+  [2]
+
+The interprocedural domain-safety pass (--domains): a query-surface
+root that mutates its shared store argument certifies UNSAFE — the
+witness names the write and the call chain that reaches it — and the
+run fails even though the finding sits in a helper.
+
+  $ mkdir -p lib/spine
+  $ cat > lib/spine/qsurf.ml <<'EOF'
+  > type store = { mutable hits : int; lock : Mutex.t }
+  > let bump t = t.hits <- t.hits + 1
+  > let occurrences t (_pat : string) = bump t; t.hits
+  > EOF
+  $ cat > lib/spine/qsurf.mli <<'EOF'
+  > type store = { mutable hits : int; lock : Mutex.t }
+  > val bump : store -> unit
+  > val occurrences : store -> string -> int
+  > EOF
+  $ ocamlc -bin-annot -w -a -c lib/spine/qsurf.mli
+  $ ocamlc -bin-annot -w -a -I lib/spine -c lib/spine/qsurf.ml
+  $ spine-lint check --build-dir lib/spine --source-root . --domains
+    RULE             SEVERITY  WHERE                   MESSAGE
+    shared-mutation  error     lib/spine/qsurf.ml:2:0  assignment to mutable field hits of argument 0 (mutates the shared store argument 0) escapes the query surface: reachable from query root Qsurf.occurrences via Qsurf.occurrences (lib/spine/qsurf.ml:3) -> Qsurf.bump (lib/spine/qsurf.ml:2); a store shared across domains would race here (guard with Mutex/Atomic, keep the state per-domain, or annotate the binding [@spine.domain_safe "reason"])
+  spine-lint: 1 finding(s) in 1 files scanned
+  domain-safety certification:
+    MODULE  VERDICT  WITNESS
+    Qsurf   UNSAFE   assignment to mutable field hits of argument 0 (mutates the shared store argument 0) via Qsurf.occurrences (lib/spine/qsurf.ml:3) -> Qsurf.bump (lib/spine/qsurf.ml:2)
+  spine-lint: 0 module(s) certified, 1 unsafe
+  [1]
+
+Guard the write with the store's Mutex and the same module certifies;
+the certification rows also export as JSONL for the CI artifact.
+
+  $ cat > lib/spine/qsurf.ml <<'EOF'
+  > type store = { mutable hits : int; lock : Mutex.t }
+  > let bump t = Mutex.protect t.lock (fun () -> t.hits <- t.hits + 1)
+  > let occurrences t (_pat : string) = bump t; t.hits
+  > EOF
+  $ ocamlc -bin-annot -w -a -I lib/spine -c lib/spine/qsurf.ml
+  $ spine-lint check --build-dir lib/spine --source-root . --domains --out cert.jsonl
+  spine-lint: 1 files scanned, no findings
+  domain-safety certification:
+    MODULE  VERDICT              WITNESS
+    Qsurf   certified (guarded)  mutex-guarded region
+  spine-lint: 1 module(s) certified, 0 unsafe
+  $ cat cert.jsonl
+  {"module":"Qsurf","verdict":"certified (guarded)","witness":"mutex-guarded region"}

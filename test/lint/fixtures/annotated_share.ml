@@ -1,0 +1,13 @@
+(* L9-waived fixture: the escaping write carries a reviewed
+   [@spine.domain_safe] reason, so the module certifies as
+   annotated. *)
+
+type store = { mutable hits : int }
+
+let[@spine.domain_safe "fixture: stats cell is per-test, never shared"]
+    bump t =
+  t.hits <- t.hits + 1
+
+let occurrences t (_pat : string) =
+  bump t;
+  t.hits

@@ -1,0 +1,6 @@
+(* L11 waiver fixture: the module declares itself an audited bounds
+   boundary, so the same unsafe accessor is not flagged. *)
+
+[@@@spine.checked_boundary "fixture: bounds audited by the tests"]
+
+let get (a : int array) i = Array.unsafe_get a i

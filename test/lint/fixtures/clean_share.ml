@@ -1,0 +1,12 @@
+(* L9-clean fixture: the query root mutates only call-local scratch,
+   so the module certifies with no guard or waiver. *)
+
+type store = { data : string }
+
+let occurrences t (pat : string) =
+  let count = ref 0 in
+  let n = String.length t.data and m = String.length pat in
+  for i = 0 to n - m do
+    if String.sub t.data i m = pat then incr count
+  done;
+  !count

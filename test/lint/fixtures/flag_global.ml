@@ -1,0 +1,17 @@
+(* L10 fixture: module-level mutable state in every flavour the rule
+   judges.  [table] and [counter] must be flagged; [guarded] is Atomic
+   (shareable by construction) and [annotated] carries the waiver. *)
+
+let table = Array.make 4 0
+let counter = ref 0
+let guarded = Atomic.make 0
+
+let[@spine.domain_safe "fixture: written only before domains spawn"]
+    annotated =
+  ref 0
+
+let use () =
+  ignore table;
+  ignore counter;
+  ignore guarded;
+  ignore annotated

@@ -1,0 +1,11 @@
+(* L9 fixture: a query-surface root mutating its shared store
+   argument through a helper — the interprocedural pass must chase
+   [occurrences -> bump] and flag the write site in [bump]. *)
+
+type store = { mutable hits : int; data : string }
+
+let bump t = t.hits <- t.hits + 1
+
+let occurrences t (_pat : string) =
+  bump t;
+  [ t.hits ]

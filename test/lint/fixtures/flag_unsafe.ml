@@ -1,0 +1,4 @@
+(* L11 fixture: raw unsafe accessors outside a checked boundary. *)
+
+let get (a : int array) i = Array.unsafe_get a i
+let set (b : Bytes.t) i c = Bytes.unsafe_set b i c

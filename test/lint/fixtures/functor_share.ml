@@ -1,0 +1,25 @@
+(* L9 functor-alias fixture: the write hides behind a functor
+   parameter — the basename devirtualiser must find [Impl.poke] from
+   the [P.poke] call inside [Make] and still flag the escape. *)
+
+module Impl = struct
+  type t = { mutable n : int }
+
+  let poke t = t.n <- t.n + 1
+end
+
+module type POKE = sig
+  type t
+
+  val poke : t -> unit
+end
+
+module Make (P : POKE) = struct
+  let occurrences (t : P.t) (_pat : string) =
+    P.poke t;
+    0
+end
+
+module M = Make (Impl)
+
+let use (t : Impl.t) = ignore (M.occurrences t "x")

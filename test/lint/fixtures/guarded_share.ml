@@ -1,0 +1,10 @@
+(* L9-guarded fixture: the shared write runs under the store's own
+   Mutex via [Mutex.protect], so the effect is absorbed and the module
+   certifies as guarded. *)
+
+type store = { lock : Mutex.t; mutable hits : int }
+
+let occurrences t (_pat : string) =
+  Mutex.protect t.lock (fun () ->
+      t.hits <- t.hits + 1;
+      t.hits)

@@ -10,6 +10,17 @@ let result =
     | Ok r -> r
     | Error e -> Alcotest.failf "lint run failed: %s" e)
 
+(* the interprocedural pass is opt-in, so the domain rules get their
+   own lazy run (same fixtures, [~domains:true]) *)
+let dresult =
+  lazy
+    (match
+       Lint.run ~all_paths:true ~domains:true ~build_dir:"fixtures"
+         ~source_root:"../.." ()
+     with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "domains lint run failed: %s" e)
+
 let in_file file f = Filename.basename f.Lint.file = file
 
 let findings_in file rule =
@@ -62,6 +73,89 @@ let test_missing_mli () =
     (count "flag_missing.ml" Lint.Missing_mli);
   check_int "module with an mli not flagged" 0
     (count "clean_mod.ml" Lint.Missing_mli)
+
+let test_global_mutable () =
+  check_int "array and ref at module level flagged" 2
+    (count "flag_global.ml" Lint.Global_mutable);
+  check_int "Atomic and annotated bindings not flagged" 0
+    (List.length
+       (List.filter
+          (fun f -> f.Lint.line > 6)
+          (findings_in "flag_global.ml" Lint.Global_mutable)))
+
+let test_unguarded_unsafe () =
+  check_int "Array.unsafe_get and Bytes.unsafe_set flagged" 2
+    (count "flag_unsafe.ml" Lint.Unguarded_unsafe);
+  check_int "checked-boundary module not flagged" 0
+    (count "checked_mod.ml" Lint.Unguarded_unsafe)
+
+let dfindings_in file =
+  List.filter
+    (fun f -> f.Lint.rule = Lint.Shared_mutation && in_file file f)
+    (Lazy.force dresult).Lint.findings
+
+let test_shared_mutation () =
+  check_int "escape through a helper flagged at the write site" 1
+    (List.length (dfindings_in "flag_share.ml"));
+  check_int "escape behind a functor alias flagged" 1
+    (List.length (dfindings_in "functor_share.ml"));
+  check_int "call-local mutation not flagged" 0
+    (List.length (dfindings_in "clean_share.ml"));
+  check_int "Mutex.protect-guarded write not flagged" 0
+    (List.length (dfindings_in "guarded_share.ml"));
+  check_int "annotated write not flagged" 0
+    (List.length (dfindings_in "annotated_share.ml"));
+  Alcotest.(check bool)
+    "no L9 findings without ~domains" true
+    (List.for_all
+       (fun f -> f.Lint.rule <> Lint.Shared_mutation)
+       (Lazy.force result).Lint.findings)
+
+let test_certification () =
+  let rows = (Lazy.force dresult).Lint.certification in
+  let verdict m =
+    match
+      List.find_opt
+        (fun (r : Lint.Domain_safety.cert_row) ->
+          r.Lint.Domain_safety.cm_module = m)
+        rows
+    with
+    | Some r -> r.Lint.Domain_safety.cm_verdict
+    | None -> Alcotest.failf "no certification row for %s" m
+  in
+  Alcotest.(check string) "escaping module" "UNSAFE" (verdict "Flag_share");
+  Alcotest.(check string) "functor alias" "UNSAFE" (verdict "Functor_share");
+  Alcotest.(check string) "local-only module" "certified"
+    (verdict "Clean_share");
+  Alcotest.(check string) "mutex-guarded module" "certified (guarded)"
+    (verdict "Guarded_share");
+  Alcotest.(check string) "annotated module" "certified (annotated)"
+    (verdict "Annotated_share");
+  Alcotest.(check bool)
+    "no certification rows without ~domains" true
+    ((Lazy.force result).Lint.certification = [])
+
+let test_only_except () =
+  (match
+     Lint.run ~all_paths:true ~only:[ Lint.Obj_magic ] ~build_dir:"fixtures"
+       ~source_root:"../.." ()
+   with
+  | Error e -> Alcotest.failf "lint run failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool)
+      "--only restricts to the listed rule" true
+      (r.Lint.findings <> []
+      && List.for_all (fun f -> f.Lint.rule = Lint.Obj_magic) r.Lint.findings));
+  match
+    Lint.run ~all_paths:true ~except:[ Lint.Obj_magic ] ~build_dir:"fixtures"
+      ~source_root:"../.." ()
+  with
+  | Error e -> Alcotest.failf "lint run failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool)
+      "--except drops the listed rule" true
+      (r.Lint.findings <> []
+      && List.for_all (fun f -> f.Lint.rule <> Lint.Obj_magic) r.Lint.findings)
 
 let test_clean () =
   let offending =
@@ -141,10 +235,15 @@ let () =
           Alcotest.test_case "partial-call" `Quick test_partial_call;
           Alcotest.test_case "raw-clock" `Quick test_raw_clock;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
-          Alcotest.test_case "bare-failwith" `Quick test_bare_failwith ] );
+          Alcotest.test_case "bare-failwith" `Quick test_bare_failwith;
+          Alcotest.test_case "global-mutable" `Quick test_global_mutable;
+          Alcotest.test_case "unguarded-unsafe" `Quick test_unguarded_unsafe;
+          Alcotest.test_case "shared-mutation" `Quick test_shared_mutation ] );
       ( "behaviour",
         [ Alcotest.test_case "clean module" `Quick test_clean;
           Alcotest.test_case "suppressions" `Quick test_suppressed;
           Alcotest.test_case "demotion" `Quick test_demote;
           Alcotest.test_case "rule ids" `Quick test_rule_ids;
+          Alcotest.test_case "certification" `Quick test_certification;
+          Alcotest.test_case "only/except" `Quick test_only_except;
           Alcotest.test_case "exporters" `Quick test_exporters ] ) ]
