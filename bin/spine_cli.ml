@@ -209,6 +209,45 @@ let page_size_arg =
        & info [ "page-size" ] ~docv:"BYTES"
            ~doc:"Device page size (persistent/disk backends).")
 
+let index_opt_arg =
+  Arg.(value & opt (some string) None
+       & info [ "index"; "i" ] ~docv:"FILE"
+           ~doc:"Existing index file: a serialized index (backend fast) \
+                 or a persistent index file (backend persistent). \
+                 Alternative to the input sources.")
+
+(* The full engine-acquisition story shared by query, stats --space,
+   explain and replay: an existing index file (--index, fast or
+   persistent) or any input source through [engine_of_source], with the
+   incompatible combinations diagnosed. *)
+let acquire_engine ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str ~backend
+    ~index ~frames ~page_size =
+  let has_source =
+    fasta <> None || synthetic <> None || text <> None || seq_str <> None
+  in
+  match index, has_source with
+  | Some _, true ->
+    Error "provide either --index or an input source, not both"
+  | Some file, false ->
+    (match backend with
+     | `Fast -> Ok (Spine.Index.engine (Spine.Serialize.of_file file), ignore)
+     | `Persistent ->
+       (try
+          let p = Spine.Persistent.open_ ~frames ~path:file () in
+          Ok (Spine.Persistent.engine p,
+              fun () -> Spine.Persistent.close p)
+        with Spine_error.Error e -> Error (Spine_error.to_string e))
+     | `Compact | `Disk ->
+       Error "--backend compact/disk builds from an input source \
+              (--text, --fasta, --synthetic, --seq), not --index")
+  | None, _ ->
+    Result.map
+      (engine_of_source ~backend ~frames ~page_size)
+      (Result.bind (alphabet_of_string alphabet) (fun alphabet ->
+           match seq_str with
+           | Some s -> Ok (seq_of_literal alphabet s)
+           | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text))
+
 let query_cmd =
   let patterns =
     Arg.(non_empty & pos_all string []
@@ -233,34 +272,10 @@ let query_cmd =
   let run alphabet fasta synthetic scale text seq_str backend index patterns
       limit frames page_size stats =
     with_stats stats @@ fun () ->
-    let has_source =
-      fasta <> None || synthetic <> None || text <> None || seq_str <> None
-    in
-    let acquired =
-      match index, has_source with
-      | Some _, true ->
-        Error "provide either --index or an input source, not both"
-      | Some file, false ->
-        (match backend with
-         | `Fast -> Ok (Spine.Index.engine (Spine.Serialize.of_file file), ignore)
-         | `Persistent ->
-           (try
-              let p = Spine.Persistent.open_ ~frames ~path:file () in
-              Ok (Spine.Persistent.engine p,
-                  fun () -> Spine.Persistent.close p)
-            with Spine_error.Error e -> Error (Spine_error.to_string e))
-         | `Compact | `Disk ->
-           Error "--backend compact/disk builds from an input source \
-                  (--text, --fasta, --synthetic, --seq), not --index")
-      | None, _ ->
-        Result.map
-          (engine_of_source ~backend ~frames ~page_size)
-          (Result.bind (alphabet_of_string alphabet) (fun alphabet ->
-               match seq_str with
-               | Some s -> Ok (seq_of_literal alphabet s)
-               | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text))
-    in
-    match acquired with
+    match
+      acquire_engine ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str
+        ~backend ~index ~frames ~page_size
+    with
     | Error e -> prerr_endline e; 1
     | Ok (engine, cleanup) ->
       let finish code = cleanup (); code in
@@ -272,9 +287,31 @@ let query_cmd =
         finish 1
       end
       else begin
+        (* profile only when the qlog needs the costs: `spine explain`
+           is the dedicated profiling surface, and an unconditional
+           profile here would put wall-clock-dependent rollups into
+           the deterministic --stats output *)
+        let codes = List.filter_map (fun (_, codes) -> codes) encoded in
         let items =
-          Spine.Engine.run_batch engine
-            (List.filter_map (fun (_, codes) -> codes) encoded)
+          if Qlog.active () then begin
+            let items, prof =
+              Spine.Engine.profiled engine (fun () ->
+                  Spine.Engine.run_batch engine codes)
+            in
+            let hits =
+              List.fold_left
+                (fun a it -> if it.Spine.Engine.count > 0 then a + 1 else a)
+                0 items
+            in
+            let found =
+              List.fold_left (fun a it -> a + it.Spine.Engine.count) 0 items
+            in
+            Qlog.emit ~op:"batch" ~backend:(Spine.Engine.backend engine)
+              ~patterns ~hits ~found ~latency_ns:prof.Profile.wall_ns
+              ~costs:prof;
+            items
+          end
+          else Spine.Engine.run_batch engine codes
         in
         let many = List.length items > 1 in
         List.iter2
@@ -324,35 +361,10 @@ let stats_cmd =
   in
   let space_run ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str ~backend
       ~index ~jsonl_out ~frames ~page_size =
-    let has_source =
-      fasta <> None || synthetic <> None || text <> None || seq_str <> None
-    in
-    let acquired =
-      match index, has_source with
-      | Some _, true ->
-        Error "provide either --index or an input source, not both"
-      | Some file, false ->
-        (match backend with
-         | `Fast ->
-           Ok (Spine.Index.engine (Spine.Serialize.of_file file), ignore)
-         | `Persistent ->
-           (try
-              let p = Spine.Persistent.open_ ~frames ~path:file () in
-              Ok (Spine.Persistent.engine p,
-                  fun () -> Spine.Persistent.close p)
-            with Spine_error.Error e -> Error (Spine_error.to_string e))
-         | `Compact | `Disk ->
-           Error "--backend compact/disk builds from an input source \
-                  (--text, --fasta, --synthetic, --seq), not --index")
-      | None, _ ->
-        Result.map
-          (engine_of_source ~backend ~frames ~page_size)
-          (Result.bind (alphabet_of_string alphabet) (fun alphabet ->
-               match seq_str with
-               | Some s -> Ok (seq_of_literal alphabet s)
-               | None -> load_sequence ~alphabet ~fasta ~synthetic ~scale ~text))
-    in
-    match acquired with
+    match
+      acquire_engine ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str
+        ~backend ~index ~frames ~page_size
+    with
     | Error e -> prerr_endline e; 1
     | Ok (engine, cleanup) ->
       Fun.protect ~finally:cleanup (fun () ->
@@ -556,6 +568,228 @@ let workload_cmd =
           $ page_size_arg $ requests $ seed $ min_len $ max_len $ batch_size
           $ cursor_steps $ miss_fraction $ mix $ rate $ slowest $ metrics
           $ metrics_format $ metrics_every $ report_jsonl)
+
+(* --- explain --- *)
+
+let qlog_json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let explain_cmd =
+  let patterns =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"PATTERN"
+             ~doc:"Pattern(s) to profile; each runs as its own \
+                   individually-attributed query.")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Also write one JSON line per pattern with every \
+                   profile field (- for stdout).")
+  in
+  let run alphabet fasta synthetic scale text seq_str backend index patterns
+      jsonl_out frames page_size stats =
+    with_stats stats @@ fun () ->
+    match
+      acquire_engine ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str
+        ~backend ~index ~frames ~page_size
+    with
+    | Error e -> prerr_endline e; 1
+    | Ok (engine, cleanup) ->
+      Fun.protect ~finally:cleanup (fun () ->
+          let backend_name = Spine.Engine.backend engine in
+          let bad = ref false in
+          let results =
+            List.filter_map
+              (fun pat ->
+                match Spine.Engine.encode engine pat with
+                | None ->
+                  Printf.eprintf "pattern %S is outside the alphabet\n" pat;
+                  bad := true;
+                  None
+                | Some codes ->
+                  let occs, prof =
+                    Spine.Engine.profiled engine (fun () ->
+                        Spine.Engine.occurrences engine codes)
+                  in
+                  let count = List.length occs in
+                  if Qlog.active () then
+                    Qlog.emit ~op:"single" ~backend:backend_name
+                      ~patterns:[ pat ]
+                      ~hits:(if count > 0 then 1 else 0)
+                      ~found:count ~latency_ns:prof.Profile.wall_ns
+                      ~costs:prof;
+                  Some (pat, count, prof))
+              patterns
+          in
+          Report.Table.print
+            ~title:(Printf.sprintf "explain (%s)" backend_name)
+            ~headers:
+              [ "pattern"; "occ"; "steps v/r/e/l"; "descent"; "scan";
+                "pool h/m/e"; "dev r/w B"; "alloc B"; "wall ms" ]
+            (List.map
+               (fun (pat, count, p) ->
+                 [ pat; string_of_int count;
+                   Printf.sprintf "%d/%d/%d/%d" p.Profile.vertebra_steps
+                     p.Profile.rib_steps p.Profile.extrib_steps
+                     p.Profile.link_steps;
+                   string_of_int p.Profile.descent_depth;
+                   string_of_int p.Profile.scan_nodes;
+                   Printf.sprintf "%d/%d/%d" p.Profile.pool_hits
+                     p.Profile.pool_misses p.Profile.pool_evictions;
+                   Printf.sprintf "%d/%d" p.Profile.device_read_bytes
+                     p.Profile.device_write_bytes;
+                   string_of_int p.Profile.alloc_bytes;
+                   Printf.sprintf "%.3f"
+                     (float_of_int p.Profile.wall_ns /. 1e6) ])
+               results);
+          let jsonl_lines () =
+            List.map
+              (fun (pat, count, p) ->
+                Printf.sprintf
+                  "{\"explain\":\"%s\",\"backend\":\"%s\",\
+                   \"occurrences\":%d,%s}"
+                  (qlog_json_escape pat) (qlog_json_escape backend_name)
+                  count
+                  (String.concat ","
+                     (List.map
+                        (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v)
+                        (Profile.fields p))))
+              results
+          in
+          (match jsonl_out with
+           | Some "-" -> List.iter print_endline (jsonl_lines ())
+           | Some path ->
+             let oc = open_out path in
+             List.iter (fun l -> output_string oc (l ^ "\n")) (jsonl_lines ());
+             close_out oc
+           | None -> ());
+          if !bad then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Run pattern queries with per-query cost attribution: \
+             traversal steps by edge family, descent depth, \
+             occurrence-scan length, buffer-pool and device traffic \
+             caused by each individual query, allocation and wall \
+             time.")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ seq_literal_arg $ backend_arg $ index_opt_arg $ patterns
+          $ jsonl_out $ frames_arg $ page_size_arg $ stats_arg)
+
+(* --- replay --- *)
+
+let replay_cmd =
+  let log =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"LOG" ~doc:"Recorded query log (qlog JSONL).")
+  in
+  let closed_loop =
+    Arg.(value & flag
+         & info [ "closed-loop" ]
+             ~doc:"Issue requests back-to-back instead of honoring the \
+                   recorded inter-arrival gaps.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.25
+         & info [ "tolerance" ] ~docv:"FRACTION"
+             ~doc:"Relative drift allowed before a latency quantile or \
+                   cost counter counts as regressed.")
+  in
+  let latency_floor =
+    Arg.(value & opt float 1e6
+         & info [ "latency-floor-ns" ] ~docv:"NS"
+             ~doc:"Noise floor for latency comparisons: when both sides \
+                   are at or below this, the delta is timer noise and \
+                   never fails the gate.")
+  in
+  let report_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "report-jsonl" ] ~docv:"FILE"
+             ~doc:"Also write the replayed report and every comparison \
+                   row as JSON lines (- for stdout).")
+  in
+  let run alphabet fasta synthetic scale text seq_str backend index frames
+      page_size log closed_loop tolerance latency_floor report_jsonl =
+    (* replay must never append to the log it is reading *)
+    Qlog.set_path None;
+    match Qlog.read_file ~path:log with
+    | Error e -> Printf.eprintf "replay: %s: %s\n" log e; 2
+    | Ok [] -> Printf.eprintf "replay: %s: empty log\n" log; 2
+    | Ok records ->
+      (match
+         acquire_engine ~alphabet ~fasta ~synthetic ~scale ~text ~seq_str
+           ~backend ~index ~frames ~page_size
+       with
+       | Error e -> prerr_endline e; 2
+       | Ok (engine, cleanup) ->
+         Fun.protect ~finally:cleanup (fun () ->
+             let backend_name = Spine.Engine.backend engine in
+             (match
+                List.find_opt
+                  (fun (r : Qlog.record) -> r.Qlog.q_backend <> backend_name)
+                  records
+              with
+              | Some r ->
+                Printf.eprintf
+                  "replay: warning: log was recorded on backend %s, \
+                   replaying on %s\n"
+                  r.Qlog.q_backend backend_name
+              | None -> ());
+             match
+               Replay.drive_records ~closed_loop ~tolerance
+                 ~latency_floor_ns:latency_floor ~engine records
+             with
+             | Error e -> Printf.eprintf "replay: %s\n" e; 2
+             | Ok outcome ->
+               Replay.print outcome;
+               (match report_jsonl with
+                | Some "-" -> List.iter print_endline (Replay.jsonl outcome)
+                | Some path ->
+                  let oc = open_out path in
+                  List.iter (fun l -> output_string oc (l ^ "\n"))
+                    (Replay.jsonl outcome);
+                  close_out oc
+                | None -> ());
+               (match Bench_gate.failures outcome.Replay.rp_comparisons with
+                | [] ->
+                  Printf.printf
+                    "replay: ok (%d request(s), %d comparison(s))\n"
+                    outcome.Replay.rp_requests
+                    (List.length outcome.Replay.rp_comparisons);
+                  0
+                | failures ->
+                  Printf.printf "replay: %d failure(s)\n"
+                    (List.length failures);
+                  List.iter
+                    (fun c ->
+                      Printf.printf "  %s/%s: %s\n" c.Bench_gate.c_group
+                        c.Bench_gate.c_name
+                        (Bench_gate.verdict_string c.Bench_gate.c_verdict))
+                    failures;
+                  1)))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-drive a recorded query log against a backend and gate \
+             on the recorded-vs-replayed delta: per-op latency \
+             quantiles (noise-floored) and deterministic cost \
+             counters.  Exit 0 on pass, 1 on regression, 2 on a \
+             malformed log.")
+    Term.(const run $ alphabet_arg $ fasta_arg $ synthetic_arg $ scale_arg
+          $ text_arg $ seq_literal_arg $ backend_arg $ index_opt_arg $ frames_arg
+          $ page_size_arg $ log $ closed_loop $ tolerance $ latency_floor
+          $ report_jsonl)
 
 (* --- bench-compare --- *)
 
@@ -1128,8 +1362,9 @@ let scrub_cmd =
 let main_cmd =
   let doc = "SPINE string index (ICDE 2004 reproduction)" in
   Cmd.group (Cmd.info "spine" ~doc)
-    [ build_cmd; query_cmd; stats_cmd; workload_cmd; bench_compare_cmd;
-      match_cmd; approx_cmd; align_cmd; trace_cmd; scrub_cmd ]
+    [ build_cmd; query_cmd; stats_cmd; workload_cmd; explain_cmd;
+      replay_cmd; bench_compare_cmd; match_cmd; approx_cmd; align_cmd;
+      trace_cmd; scrub_cmd ]
 
 (* Typed storage errors can surface lazily (a damaged page is only read
    mid-query); render them as a diagnosis, not an "internal error". *)

@@ -919,7 +919,7 @@ let query_surface =
     "occurrences_many"; "encode"; "matching_statistics";
     "maximal_matches"; "label_maxima"; "rib_distribution"; "edge_counts";
     "link_histogram"; "run_batch"; "cursor"; "space"; "alphabet";
-    "length"; "node_count" ]
+    "length"; "node_count"; "profiled" ]
 
 let resolve t c =
   match c.cl_callee with

@@ -14,6 +14,63 @@ let c_exhausted = Telemetry.counter "pool.exhausted"
 
 type replacement = [ `Lru | `Fifo ]
 
+(* --- per-query attribution ---------------------------------------- *)
+
+(* A scoped sink for the pool work one logical operation causes.  The
+   profiler installs a sink around a single query; every pool in the
+   process then charges that query's hits, misses, evictions and device
+   bytes to it — the same increments the global pool.*/device.* telemetry
+   receives, so per-query sums reconcile exactly with the global deltas
+   on a single-domain, fault-free run.  The slot is per-domain
+   ([Domain.DLS]), so parallel domains profile independent queries
+   without seeing each other's work. *)
+
+type attribution = {
+  mutable at_hits : int;
+  mutable at_misses : int;
+  mutable at_evictions : int;
+  mutable at_read_bytes : int;
+  mutable at_write_bytes : int;
+}
+
+let fresh_attribution () =
+  { at_hits = 0; at_misses = 0; at_evictions = 0;
+    at_read_bytes = 0; at_write_bytes = 0 }
+
+let att_slot : attribution option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_attribution att f =
+  let r = Domain.DLS.get att_slot in
+  let prev = !r in
+  r := Some att;
+  Fun.protect ~finally:(fun () -> r := prev) f
+
+let att_hit () =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_hits <- a.at_hits + 1
+
+let att_miss () =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_misses <- a.at_misses + 1
+
+let att_evict () =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_evictions <- a.at_evictions + 1
+
+let att_read n =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_read_bytes <- a.at_read_bytes + n
+
+let att_write n =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_write_bytes <- a.at_write_bytes + n
+
 type t = {
   dev : Device.t;
   pin : int -> bool;
@@ -138,6 +195,7 @@ let writeback t f =
        if it raises, the frame stays dirty and nothing was overwritten *)
     (match t.on_writeback with Some h -> h page | None -> ());
     with_io_retries page (fun () -> Device.write t.dev page t.buffers.(f));
+    att_write (Device.page_size t.dev);
     t.dirty.(f) <- false;
     t.writebacks <- t.writebacks + 1;
     Telemetry.incr c_writebacks
@@ -185,11 +243,13 @@ let frame_for t page =
   | Some f ->
     t.hits <- t.hits + 1;
     Telemetry.incr c_hits;
+    att_hit ();
     (match t.replacement with `Lru -> touch t f | `Fifo -> ());
     f
   | None ->
     t.misses <- t.misses + 1;
     Telemetry.incr c_misses;
+    att_miss ();
     (* the fault span covers victim selection, the eviction writeback
        and the device read — everything the miss made the caller pay *)
     let tr = Trace.on () in
@@ -212,12 +272,14 @@ let frame_for t page =
         Xutil.Int_tbl.remove t.table t.page_of.(victim);
         t.evictions <- t.evictions + 1;
         Telemetry.incr c_evictions;
+        att_evict ();
         unlink t victim;
         victim
       end
     in
     (match with_io_retries page (fun () -> Device.read t.dev page) with
      | data ->
+       att_read (Device.page_size t.dev);
        Bytes.blit data 0 t.buffers.(f) 0 (Bytes.length data)
      | exception e ->
        (* the frame was already claimed (victim evicted / free slot

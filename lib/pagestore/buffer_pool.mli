@@ -73,3 +73,35 @@ type stats = {
 val stats : t -> stats
 val reset_stats : t -> unit
 (** Zero every counter (frame contents are untouched). *)
+
+(** {2 Per-query attribution}
+
+    The pool's telemetry counters are process-global aggregates; the
+    attribution hook answers {e which query} caused the page traffic.
+    Installing a sink with {!with_attribution} charges every hit, miss,
+    eviction and device transfer that {e any} pool performs on the
+    calling domain, for the dynamic extent of the callback, to that
+    sink — the same increments the [pool.*] counters and the device
+    byte counters receive, so on a single-domain fault-free run the
+    per-query sinks sum exactly to the global telemetry deltas.
+    [Profile.profiled] is the intended caller. *)
+
+type attribution = {
+  mutable at_hits : int;
+  mutable at_misses : int;
+  mutable at_evictions : int;
+  mutable at_read_bytes : int;
+      (** device bytes read by miss fills ([page size] per fill;
+          injected-fault retries re-read but are charged once) *)
+  mutable at_write_bytes : int;
+      (** device bytes written by writebacks this operation forced *)
+}
+
+val fresh_attribution : unit -> attribution
+(** An all-zero sink. *)
+
+val with_attribution : attribution -> (unit -> 'a) -> 'a
+(** [with_attribution sink f] runs [f] with [sink] installed as the
+    calling domain's attribution target, restoring the previous target
+    (scopes nest by shadowing) even on exceptions.  Per-domain: other
+    domains' pool traffic is never charged to [sink]. *)

@@ -1,0 +1,184 @@
+(* Per-operation cost profiles (see profile.mli).  The ambient profile
+   lives in a Domain.DLS slot: a bump is one DLS read plus one mutable
+   field store when a profile is active, and one DLS read plus a match
+   when not — cheap enough that the search/matcher/cursor inner loops
+   stay instrumented permanently, like the telemetry counters they
+   mirror. *)
+
+(* Process-global rollups of everything captured per query, so the
+   Prometheus exposition carries attributed totals next to the raw
+   pool.*/search.* aggregates. *)
+let c_queries = Telemetry.counter "profile.queries"
+let c_steps_total = Telemetry.counter "profile.steps_total"
+let c_scan_nodes = Telemetry.counter "profile.scan_nodes"
+let c_pool_misses = Telemetry.counter "profile.pool_misses"
+let c_read_bytes = Telemetry.counter "profile.device_read_bytes"
+let c_write_bytes = Telemetry.counter "profile.device_write_bytes"
+let h_wall = Telemetry.histogram "profile.wall_ns"
+
+type t = {
+  mutable vertebra_steps : int;
+  mutable rib_steps : int;
+  mutable extrib_steps : int;
+  mutable link_steps : int;
+  mutable descent_depth : int;
+  mutable scan_nodes : int;
+  mutable found : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_evictions : int;
+  mutable device_read_bytes : int;
+  mutable device_write_bytes : int;
+  mutable alloc_bytes : int;
+  mutable wall_ns : int;
+}
+
+let make () =
+  { vertebra_steps = 0; rib_steps = 0; extrib_steps = 0; link_steps = 0;
+    descent_depth = 0; scan_nodes = 0; found = 0;
+    pool_hits = 0; pool_misses = 0; pool_evictions = 0;
+    device_read_bytes = 0; device_write_bytes = 0;
+    alloc_bytes = 0; wall_ns = 0 }
+
+(* The ambient profile of the calling domain; [None] outside any
+   [profiled] scope. *)
+let slot : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = !(Domain.DLS.get slot) <> None
+
+let step_vertebra () =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.vertebra_steps <- p.vertebra_steps + 1
+
+let step_rib () =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.rib_steps <- p.rib_steps + 1
+
+let step_extrib () =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.extrib_steps <- p.extrib_steps + 1
+
+let step_link () =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.link_steps <- p.link_steps + 1
+
+let add_descent n =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.descent_depth <- p.descent_depth + n
+
+let add_scan n =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.scan_nodes <- p.scan_nodes + n
+
+let add_found n =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.found <- p.found + n
+
+let total_steps p =
+  p.vertebra_steps + p.rib_steps + p.extrib_steps + p.link_steps
+
+let profiled f =
+  let p = make () in
+  let att = Pagestore.Buffer_pool.fresh_attribution () in
+  let r = Domain.DLS.get slot in
+  let prev = !r in
+  r := Some p;
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Xutil.Stopwatch.now_ns () in
+  let finish () =
+    p.wall_ns <- Xutil.Stopwatch.now_ns () - t0;
+    p.alloc_bytes <-
+      int_of_float (Float.max 0.0 (Gc.allocated_bytes () -. alloc0));
+    p.pool_hits <- p.pool_hits + att.Pagestore.Buffer_pool.at_hits;
+    p.pool_misses <- p.pool_misses + att.Pagestore.Buffer_pool.at_misses;
+    p.pool_evictions <-
+      p.pool_evictions + att.Pagestore.Buffer_pool.at_evictions;
+    p.device_read_bytes <-
+      p.device_read_bytes + att.Pagestore.Buffer_pool.at_read_bytes;
+    p.device_write_bytes <-
+      p.device_write_bytes + att.Pagestore.Buffer_pool.at_write_bytes;
+    r := prev
+  in
+  match Pagestore.Buffer_pool.with_attribution att f with
+  | res ->
+    finish ();
+    Telemetry.incr c_queries;
+    Telemetry.add c_steps_total (total_steps p);
+    Telemetry.add c_scan_nodes p.scan_nodes;
+    Telemetry.add c_pool_misses p.pool_misses;
+    Telemetry.add c_read_bytes p.device_read_bytes;
+    Telemetry.add c_write_bytes p.device_write_bytes;
+    Telemetry.observe h_wall p.wall_ns;
+    (res, p)
+  | exception e ->
+    finish ();
+    raise e
+
+let absorb dst src =
+  dst.vertebra_steps <- dst.vertebra_steps + src.vertebra_steps;
+  dst.rib_steps <- dst.rib_steps + src.rib_steps;
+  dst.extrib_steps <- dst.extrib_steps + src.extrib_steps;
+  dst.link_steps <- dst.link_steps + src.link_steps;
+  dst.descent_depth <- dst.descent_depth + src.descent_depth;
+  dst.scan_nodes <- dst.scan_nodes + src.scan_nodes;
+  dst.found <- dst.found + src.found;
+  dst.pool_hits <- dst.pool_hits + src.pool_hits;
+  dst.pool_misses <- dst.pool_misses + src.pool_misses;
+  dst.pool_evictions <- dst.pool_evictions + src.pool_evictions;
+  dst.device_read_bytes <- dst.device_read_bytes + src.device_read_bytes;
+  dst.device_write_bytes <- dst.device_write_bytes + src.device_write_bytes;
+  dst.alloc_bytes <- dst.alloc_bytes + src.alloc_bytes;
+  dst.wall_ns <- dst.wall_ns + src.wall_ns
+
+(* Field-list views: the serialization surface for the qlog record, the
+   explain reports and the replay comparison.  [fields] is the schema —
+   order is part of the qlog record grammar (docs/OBSERVABILITY.md). *)
+
+let fields p =
+  [ ("vertebra_steps", p.vertebra_steps);
+    ("rib_steps", p.rib_steps);
+    ("extrib_steps", p.extrib_steps);
+    ("link_steps", p.link_steps);
+    ("descent_depth", p.descent_depth);
+    ("scan_nodes", p.scan_nodes);
+    ("found", p.found);
+    ("pool_hits", p.pool_hits);
+    ("pool_misses", p.pool_misses);
+    ("pool_evictions", p.pool_evictions);
+    ("device_read_bytes", p.device_read_bytes);
+    ("device_write_bytes", p.device_write_bytes);
+    ("alloc_bytes", p.alloc_bytes);
+    ("wall_ns", p.wall_ns) ]
+
+(* The subset that is deterministic for a fixed (engine state, request
+   stream) — what the replay gate compares.  Excludes alloc_bytes
+   (GC-dependent) and wall_ns (timing). *)
+let deterministic_fields p =
+  List.filter
+    (fun (k, _) -> k <> "alloc_bytes" && k <> "wall_ns")
+    (fields p)
+
+let of_fields l =
+  let g k = Option.value ~default:0 (List.assoc_opt k l) in
+  { vertebra_steps = g "vertebra_steps";
+    rib_steps = g "rib_steps";
+    extrib_steps = g "extrib_steps";
+    link_steps = g "link_steps";
+    descent_depth = g "descent_depth";
+    scan_nodes = g "scan_nodes";
+    found = g "found";
+    pool_hits = g "pool_hits";
+    pool_misses = g "pool_misses";
+    pool_evictions = g "pool_evictions";
+    device_read_bytes = g "device_read_bytes";
+    device_write_bytes = g "device_write_bytes";
+    alloc_bytes = g "alloc_bytes";
+    wall_ns = g "wall_ns" }

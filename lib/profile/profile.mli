@@ -1,0 +1,94 @@
+(** Per-operation execution profiles.
+
+    Everything the observability stack measured before this module was
+    a process-global aggregate: the telemetry counters can say the
+    process did 40k rib steps and 900 page faults, not {e which query}
+    cost what.  A {!t} is the per-query answer: the traversal work by
+    edge family, the backbone descent depth and occurrence-scan length,
+    the buffer-pool and device traffic the query caused (attributed
+    through {!Pagestore.Buffer_pool.with_attribution}, not recovered
+    from global counter diffs), plus allocation and wall time.
+
+    The ambient profile is a {!Domain.DLS} slot.  The instrumented hot
+    paths ({!Spine.Search}, {!Spine.Matcher}, {!Spine.Cursor}, the
+    buffer pool) bump whatever profile is active on their domain; with
+    no active profile a bump is a DLS read and a match — cheap enough
+    to stay on permanently.  Scopes nest by {e shadowing}: a nested
+    {!profiled} captures its own costs and the outer profile does not
+    include them.
+
+    Completed profiles also feed process-global [profile.*] telemetry
+    rollups ([profile.queries], [profile.steps_total],
+    [profile.scan_nodes], [profile.pool_misses],
+    [profile.device_read_bytes], [profile.device_write_bytes],
+    [profile.wall_ns]) so attributed totals ride the Prometheus
+    exposition next to the raw aggregates. *)
+
+type t = {
+  mutable vertebra_steps : int;  (** backbone edges followed *)
+  mutable rib_steps : int;       (** rib edges taken *)
+  mutable extrib_steps : int;    (** extrib-chain entries chased *)
+  mutable link_steps : int;      (** backward links followed *)
+  mutable descent_depth : int;
+      (** characters descended along valid paths (the forward walk
+          depth reached, summed over walks) *)
+  mutable scan_nodes : int;
+      (** backbone nodes visited by the target-node-buffer scans *)
+  mutable found : int;           (** occurrences reported *)
+  mutable pool_hits : int;
+  mutable pool_misses : int;     (** page faults this query caused *)
+  mutable pool_evictions : int;
+  mutable device_read_bytes : int;
+  mutable device_write_bytes : int;
+  mutable alloc_bytes : int;     (** via [Gc.allocated_bytes] deltas *)
+  mutable wall_ns : int;
+}
+
+val make : unit -> t
+(** An all-zero profile (not installed anywhere). *)
+
+val profiled : (unit -> 'a) -> 'a * t
+(** [profiled f] runs [f] with a fresh profile installed as the calling
+    domain's ambient profile and a fresh buffer-pool attribution sink
+    installed for its dynamic extent, and returns [f]'s result with the
+    completed profile.  The previous ambient profile (if any) is
+    restored afterwards, also on exceptions; on the exception path the
+    partial profile is discarded.  {!Spine.Engine.profiled} is the
+    guarded entry point queries should use. *)
+
+val active : unit -> bool
+(** Whether the calling domain currently has an ambient profile. *)
+
+(** {2 Instrumentation bumps}
+
+    Called by the traversal hot paths, exactly once per corresponding
+    global-telemetry increment so per-query sums reconcile with the
+    global deltas.  No-ops when no profile is active. *)
+
+val step_vertebra : unit -> unit
+val step_rib : unit -> unit
+val step_extrib : unit -> unit
+val step_link : unit -> unit
+val add_descent : int -> unit
+val add_scan : int -> unit
+val add_found : int -> unit
+
+(** {2 Aggregation and (de)serialization} *)
+
+val absorb : t -> t -> unit
+(** [absorb dst src] adds every field of [src] into [dst]. *)
+
+val total_steps : t -> int
+(** Sum of the four edge-family step counts. *)
+
+val fields : t -> (string * int) list
+(** Every field as [(name, value)], in schema order — the profile
+    section of the qlog record grammar and the explain JSONL report. *)
+
+val deterministic_fields : t -> (string * int) list
+(** {!fields} minus [alloc_bytes] and [wall_ns]: the counters that are
+    deterministic for a fixed engine state and request stream, which is
+    what the replay regression gate compares. *)
+
+val of_fields : (string * int) list -> t
+(** Rebuild a profile from {!fields} output; missing keys are zero. *)

@@ -167,6 +167,13 @@ val rib_distribution : t -> int array
 val edge_counts : t -> edge_counts
 val link_histogram : t -> buckets:int -> int array
 
+val profiled : t -> (unit -> 'a) -> 'a * Profile.t
+(** [profiled e f] checks [e]'s guard, then runs [f] with a fresh
+    per-operation cost profile installed for the calling domain (see
+    {!Profile.profiled}): every traversal step, backbone scan node,
+    occurrence and buffer-pool/device transfer performed inside [f] is
+    attributed to the returned profile.  Scopes nest by shadowing. *)
+
 val space : t -> Space_report.t
 (** Measured footprint of the backend, attributed to named components:
     the store's {!Store_sig.S.space_components} plus the constructor's

@@ -81,6 +81,7 @@ module Make (S : Store_sig.S) = struct
       | Some (edest, ept, eprt, eanchor) ->
         st.nodes <- st.nodes + 1;
         Telemetry.incr c_extrib_hops;
+        Profile.step_extrib ();
         if Trace.on () then trace_step "step.extrib" ~node:cur ~dest:edest;
         chase edest
           (if eprt = rib_pt && eanchor = rib_dest then max best ept else best)
@@ -97,6 +98,7 @@ module Make (S : Store_sig.S) = struct
         | Some (edest, ept, eprt, eanchor) ->
           st.nodes <- st.nodes + 1;
           Telemetry.incr c_extrib_hops;
+          Profile.step_extrib ();
           if Trace.on () then trace_step "step.extrib" ~node:cur ~dest:edest;
           if eprt = rib_pt && eanchor = rib_dest && ept >= k then edest
           else chase edest
@@ -139,6 +141,7 @@ module Make (S : Store_sig.S) = struct
              terminating at [v] *)
           st.suffixes <- st.suffixes + 1;
           Telemetry.incr c_link_hops;
+          Profile.step_link ();
           let dest = S.link_dest t st.v in
           if Trace.on () then trace_step "step.link" ~node:st.v ~dest;
           st.len <- lel;

@@ -50,6 +50,7 @@ module Make (S : Store_sig.S) = struct
   let step t node pl c =
     if node < S.length t && S.char_at t node = c then begin
       Telemetry.incr c_vertebra_hops;
+      Profile.step_vertebra ();
       if Trace.on () then trace_step "step.vertebra" ~node ~dest:(node + 1);
       node + 1
     end
@@ -59,6 +60,7 @@ module Make (S : Store_sig.S) = struct
       | Some (dest, pt) ->
         if pl <= pt then begin
           Telemetry.incr c_rib_hops;
+          Profile.step_rib ();
           if Trace.on () then trace_step "step.rib" ~node ~dest;
           dest
         end
@@ -70,6 +72,7 @@ module Make (S : Store_sig.S) = struct
             | None -> -1
             | Some (edest, ept, eprt, eanchor) ->
               Telemetry.incr c_extrib_hops;
+              Profile.step_extrib ();
               if Trace.on () then trace_step "step.extrib" ~node:cur ~dest:edest;
               if eprt = pt && eanchor = dest && ept >= pl then edest
               else chase edest
@@ -81,10 +84,17 @@ module Make (S : Store_sig.S) = struct
   let find_first t codes =
     let m = Array.length codes in
     let rec go node i =
-      if i >= m then Some node
+      if i >= m then begin
+        Profile.add_descent m;
+        Some node
+      end
       else
         let nxt = step t node i codes.(i) in
-        if nxt < 0 then None else go nxt (i + 1)
+        if nxt < 0 then begin
+          Profile.add_descent i;
+          None
+        end
+        else go nxt (i + 1)
     in
     go 0 0
 
@@ -122,6 +132,7 @@ module Make (S : Store_sig.S) = struct
         (fun j (first, _len) ->
           Xutil.Int_vec.push buffers.(j) first;
           Telemetry.incr c_occurrences;
+          Profile.add_found 1;
           add_target first j;
           if first < !min_first then min_first := first)
         firsts;
@@ -142,10 +153,15 @@ module Make (S : Store_sig.S) = struct
               if lel >= len then begin
                 Xutil.Int_vec.push buffers.(j) node;
                 Telemetry.incr c_occurrences;
+                Profile.add_found 1;
                 add_target node j
               end)
             ids
       done;
+      (* one batched bump covers the whole scan: the loop above visited
+         exactly [S.length t - min_first] nodes, and a per-node DLS read
+         would tax the hottest loop in the query path *)
+      Profile.add_scan (max 0 (S.length t - !min_first));
       if tr then Trace.end_span ()
     end;
     buffers
@@ -172,6 +188,7 @@ module Make (S : Store_sig.S) = struct
       let buffer = Xutil.Int_vec.create () in
       Xutil.Int_vec.push buffer first;
       Telemetry.incr c_occurrences;
+      Profile.add_found 1;
       let tr = Trace.on () in
       if tr then
         Trace.begin_span "search.scan_binary" [ Trace.Int ("from", first) ];
@@ -183,10 +200,12 @@ module Make (S : Store_sig.S) = struct
           match Xutil.Int_vec.binary_search buffer d with
           | Some _ ->
             Xutil.Int_vec.push buffer node;
-            Telemetry.incr c_occurrences
+            Telemetry.incr c_occurrences;
+            Profile.add_found 1
           | None -> ()
         end
       done;
+      Profile.add_scan (max 0 (S.length t - first));
       if tr then Trace.end_span ();
       Xutil.Int_vec.fold buffer ~init:[] ~f:(fun acc x -> x :: acc) |> List.rev
 

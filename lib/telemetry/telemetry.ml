@@ -338,16 +338,29 @@ let jsonl snap =
           name calls total_ns)
     snap
 
-let write_jsonl ~path snap =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter
-        (fun line ->
-          output_string oc line;
-          output_char oc '\n')
-        (jsonl snap))
+(* Atomic exposition writes: a scraper (or the bench gate) must never
+   observe a half-written metrics file, so both exporters write to a
+   sibling temp file and rename it into place — rename is atomic on
+   POSIX when source and destination share a filesystem, which a
+   sibling path guarantees. *)
+let write_atomic ~path lines =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         List.iter
+           (fun line ->
+             output_string oc line;
+             output_char oc '\n')
+           lines)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_jsonl ~path snap = write_atomic ~path (jsonl snap)
 
 (* --- Prometheus text exposition --- *)
 
@@ -368,16 +381,25 @@ let prom_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* Every emitted family carries a # HELP line (exposition-format
+   linters and some scrapers warn on TYPE-without-HELP).  The help text
+   is the registry name plus what the family measures — the registry
+   has no per-metric description channel, and the source name is the
+   most useful thing a dashboard tooltip can show. *)
+let prom_help n name what = Printf.sprintf "# HELP %s %s (%s)" n name what
+
 let prometheus ?(prefix = "spine_") snap =
   List.concat_map
     (fun (name, v) ->
       let n = prom_name prefix name in
       match v with
       | Count c ->
-        [ Printf.sprintf "# TYPE %s counter" n;
+        [ prom_help n name "counter";
+          Printf.sprintf "# TYPE %s counter" n;
           Printf.sprintf "%s %d" n c ]
       | Level x ->
-        [ Printf.sprintf "# TYPE %s gauge" n;
+        [ prom_help n name "gauge";
+          Printf.sprintf "# TYPE %s gauge" n;
           Printf.sprintf "%s %s" n (prom_float x) ]
       | Dist { counts; total; sum } ->
         (* cumulative buckets at the occupied boundaries only — any
@@ -395,27 +417,23 @@ let prometheus ?(prefix = "spine_") snap =
           Printf.sprintf "%s_quantile{q=\"%s\"} %s" n tag
             (prom_float (quantile ~counts ~total p))
         in
-        Printf.sprintf "# TYPE %s histogram" n
+        prom_help n name "log2-bucketed histogram"
+        :: Printf.sprintf "# TYPE %s histogram" n
         :: List.rev_append !buckets
              [ Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n total;
                Printf.sprintf "%s_sum %d" n sum;
                Printf.sprintf "%s_count %d" n total;
+               prom_help (n ^ "_quantile") name "interpolated quantiles";
                Printf.sprintf "# TYPE %s_quantile gauge" n;
                q 0.5 "0.5"; q 0.9 "0.9"; q 0.99 "0.99"; q 1.0 "1" ]
       | Timing { calls; total_ns } ->
-        [ Printf.sprintf "# TYPE %s_calls counter" n;
+        [ prom_help (n ^ "_calls") name "span call count";
+          Printf.sprintf "# TYPE %s_calls counter" n;
           Printf.sprintf "%s_calls %d" n calls;
+          prom_help (n ^ "_ns_total") name "span total nanoseconds";
           Printf.sprintf "# TYPE %s_ns_total counter" n;
           Printf.sprintf "%s_ns_total %d" n total_ns ])
     snap
 
 let write_prometheus ?prefix ~path snap =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter
-        (fun line ->
-          output_string oc line;
-          output_char oc '\n')
-        (prometheus ?prefix snap))
+  write_atomic ~path (prometheus ?prefix snap)

@@ -114,6 +114,10 @@ val jsonl : snapshot -> string list
     non-empty [[lo, hi, count]] buckets. *)
 
 val write_jsonl : path:string -> snapshot -> unit
+(** Write {!jsonl} lines to [path] {e atomically}: the content goes to
+    [path ^ ".tmp"] and is renamed into place, so a concurrent reader
+    sees either the previous complete file or the new one, never a
+    torn write. *)
 
 val prometheus : ?prefix:string -> snapshot -> string list
 (** The snapshot in the Prometheus text exposition format.  Metric
@@ -123,6 +127,9 @@ val prometheus : ?prefix:string -> snapshot -> string list
     [_bucket{le="…"}] samples at its occupied bucket ceilings plus
     [_sum]/[_count], with the interpolated quantiles as a companion
     [<name>_quantile{q="…"}] gauge; a span becomes the two counters
-    [<name>_calls] and [<name>_ns_total]. *)
+    [<name>_calls] and [<name>_ns_total].  Every emitted family is
+    preceded by its [# HELP] and [# TYPE] lines. *)
 
 val write_prometheus : ?prefix:string -> path:string -> snapshot -> unit
+(** Write {!prometheus} lines to [path] with the same write-to-temp +
+    atomic-rename discipline as {!write_jsonl}. *)

@@ -1,0 +1,174 @@
+(* Trace-driven replay (see replay.mli): a recorded qlog becomes a
+   Workload.request stream, runs through the live driver, and the two
+   runs meet in a Bench_gate comparison. *)
+
+let ops_order = [ "single"; "batch"; "cursor" ]
+
+let ( let* ) = Result.bind
+
+let of_records ?(closed_loop = false) ~alphabet records =
+  let enc i s =
+    try
+      Ok
+        (Array.init (String.length s) (fun k ->
+             Bioseq.Alphabet.encode alphabet s.[k]))
+    with Invalid_argument _ ->
+      Error
+        (Printf.sprintf "record %d: pattern %S outside the engine alphabet" i
+           s)
+  in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | (r : Qlog.record) :: rest ->
+      let* payload =
+        match (r.Qlog.q_op, r.Qlog.q_patterns) with
+        | "single", [ p ] ->
+          let* a = enc i p in
+          Ok (Workload.Single a)
+        | "cursor", [ p ] ->
+          let* a = enc i p in
+          Ok (Workload.Cursor a)
+        | "batch", ps ->
+          let* arrs =
+            List.fold_left
+              (fun acc p ->
+                let* acc = acc in
+                let* a = enc i p in
+                Ok (a :: acc))
+              (Ok []) ps
+          in
+          Ok (Workload.Batch (List.rev arrs))
+        | (("single" | "cursor") as op), ps ->
+          Error
+            (Printf.sprintf
+               "record %d: op %S expects exactly one pattern, got %d" i op
+               (List.length ps))
+        | op, _ -> Error (Printf.sprintf "record %d: unknown op %S" i op)
+      in
+      let r_offset_ns =
+        if closed_loop then None else Some r.Qlog.q_offset_ns
+      in
+      go (i + 1)
+        ({ Workload.r_index = i; r_payload = payload; r_offset_ns } :: acc)
+        rest
+  in
+  go 0 [] records
+
+type outcome = {
+  rp_requests : int;
+  rp_report : Workload.report;
+  rp_profiles : (string * Profile.t) list;
+  rp_comparisons : Bench_gate.comparison list;
+}
+
+(* Both sides of the comparison are rendered as Bench_gate baselines:
+   the recorded side from the log's latencies and cost fields, the
+   replayed side from the driver's report and per-op profile sums.
+   Only ops present in the log contribute entries — a log with no
+   cursor requests must not make the replay report "cursor.* removed". *)
+
+let lat_entry op q v =
+  { Bench_gate.group = "latency"; name = op ^ "." ^ q; unit_ = "ns";
+    value = Some v }
+
+let cost_entries op prof =
+  List.map
+    (fun (k, v) ->
+      { Bench_gate.group = "cost"; name = op ^ "." ^ k; unit_ = "count";
+        value = Some (float_of_int v) })
+    (Profile.deterministic_fields prof)
+
+let recorded_baseline records =
+  let entries =
+    List.concat_map
+      (fun op ->
+        match
+          List.filter (fun (r : Qlog.record) -> r.Qlog.q_op = op) records
+        with
+        | [] -> []
+        | rs ->
+          let p50, p90, p99 =
+            Workload.latency_quantiles
+              (List.map (fun (r : Qlog.record) -> r.Qlog.q_latency_ns) rs)
+          in
+          let prof = Profile.make () in
+          List.iter
+            (fun (r : Qlog.record) ->
+              Profile.absorb prof (Profile.of_fields r.Qlog.q_costs))
+            rs;
+          [ lat_entry op "p50" p50; lat_entry op "p90" p90;
+            lat_entry op "p99" p99 ]
+          @ cost_entries op prof)
+      ops_order
+  in
+  { Bench_gate.schema = "spine-replay/1"; entries }
+
+let replayed_baseline (report : Workload.report) profiles =
+  let entries =
+    List.concat_map
+      (fun op ->
+        match
+          List.find_opt
+            (fun (o : Workload.op_report) ->
+              o.Workload.op = op && o.Workload.count > 0)
+            report.Workload.ops
+        with
+        | None -> []
+        | Some o ->
+          [ lat_entry op "p50" o.Workload.p50_ns;
+            lat_entry op "p90" o.Workload.p90_ns;
+            lat_entry op "p99" o.Workload.p99_ns ]
+          @ cost_entries op (List.assoc op profiles))
+      ops_order
+  in
+  { Bench_gate.schema = "spine-replay/1"; entries }
+
+let drive_records ?clock ?sleep_ns ?(closed_loop = false) ?(tolerance = 0.25)
+    ?(latency_floor_ns = 1e6) ~engine records =
+  let alphabet = Spine.Engine.alphabet engine in
+  let* requests = of_records ~closed_loop ~alphabet records in
+  let config =
+    { Workload.default_config with
+      Workload.requests = List.length requests;
+      rate = None;
+      tick_every = 0 }
+  in
+  let report, profiles = Workload.drive ?clock ?sleep_ns ~config engine requests in
+  let cmps =
+    Bench_gate.compare_baselines
+      ~floors:[ ("ns", latency_floor_ns) ]
+      ~tolerance (recorded_baseline records)
+      (replayed_baseline report profiles)
+  in
+  Ok
+    { rp_requests = List.length records;
+      rp_report = report;
+      rp_profiles = profiles;
+      rp_comparisons = cmps }
+
+let print o =
+  Workload.print o.rp_report;
+  Report.Table.print ~title:"Recorded vs replayed"
+    ~headers:
+      [ "group"; "name"; "unit"; "recorded"; "replayed"; "ratio"; "verdict" ]
+    (Bench_gate.rows o.rp_comparisons)
+
+let jsonl o =
+  let fopt = function
+    | None -> "null"
+    | Some v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.6g" v
+  in
+  Workload.jsonl o.rp_report
+  @ List.map
+      (fun (c : Bench_gate.comparison) ->
+        Printf.sprintf
+          "{\"replay_cmp\":\"%s.%s\",\"unit\":%S,\"recorded\":%s,\
+           \"replayed\":%s,\"ratio\":%s,\"verdict\":%S}"
+          c.Bench_gate.c_group c.Bench_gate.c_name c.Bench_gate.c_unit
+          (fopt c.Bench_gate.c_old) (fopt c.Bench_gate.c_new)
+          (fopt c.Bench_gate.c_ratio)
+          (Bench_gate.verdict_string c.Bench_gate.c_verdict))
+      o.rp_comparisons

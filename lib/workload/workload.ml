@@ -106,6 +106,17 @@ let report_of_acc a =
     p99_ns = q 0.99;
     max_ns = a.max_ns }
 
+(* Same bucketing applied to a bare latency list — the replay gate uses
+   it to quantile the *recorded* side of a comparison with exactly the
+   arithmetic the replayed report uses, so a comparison never flags a
+   bucketing artifact. *)
+let latency_quantiles ns_list =
+  let counts = Array.make n_buckets 0 in
+  let total = List.length ns_list in
+  List.iter (fun v -> counts.(bucket_of v) <- counts.(bucket_of v) + 1) ns_list;
+  let q p = Telemetry.quantile ~counts ~total p in
+  (q 0.5, q 0.9, q 0.99)
+
 (* --- request generation ----------------------------------------- *)
 
 (* A pattern is either a random substring of the subject (guaranteed
@@ -135,47 +146,120 @@ let pick_op mix rng =
     if r < s then `Single else if r < s + b then `Batch else `Cursor
   end
 
-let run_single engine pattern =
-  match Spine.Engine.occurrences engine pattern with
-  | [] -> false
-  | _ :: _ -> true
+(* --- planned requests -------------------------------------------- *)
 
-let run_batch_op cfg engine rng seq =
-  let patterns = List.init cfg.batch_size (fun _ -> gen_pattern cfg rng seq) in
-  let items = Spine.Engine.run_batch engine patterns in
-  List.exists (fun it -> it.Spine.Engine.count > 0) items
+(* The generator and the driver are separate so that a request stream
+   can come from somewhere other than the RNG — the replay path builds
+   one from a recorded qlog and re-drives it through the exact same
+   execution, measurement and logging code as a live run. *)
 
-let run_cursor_op cfg engine rng seq =
-  let cur = Spine.Engine.cursor engine in
-  let steps = max 1 cfg.cursor_steps in
-  (* walk a guaranteed-matching path where possible so the cursor does
-     real extension work; restart from the root on a mismatch *)
-  let n = Bioseq.Packed_seq.length seq in
-  let pos = ref (if n = 0 then 0 else Bioseq.Rng.int rng n) in
-  for _ = 1 to steps do
-    if n > 0 then begin
-      let code = Bioseq.Packed_seq.get seq (!pos mod n) in
-      incr pos;
-      if not (cur.Spine.Engine.advance code) then cur.Spine.Engine.reset ()
-    end
-  done;
-  cur.Spine.Engine.first_occurrence () <> None
+type payload =
+  | Single of int array
+  | Batch of int array list
+  | Cursor of int array
 
-(* --- the runner -------------------------------------------------- *)
+type request = {
+  r_index : int;
+  r_payload : payload;
+  r_offset_ns : int option;
+}
+
+let op_of_payload = function
+  | Single _ -> `Single
+  | Batch _ -> `Batch
+  | Cursor _ -> `Cursor
+
+let plan ?(config = default_config) seq =
+  let cfg = config in
+  let rng = Bioseq.Rng.create cfg.seed in
+  let mk i =
+    let op = pick_op cfg.mix rng in
+    let payload =
+      match op with
+      | `Single -> Single (gen_pattern cfg rng seq)
+      | `Batch ->
+        Batch (List.init cfg.batch_size (fun _ -> gen_pattern cfg rng seq))
+      | `Cursor ->
+        (* a guaranteed-matching walk where possible so the cursor does
+           real extension work; the driver restarts from the root on a
+           mismatch *)
+        let n = Bioseq.Packed_seq.length seq in
+        let steps = max 1 cfg.cursor_steps in
+        if n = 0 then Cursor [||]
+        else begin
+          let pos = Bioseq.Rng.int rng n in
+          Cursor
+            (Array.init steps (fun k ->
+                 Bioseq.Packed_seq.get seq ((pos + k) mod n)))
+        end
+    in
+    let r_offset_ns =
+      match cfg.rate with
+      | None -> None
+      | Some r -> Some (int_of_float (float_of_int i /. r *. 1e9))
+    in
+    { r_index = i; r_payload = payload; r_offset_ns }
+  in
+  (* explicit ascending loop: the RNG draw order is part of the
+     determinism contract, List.init's application order is not *)
+  let rec build i acc =
+    if i >= cfg.requests then List.rev acc else build (i + 1) (mk i :: acc)
+  in
+  build 0 []
+
+(* --- the driver --------------------------------------------------- *)
 
 let op_name = function
   | `Single -> "single"
   | `Batch -> "batch"
   | `Cursor -> "cursor"
 
-let run ?(config = default_config) ?on_tick engine seq =
+(* Each executor returns (any_hit, patterns_with_hits, occurrences). *)
+
+let exec_single engine pattern =
+  let c = List.length (Spine.Engine.occurrences engine pattern) in
+  (c > 0, (if c > 0 then 1 else 0), c)
+
+let exec_batch engine patterns =
+  let items = Spine.Engine.run_batch engine patterns in
+  let hits =
+    List.fold_left
+      (fun a it -> if it.Spine.Engine.count > 0 then a + 1 else a)
+      0 items
+  in
+  let found = List.fold_left (fun a it -> a + it.Spine.Engine.count) 0 items in
+  (hits > 0, hits, found)
+
+let exec_cursor engine codes =
+  let cur = Spine.Engine.cursor engine in
+  Array.iter
+    (fun code ->
+      if not (cur.Spine.Engine.advance code) then cur.Spine.Engine.reset ())
+    codes;
+  let hit = cur.Spine.Engine.first_occurrence () <> None in
+  let h = if hit then 1 else 0 in
+  (hit, h, h)
+
+let decode_pattern alphabet codes =
+  String.init (Array.length codes) (fun i ->
+      Bioseq.Alphabet.decode alphabet codes.(i))
+
+let drive ?(clock = Xutil.Stopwatch.now_ns)
+    ?(sleep_ns = fun ns -> Unix.sleepf (float_of_int ns /. 1e9)) ?on_tick
+    ~config engine requests =
   let cfg = config in
   let backend = Spine.Engine.backend engine in
-  let rng = Bioseq.Rng.create cfg.seed in
+  let alphabet = Spine.Engine.alphabet engine in
+  let total = List.length requests in
   let accs =
     [ (`Single, acc backend "single");
       (`Batch, acc backend "batch");
       (`Cursor, acc backend "cursor") ]
+  in
+  let profs =
+    [ (`Single, Profile.make ());
+      (`Batch, Profile.make ());
+      (`Cursor, Profile.make ()) ]
   in
   (* Scoped observability: collection on and the slow-op threshold low
      for the duration of the run, everything restored afterwards. *)
@@ -191,41 +275,56 @@ let run ?(config = default_config) ?on_tick engine seq =
     Trace.set_enabled trace_was;
     Trace.set_slow_us slow_was
   in
-  let t_start = Xutil.Stopwatch.now_ns () in
+  let t_start = clock () in
   Fun.protect ~finally:restore (fun () ->
-      for i = 0 to cfg.requests - 1 do
-        let op = pick_op cfg.mix rng in
-        (* Open loop: request [i] is due at [start + i/rate]; latency is
-           measured from the scheduled start, so falling behind shows up
-           as queueing delay in the histogram (the coordinated-omission
-           correction).  Closed loop: due now, latency = service time. *)
-        let due =
-          match cfg.rate with
-          | None -> Xutil.Stopwatch.now_ns ()
-          | Some r ->
-            let due = t_start + int_of_float (float_of_int i /. r *. 1e9) in
-            let now = Xutil.Stopwatch.now_ns () in
-            if due > now then Unix.sleepf (float_of_int (due - now) /. 1e9);
-            due
-        in
-        let hit =
-          Trace.with_op
-            (Printf.sprintf "workload.%s" (op_name op))
-            [ Trace.Int ("request", i) ]
-            (fun () ->
-              match op with
-              | `Single -> run_single engine (gen_pattern cfg rng seq)
-              | `Batch -> run_batch_op cfg engine rng seq
-              | `Cursor -> run_cursor_op cfg engine rng seq)
-        in
-        let ns = Xutil.Stopwatch.now_ns () - due in
-        record (List.assq op accs) ~hit ns;
-        (match on_tick with
-         | Some f when cfg.tick_every > 0 && (i + 1) mod cfg.tick_every = 0 ->
-           f (i + 1)
-         | _ -> ())
-      done;
-      let wall_ns = max 1 (Xutil.Stopwatch.now_ns () - t_start) in
+      List.iter
+        (fun req ->
+          let i = req.r_index in
+          let op = op_of_payload req.r_payload in
+          (* Open loop: a request carries its due offset; latency is
+             measured from the scheduled start, so falling behind shows
+             up as queueing delay in the histogram (the
+             coordinated-omission correction).  Closed loop: due now,
+             latency = service time. *)
+          let due =
+            match req.r_offset_ns with
+            | None -> clock ()
+            | Some off ->
+              let due = t_start + off in
+              let now = clock () in
+              if due > now then sleep_ns (due - now);
+              due
+          in
+          let (hit, hits, found), prof =
+            Trace.with_op
+              (Printf.sprintf "workload.%s" (op_name op))
+              [ Trace.Int ("request", i) ]
+              (fun () ->
+                Spine.Engine.profiled engine (fun () ->
+                    match req.r_payload with
+                    | Single p -> exec_single engine p
+                    | Batch ps -> exec_batch engine ps
+                    | Cursor codes -> exec_cursor engine codes))
+          in
+          let ns = clock () - due in
+          record (List.assq op accs) ~hit ns;
+          Profile.absorb (List.assq op profs) prof;
+          if Qlog.active () then begin
+            let pats =
+              match req.r_payload with
+              | Single p -> [ decode_pattern alphabet p ]
+              | Batch ps -> List.map (decode_pattern alphabet) ps
+              | Cursor codes -> [ decode_pattern alphabet codes ]
+            in
+            Qlog.emit ~op:(op_name op) ~backend ~patterns:pats ~hits ~found
+              ~latency_ns:ns ~costs:prof
+          end;
+          match on_tick with
+          | Some f when cfg.tick_every > 0 && (i + 1) mod cfg.tick_every = 0 ->
+            f (i + 1)
+          | _ -> ())
+        requests;
+      let wall_ns = max 1 (clock () - t_start) in
       let request_arg args =
         List.fold_left
           (fun r a -> match a with Trace.Int ("request", v) -> v | _ -> r)
@@ -241,13 +340,19 @@ let run ?(config = default_config) ?on_tick engine seq =
         |> List.sort (fun a b -> compare b.s_ns a.s_ns)
         |> List.filteri (fun i _ -> i < max 0 cfg.slowest)
       in
-      { backend;
-        total_requests = cfg.requests;
-        wall_ns;
-        achieved_rps = float_of_int cfg.requests /. (float_of_int wall_ns /. 1e9);
-        offered_rps = cfg.rate;
-        ops = List.map (fun (_, a) -> report_of_acc a) accs;
-        slowest })
+      let report =
+        { backend;
+          total_requests = total;
+          wall_ns;
+          achieved_rps = float_of_int total /. (float_of_int wall_ns /. 1e9);
+          offered_rps = cfg.rate;
+          ops = List.map (fun (_, a) -> report_of_acc a) accs;
+          slowest }
+      in
+      (report, List.map (fun (k, p) -> (op_name k, p)) profs))
+
+let run ?(config = default_config) ?clock ?sleep_ns ?on_tick engine seq =
+  fst (drive ?clock ?sleep_ns ?on_tick ~config engine (plan ~config seq))
 
 (* --- rendering ---------------------------------------------------- *)
 

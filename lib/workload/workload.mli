@@ -79,13 +79,64 @@ type report = {
   slowest : slow list;  (** descending by duration, at most [slowest] *)
 }
 
+(** {1 Planned requests}
+
+    Generation and execution are split: {!plan} turns a config into a
+    concrete request stream, {!drive} executes any request stream.  The
+    replay path ({!Replay}) builds a stream from a recorded query log
+    and re-drives it through exactly the live-run execution,
+    measurement and logging code. *)
+
+type payload =
+  | Single of int array       (** one pattern, full occurrence resolution *)
+  | Batch of int array list   (** patterns through {!Spine.Engine.run_batch} *)
+  | Cursor of int array       (** character codes to advance a cursor over *)
+
+type request = {
+  r_index : int;
+  r_payload : payload;
+  r_offset_ns : int option;
+      (** open-loop due time relative to the run start; [None] = issue
+          immediately (closed loop) *)
+}
+
+val plan : ?config:config -> Bioseq.Packed_seq.t -> request list
+(** The deterministic request stream for [(config, seq)]: exactly the
+    draws the historical inline generator made, in the same order. *)
+
+val drive :
+  ?clock:(unit -> int) ->
+  ?sleep_ns:(int -> unit) ->
+  ?on_tick:(int -> unit) ->
+  config:config ->
+  Spine.Engine.t ->
+  request list ->
+  report * (string * Profile.t) list
+(** [drive ~config engine requests] executes a request stream: each
+    request runs under {!Spine.Engine.profiled} and {!Trace.with_op},
+    feeds the per-op latency accumulators, and — when {!Qlog.active} —
+    appends a qlog record with its decoded patterns, outcome counts and
+    cost profile.  Returns the run report plus the per-op sums of the
+    execution profiles (ops with zero requests have all-zero profiles).
+
+    [clock] (default {!Xutil.Stopwatch.now_ns}) and [sleep_ns] (default
+    [Unix.sleepf]) exist so tests and the replay determinism gate can
+    inject a fake clock and make the schedule byte-reproducible. *)
+
 val run :
-  ?config:config -> ?on_tick:(int -> unit) -> Spine.Engine.t ->
+  ?config:config -> ?clock:(unit -> int) -> ?sleep_ns:(int -> unit) ->
+  ?on_tick:(int -> unit) -> Spine.Engine.t ->
   Bioseq.Packed_seq.t -> report
-(** [run engine seq] drives [engine] with patterns drawn from [seq].
-    Telemetry and tracing are force-enabled for the duration (prior
-    state restored); [on_tick done] fires every [tick_every] completed
-    requests — the CLI uses it to emit periodic metrics snapshots. *)
+(** [run engine seq] is [drive] over [plan]: drives [engine] with
+    patterns drawn from [seq].  Telemetry and tracing are force-enabled
+    for the duration (prior state restored); [on_tick done] fires every
+    [tick_every] completed requests — the CLI uses it to emit periodic
+    metrics snapshots. *)
+
+val latency_quantiles : int list -> float * float * float
+(** [(p50, p90, p99)] of a latency sample through the same log-bucket
+    mirror the per-op report uses — the replay gate quantiles the
+    recorded side with this so both sides share one bucketing. *)
 
 val print : report -> unit
 (** Render through {!Report.Table}: a latency table (count, hits, mean

@@ -211,23 +211,29 @@ let test_prometheus_golden () =
       ("g.level", Telemetry.Level 2.5) ]
   in
   Alcotest.(check (list string)) "prometheus"
-    [ "# TYPE spine_a_count counter";
+    [ "# HELP spine_a_count a.count (counter)";
+      "# TYPE spine_a_count counter";
       "spine_a_count 3";
+      "# HELP spine_b_dist b.dist (log2-bucketed histogram)";
       "# TYPE spine_b_dist histogram";
       "spine_b_dist_bucket{le=\"1\"} 2";
       "spine_b_dist_bucket{le=\"7\"} 3";
       "spine_b_dist_bucket{le=\"+Inf\"} 3";
       "spine_b_dist_sum 7";
       "spine_b_dist_count 3";
+      "# HELP spine_b_dist_quantile b.dist (interpolated quantiles)";
       "# TYPE spine_b_dist_quantile gauge";
       "spine_b_dist_quantile{q=\"0.5\"} 1";
       "spine_b_dist_quantile{q=\"0.9\"} 7";
       "spine_b_dist_quantile{q=\"0.99\"} 7";
       "spine_b_dist_quantile{q=\"1\"} 7";
+      "# HELP spine_c_span_calls c.span (span call count)";
       "# TYPE spine_c_span_calls counter";
       "spine_c_span_calls 2";
+      "# HELP spine_c_span_ns_total c.span (span total nanoseconds)";
       "# TYPE spine_c_span_ns_total counter";
       "spine_c_span_ns_total 1500";
+      "# HELP spine_g_level g.level (gauge)";
       "# TYPE spine_g_level gauge";
       "spine_g_level 2.5" ]
     (Telemetry.prometheus snap)
