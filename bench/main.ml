@@ -6,7 +6,9 @@
       paper's evaluation section (Tables 2-7, Figures 6-8, plus the
       Section 5 space accounting, the Section 5.2 protein runs and the
       ablations). `bench/main.exe table5` runs a single experiment;
-      no arguments runs everything.
+      no arguments runs everything.  `micro` runs only the
+      micro-benchmarks, `micro:packed` only one family, and either
+      combines with experiment names.
 
    2. One Bechamel micro-benchmark group per table/figure, measuring
       the kernel operation each experiment times (construction,
@@ -53,6 +55,70 @@ let spine_fast = lazy (Spine.Index.of_seq (eco ()))
 let st_index = lazy (Suffix_tree.build (eco ()))
 
 let disk_seq () = Experiments.Data.load ~scale:0.001 Bioseq.Corpus.eco
+
+(* --- packed-row comparison kernels (micro:packed) ---
+
+   The word-packed sequence core compares 31 DNA codes (62 usable bits
+   at 2 bits/code) per 64-bit load; these kernels put the whole-word
+   path next to the per-code oracle it replaced, over the same inputs,
+   so the artifact records the measured win (and the narrower protein
+   win at 7 codes/word, and the mixed-width scalar fallback cost). *)
+
+let packed_row alphabet ~seed n =
+  let size = Bioseq.Alphabet.size alphabet in
+  let rng = Bioseq.Rng.create seed in
+  let s = Bioseq.Packed_seq.create ~capacity:n alphabet in
+  for _ = 1 to n do
+    Bioseq.Packed_seq.append s (Bioseq.Rng.int rng size)
+  done;
+  s
+
+let mib = 1 lsl 20
+
+let dna_pair =
+  lazy
+    (let a = packed_row Bioseq.Alphabet.dna ~seed:11 mib in
+     (a, Bioseq.Packed_seq.copy a))
+
+let protein_pair =
+  lazy
+    (let a = packed_row Bioseq.Alphabet.protein ~seed:12 mib in
+     (a, Bioseq.Packed_seq.copy a))
+
+(* appending the separator widens the copy 2 -> 4 bits/code, so the
+   rows disagree on width and mismatch takes its scalar fallback *)
+let mixed_pair =
+  lazy
+    (let a = packed_row Bioseq.Alphabet.dna ~seed:13 (64 * 1024) in
+     let b = Bioseq.Packed_seq.copy a in
+     Bioseq.Packed_seq.append b (Bioseq.Alphabet.separator Bioseq.Alphabet.dna);
+     (a, b))
+
+let scalar_common_prefix a b =
+  let n = min (Bioseq.Packed_seq.length a) (Bioseq.Packed_seq.length b) in
+  let i = ref 0 in
+  while
+    !i < n && Bioseq.Packed_seq.get a !i = Bioseq.Packed_seq.get b !i
+  do
+    incr i
+  done;
+  !i
+
+(* a 256-code prefix of the indexed string: the descent stays on the
+   backbone the whole way, which is where word comparison pays *)
+let descent_input =
+  lazy
+    (let data = eco () in
+     let codes = Array.init 256 (Bioseq.Packed_seq.get data) in
+     let e = Spine.Compact.engine (Lazy.force spine_index) in
+     (codes, Spine.Engine.pattern e codes))
+
+let occ_pattern =
+  lazy
+    (let data = eco () in
+     let codes = Array.init 64 (Bioseq.Packed_seq.get data) in
+     let e = Spine.Compact.engine (Lazy.force spine_index) in
+     Spine.Engine.pattern e codes)
 
 let tests =
   [ (* Table 2 is static accounting; its kernel is the space model *)
@@ -117,11 +183,64 @@ let tests =
       (Staged.stage (fun () ->
            Spine.Index.maximal_matches ~immediate:true
              (Lazy.force spine_fast) ~threshold:16 (query ())))
+  ; (* packed-row kernels: whole-word compare vs the per-code oracle *)
+    Test.make ~name:"packed/word-mismatch-dna-1mib"
+      (Staged.stage (fun () ->
+           let a, b = Lazy.force dna_pair in
+           Bioseq.Packed_seq.mismatch a ~apos:0 b ~bpos:0
+             ~len:(Bioseq.Packed_seq.length a)))
+  ; Test.make ~name:"packed/scalar-mismatch-dna-1mib"
+      (Staged.stage (fun () ->
+           let a, b = Lazy.force dna_pair in
+           scalar_common_prefix a b))
+  ; Test.make ~name:"packed/word-mismatch-protein-1mib"
+      (Staged.stage (fun () ->
+           let a, b = Lazy.force protein_pair in
+           Bioseq.Packed_seq.mismatch a ~apos:0 b ~bpos:0
+             ~len:(Bioseq.Packed_seq.length a)))
+  ; Test.make ~name:"packed/mixed-width-fallback-64kib"
+      (Staged.stage (fun () ->
+           let a, b = Lazy.force mixed_pair in
+           Bioseq.Packed_seq.mismatch a ~apos:0 b ~bpos:0
+             ~len:(Bioseq.Packed_seq.length a)))
+  ; Test.make ~name:"packed/word-descent-256"
+      (Staged.stage (fun () ->
+           let _, pat = Lazy.force descent_input in
+           let c = Spine.Compact.Cursor.create (Lazy.force spine_index) in
+           Spine.Compact.Cursor.advance_pattern c pat))
+  ; Test.make ~name:"packed/scalar-descent-256"
+      (Staged.stage (fun () ->
+           let codes, _ = Lazy.force descent_input in
+           let c = Spine.Compact.Cursor.create (Lazy.force spine_index) in
+           Array.iter
+             (fun code -> ignore (Spine.Compact.Cursor.advance c code))
+             codes))
+  ; Test.make ~name:"packed/occurrence-scan-dna-64"
+      (Staged.stage (fun () ->
+           Spine.Engine.occurrences_pattern
+             (Spine.Compact.engine (Lazy.force spine_index))
+             (Lazy.force occ_pattern)))
   ]
 
 (* Returns (name, estimated ns/run) per test so the trajectory artifact
-   records what was printed. *)
-let run_microbenches () =
+   records what was printed.  [prefixes] restricts the run to tests
+   whose name starts with any of the given prefixes (the CLI's
+   [micro:<prefix>] arguments); the empty list means every test. *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let run_microbenches ?(prefixes = []) () =
+  let tests =
+    match prefixes with
+    | [] -> tests
+    | ps ->
+      List.filter
+        (fun t ->
+          let name = Test.name t in
+          List.exists (fun p -> starts_with ~prefix:p name) ps)
+        tests
+  in
   print_newline ();
   print_endline "Bechamel micro-benchmarks (one group per table/figure)";
   print_endline "------------------------------------------------------";
@@ -244,8 +363,20 @@ let emit_bench_artifact ~experiments ~micro =
   close_out oc;
   Printf.printf "bench trajectory written to %s\n" path
 
+(* Arguments name experiments ("table5"), the whole micro layer
+   ("micro"), or a micro family ("micro:packed"); they combine freely,
+   e.g. `bench/main.exe table2 table3 space micro:packed`. *)
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let micro_prefixes, exp_names =
+    List.partition_map
+      (fun a ->
+        if a = "micro" then Either.Left ""
+        else if starts_with ~prefix:"micro:" a then
+          Either.Left (String.sub a 6 (String.length a - 6))
+        else Either.Right a)
+      args
+  in
   let experiments, micro =
     match args with
     | [] ->
@@ -254,17 +385,20 @@ let () =
         cfg.Experiments.Config.scale cfg.Experiments.Config.disk_scale;
       let experiments = Experiments.Registry.run_all cfg in
       (experiments, run_microbenches ())
-    | [ "micro" ] -> ([], run_microbenches ())
-    | names ->
+    | _ ->
       let experiments =
         List.filter_map
           (fun name ->
             match Experiments.Registry.find name with
             | Some e -> Some (name, Experiments.Registry.run_one cfg e)
             | None -> Printf.eprintf "unknown experiment %S\n" name; None)
-          names
+          exp_names
       in
-      (experiments, [])
+      let micro =
+        if micro_prefixes = [] then []
+        else run_microbenches ~prefixes:(List.filter (fun p -> p <> "") micro_prefixes) ()
+      in
+      (experiments, micro)
   in
   emit_bench_artifact ~experiments ~micro;
   emit_telemetry_artifact ();

@@ -1,49 +1,113 @@
 (* Designated unsafe boundary (spine-lint L11): every unchecked access
-   below sits behind an assert-checked bound or a caller-validated
-   range, and nothing outside this module touches the raw buffer. *)
+   below sits behind a bound checked once at the module edge (the safe
+   [get]/[append]/[mismatch] entry points), and the raw word buffer
+   never escapes the module. *)
 [@@@spine.checked_boundary
-  "bounds asserted locally; raw buffer never escapes the module"]
+  "bounds checked once at every entry point; raw word buffer never \
+   escapes the module"]
 
 open Bigarray
 
-type buffer = (int, int8_unsigned_elt, c_layout) Array1.t
+(* The backing store is an array of native 63-bit OCaml ints used as
+   bit-packed rows: each word holds [62 / width] codes of [width] bits
+   (width is 2, 4 or 8), so every load/shift/mask below is an
+   immediate-int operation — no Int64 boxing on the scan path.  Codes
+   ascend from the least-significant bit.  Invariants:
+
+   - bits past the last full code of a word are zero;
+   - bits past [len] are zero (append only ORs into virgin bits);
+   - at least one all-zero spare word follows the used prefix, so a
+     two-word window load at any valid position stays in bounds. *)
+
+type words = (int, int_elt, c_layout) Array1.t
 
 type t = {
   alphabet : Alphabet.t;
-  mutable buf : buffer;
-  mutable len : int;
+  mutable words : words;
+  mutable len : int;    (* codes stored *)
+  mutable width : int;  (* bits per code: 2, 4 or 8 *)
 }
 
+let chars_per_word width = 62 / width
+
+(* narrowest supported cell that can hold [code] *)
+let width_for code =
+  if code < 4 then 2
+  else if code < 16 then 4
+  else if code < 256 then 8
+  else invalid_arg "Packed_seq: code does not fit a packed cell"
+
+(* Sized for the payload codes only: the separator (Generalized's
+   string boundary) is wider for DNA and triggers an in-place widen on
+   first append instead of taxing every single-string index. *)
+let initial_width alphabet = width_for (Alphabet.size alphabet - 1)
+
+let zero_words n =
+  let w = Array1.create Bigarray.int c_layout n in
+  Array1.fill w 0;
+  w
+
 let create ?(capacity = 64) alphabet =
-  let capacity = max capacity 1 in
-  { alphabet; buf = Array1.create int8_unsigned c_layout capacity; len = 0 }
+  let width = initial_width alphabet in
+  let wcap = max 2 ((max capacity 1 / chars_per_word width) + 2) in
+  { alphabet; words = zero_words wcap; len = 0; width }
 
 let alphabet t = t.alphabet
 let length t = t.len
+let width t = t.width
+let codes_per_word t = chars_per_word t.width
+
+let unsafe_get t i =
+  let cpw = chars_per_word t.width in
+  let wi = i / cpw in
+  let r = i - (wi * cpw) in
+  (Array1.unsafe_get t.words wi lsr (r * t.width))
+  land ((1 lsl t.width) - 1)
 
 let get t i =
-  assert (i >= 0 && i < t.len);
-  Array1.unsafe_get t.buf i
+  if i < 0 || i >= t.len then
+    invalid_arg "Packed_seq.get: index out of range";
+  unsafe_get t i
 
-let ensure t extra =
-  let needed = t.len + extra in
-  if needed > Array1.dim t.buf then begin
-    let cap = ref (Array1.dim t.buf) in
+let ensure_words t needed =
+  let dim = Array1.dim t.words in
+  if needed > dim then begin
+    let cap = ref dim in
     while !cap < needed do cap := !cap * 2 done;
-    let nbuf = Array1.create int8_unsigned c_layout !cap in
-    Array1.blit (Array1.sub t.buf 0 t.len) (Array1.sub nbuf 0 t.len);
-    t.buf <- nbuf
+    let nbuf = zero_words !cap in
+    Array1.blit t.words (Array1.sub nbuf 0 dim);
+    t.words <- nbuf
   end
+
+(* Re-pack every stored code at a wider cell; O(len), at most twice in
+   a sequence's lifetime (2 -> 4 -> 8). *)
+let widen t nw =
+  let cpw = chars_per_word nw in
+  let nwords = max 2 ((t.len + cpw - 1) / cpw + 1) in
+  let nbuf = zero_words nwords in
+  for i = 0 to t.len - 1 do
+    let code = unsafe_get t i in
+    let wi = i / cpw in
+    let r = i - (wi * cpw) in
+    Array1.unsafe_set nbuf wi
+      (Array1.unsafe_get nbuf wi lor (code lsl (r * nw)))
+  done;
+  t.words <- nbuf;
+  t.width <- nw
 
 let append t code =
   if code < 0 || code > Alphabet.separator t.alphabet then
     invalid_arg "Packed_seq.append: code out of range";
-  ensure t 1;
-  Array1.unsafe_set t.buf t.len code;
+  if code >= 1 lsl t.width then widen t (width_for code);
+  let cpw = chars_per_word t.width in
+  let wi = t.len / cpw in
+  let r = t.len - (wi * cpw) in
+  ensure_words t (wi + 2);
+  Array1.unsafe_set t.words wi
+    (Array1.unsafe_get t.words wi lor (code lsl (r * t.width)));
   t.len <- t.len + 1
 
 let append_string t s =
-  ensure t (String.length s);
   String.iter (fun c -> append t (Alphabet.encode t.alphabet c)) s
 
 let of_string alphabet s =
@@ -59,62 +123,233 @@ let of_codes alphabet codes =
 let sub_string t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.len then
     invalid_arg "Packed_seq.sub_string";
-  String.init len (fun i -> Alphabet.decode t.alphabet (get t (pos + i)))
+  String.init len (fun i -> Alphabet.decode t.alphabet (unsafe_get t (pos + i)))
 
 let to_string t = sub_string t ~pos:0 ~len:t.len
 
+(* --- word-at-a-time span comparison --- *)
+
+(* [usable] bits of codes starting at code index [i] (two word loads,
+   one shift-or, one mask), zero-padded past the end of the sequence.
+   Precondition: 0 <= i < t.len; the spare zero word makes the second
+   load safe even when [i] sits in the last used word. *)
+let load_word t i =
+  let width = t.width in
+  let cpw = chars_per_word width in
+  let u = cpw * width in
+  let wi = i / cpw in
+  let r = i - (wi * cpw) in
+  let lo = Array1.unsafe_get t.words wi in
+  if r = 0 then lo
+  else
+    let b = r * width in
+    ((lo lsr b) lor (Array1.unsafe_get t.words (wi + 1) lsl (u - b)))
+    land ((1 lsl u) - 1)
+
+(* number of trailing zero bits; [x] must be non-zero *)
+let ntz x =
+  let x = x land (-x) in
+  let n, x = if x land 0xFFFFFFFF = 0 then (32, x lsr 32) else (0, x) in
+  let n, x = if x land 0xFFFF = 0 then (n + 16, x lsr 16) else (n, x) in
+  let n, x = if x land 0xFF = 0 then (n + 8, x lsr 8) else (n, x) in
+  let n, x = if x land 0xF = 0 then (n + 4, x lsr 4) else (n, x) in
+  let n, x = if x land 0x3 = 0 then (n + 2, x lsr 2) else (n, x) in
+  if x land 0x1 = 0 then n + 1 else n
+
+let check_span a ~apos b ~bpos ~len =
+  if
+    len < 0 || apos < 0 || bpos < 0 || apos + len > a.len
+    || bpos + len > b.len
+  then invalid_arg "Packed_seq.mismatch: span out of range"
+
+(* per-code tail/fallback comparison over two sequences *)
+let scalar_mismatch a ~apos b ~bpos ~len ~from ~words =
+  let k = ref from in
+  let res = ref (-1) in
+  while !res < 0 && !k < len do
+    if unsafe_get a (apos + !k) = unsafe_get b (bpos + !k) then incr k
+    else res := !k
+  done;
+  let m = if !res < 0 then len else !res in
+  (m, words, m - from + (if m < len then 1 else 0))
+
+let mismatch a ~apos b ~bpos ~len =
+  check_span a ~apos b ~bpos ~len;
+  if a.width <> b.width then
+    (* mixed cell widths (one sequence widened past the other): the
+       packed rows are not directly comparable, fall back per code *)
+    scalar_mismatch a ~apos b ~bpos ~len ~from:0 ~words:0
+  else begin
+    let cpw = chars_per_word a.width in
+    let k = ref 0 in
+    let words = ref 0 in
+    let res = ref (-1) in
+    while !res < 0 && len - !k >= cpw do
+      let x = load_word a (apos + !k) lxor load_word b (bpos + !k) in
+      incr words;
+      if x = 0 then k := !k + cpw else res := !k + (ntz x / a.width)
+    done;
+    if !res >= 0 then (!res, !words, 0)
+    else scalar_mismatch a ~apos b ~bpos ~len ~from:!k ~words:!words
+  end
+
+let compare_span a ~apos b ~bpos ~len =
+  let m, _, _ = mismatch a ~apos b ~bpos ~len in
+  m = len
+
+(* --- patterns: pre-packed query strings --- *)
+
+(* build a row directly at a forced width; caller guarantees every
+   code fits [width] *)
+let row_of_codes alphabet ~pwidth codes =
+  let cpw = chars_per_word pwidth in
+  let n = Array.length codes in
+  let t =
+    { alphabet; width = pwidth; len = 0;
+      words = zero_words (max 2 ((n + cpw - 1) / cpw + 1)) }
+  in
+  for i = 0 to n - 1 do
+    let wi = i / cpw in
+    let r = i - (wi * cpw) in
+    Array1.unsafe_set t.words wi
+      (Array1.unsafe_get t.words wi lor (Array.unsafe_get codes i lsl (r * pwidth)))
+  done;
+  t.len <- n;
+  t
+
+module Pattern = struct
+  type row = t
+
+  type t = {
+    codes : int array;
+    p_alphabet : Alphabet.t;
+    max_code : int;  (* -1 when empty *)
+    min_code : int;  (* 0 when empty *)
+    mutable cached : row option;
+        (* packed rendering at the width of the last text row it was
+           compared against; re-packed lazily when widths change *)
+  }
+
+  let of_codes alphabet codes =
+    { codes = Array.copy codes;
+      p_alphabet = alphabet;
+      max_code = Array.fold_left max (-1) codes;
+      min_code = Array.fold_left min 0 codes;
+      cached = None }
+
+  let length p = Array.length p.codes
+  let get p i = p.codes.(i)
+  let alphabet p = p.p_alphabet
+end
+
+(* per-code fallback against a raw pattern (codes that cannot be
+   packed at the text's width — they can never fully match, but the
+   scan still needs the exact mismatch position) *)
+let scalar_pattern t ~pos codes ~ppos ~len =
+  let k = ref 0 in
+  let res = ref (-1) in
+  while !res < 0 && !k < len do
+    if unsafe_get t (pos + !k) = Array.unsafe_get codes (ppos + !k) then
+      incr k
+    else res := !k
+  done;
+  let m = if !res < 0 then len else !res in
+  (m, 0, m + (if m < len then 1 else 0))
+
+let mismatch_pattern t ~pos (p : Pattern.t) ~ppos ~len =
+  if
+    len < 0 || pos < 0 || ppos < 0 || pos + len > t.len
+    || ppos + len > Array.length p.Pattern.codes
+  then invalid_arg "Packed_seq.mismatch_pattern: span out of range";
+  if p.Pattern.min_code >= 0 && p.Pattern.max_code < 1 lsl t.width then begin
+    let row =
+      match p.Pattern.cached with
+      | Some r when r.width = t.width -> r
+      | _ ->
+        let r = row_of_codes t.alphabet ~pwidth:t.width p.Pattern.codes in
+        p.Pattern.cached <- Some r;
+        r
+    in
+    mismatch t ~apos:pos row ~bpos:ppos ~len
+  end
+  else scalar_pattern t ~pos p.Pattern.codes ~ppos ~len
+
+(* --- serialized form ---
+
+   The packed row IS the serialized form: [used words] 64-bit
+   little-endian words, each carrying [62 / width] codes in its low
+   bits and zeros above (tail padding included).  No re-packing on
+   snapshot or page-out. *)
+
+let used_words t =
+  let cpw = chars_per_word t.width in
+  (t.len + cpw - 1) / cpw
+
+let packed_byte_length t = used_words t * 8
+
 let packed_bits t =
-  let bits = Alphabet.bits t.alphabet in
-  let total_bits = t.len * bits in
-  let nbytes = (total_bits + 7) / 8 in
-  let out = Bytes.make nbytes '\000' in
-  for i = 0 to t.len - 1 do
-    let code = get t i in
-    let bit0 = i * bits in
-    for b = 0 to bits - 1 do
-      if code land (1 lsl (bits - 1 - b)) <> 0 then begin
-        let pos = bit0 + b in
-        let byte = pos / 8 and off = pos mod 8 in
-        Bytes.set out byte
-          (Char.chr (Char.code (Bytes.get out byte) lor (0x80 lsr off)))
-      end
+  let nw = used_words t in
+  let out = Bytes.create (nw * 8) in
+  for w = 0 to nw - 1 do
+    let v = Array1.unsafe_get t.words w in
+    for k = 0 to 7 do
+      Bytes.unsafe_set out ((w * 8) + k)
+        (Char.unsafe_chr ((v lsr (8 * k)) land 0xFF))
     done
   done;
   out
 
-let of_packed_bits alphabet ~len bytes =
-  let bits = Alphabet.bits alphabet in
-  let t = create ~capacity:(max 1 len) alphabet in
-  for i = 0 to len - 1 do
-    let bit0 = i * bits in
-    let code = ref 0 in
-    for b = 0 to bits - 1 do
-      let pos = bit0 + b in
-      let byte = pos / 8 and off = pos mod 8 in
-      let set = Char.code (Bytes.get bytes byte) land (0x80 lsr off) <> 0 in
-      code := (!code lsl 1) lor (if set then 1 else 0)
+let of_packed_bits alphabet ~len ~width bytes =
+  if width <> 2 && width <> 4 && width <> 8 then
+    invalid_arg "Packed_seq.of_packed_bits: unsupported cell width";
+  if len < 0 then invalid_arg "Packed_seq.of_packed_bits: negative length";
+  let cpw = chars_per_word width in
+  let nw = (len + cpw - 1) / cpw in
+  if Bytes.length bytes < nw * 8 then
+    invalid_arg "Packed_seq.of_packed_bits: payload shorter than length";
+  let umask = (1 lsl (cpw * width)) - 1 in
+  let t = { alphabet; width; len; words = zero_words (max 2 (nw + 1)) } in
+  for w = 0 to nw - 1 do
+    let v = ref 0 in
+    for k = 0 to 7 do
+      v := !v lor (Char.code (Bytes.get bytes ((w * 8) + k)) lsl (8 * k))
     done;
-    append t !code
+    if !v land lnot umask <> 0 then
+      invalid_arg "Packed_seq.of_packed_bits: stray bits beyond the row";
+    Array1.unsafe_set t.words w !v
   done;
+  (* tail padding of the last word must be zero *)
+  if nw > 0 then begin
+    let tail = len - ((nw - 1) * cpw) in
+    if Array1.unsafe_get t.words (nw - 1) lsr (tail * width) <> 0 then
+      invalid_arg "Packed_seq.of_packed_bits: stray bits beyond the row"
+  end;
+  (* a cell wider than the alphabet can encode out-of-alphabet codes *)
+  let sep = Alphabet.separator alphabet in
+  if (1 lsl width) - 1 > sep then
+    for i = 0 to len - 1 do
+      if unsafe_get t i > sep then
+        invalid_arg "Packed_seq.of_packed_bits: code outside the alphabet"
+    done;
   t
 
 let packed_bytes_per_char t =
-  if t.len = 0 then 0.0 else float_of_int (Alphabet.bits t.alphabet) /. 8.0
+  if t.len = 0 then 0.0
+  else float_of_int (packed_byte_length t) /. float_of_int t.len
 
 let equal a b =
   Alphabet.equal a.alphabet b.alphabet
   && a.len = b.len
-  && (let rec go i = i >= a.len || (get a i = get b i && go (i + 1)) in
-      go 0)
+  && (a.len = 0
+      ||
+      let m, _, _ = mismatch a ~apos:0 b ~bpos:0 ~len:a.len in
+      m = a.len)
 
 let copy t =
-  let c = create ~capacity:(max 1 t.len) t.alphabet in
-  for i = 0 to t.len - 1 do
-    ensure c 1;
-    Array1.unsafe_set c.buf c.len (get t i);
-    c.len <- c.len + 1
-  done;
-  c
+  let uw = used_words t + 1 in
+  let nbuf = zero_words (max 2 uw) in
+  Array1.blit (Array1.sub t.words 0 uw) (Array1.sub nbuf 0 uw);
+  { alphabet = t.alphabet; words = nbuf; len = t.len; width = t.width }
 
 let iteri t ~f =
-  for i = 0 to t.len - 1 do f i (get t i) done
+  for i = 0 to t.len - 1 do f i (unsafe_get t i) done

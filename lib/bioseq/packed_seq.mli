@@ -1,17 +1,27 @@
-(** Growable sequences of alphabet codes.
+(** Bit-packed, word-addressable sequences of alphabet codes.
 
-    A [Packed_seq.t] is the in-memory representation of a data string: a
-    sequence of small integer codes over an {!Alphabet.t}.  Codes are kept
-    one-per-byte in a Bigarray for O(1) unboxed access (construction
-    touches every character once per link-chain step, so access must be
-    cheap), while {!packed_bits} exposes the bit-packed rendering used for
-    serialization and for the paper's space accounting (2 bits per DNA
-    character — the 0.25 bytes/char "CharacterLabel" row of Table 2). *)
+    A [Packed_seq.t] is the in-memory {e and} serialized representation
+    of a data string: codes packed [width] bits each (2 for DNA, 4 once
+    a DNA separator appears, 8 for proteins/bytes) into native 63-bit
+    integer words, [62 / width] codes per word — 31 DNA characters per
+    word.  The scan paths compare whole words ({!mismatch},
+    {!compare_span}: XOR plus count-trailing-zeros) and fall back to
+    per-code reads only at span boundaries; {!packed_bits} is a raw
+    dump of the words, so snapshots and the persistent sequence region
+    store the row as-is with no re-packing.
+
+    The module is a checked unsafe boundary (spine-lint L11): {!get}
+    and every span operation validate their bounds once at the edge,
+    raising [Invalid_argument] on violation; the word accessors inside
+    are unchecked.  The cell width adapts upward automatically: a code
+    that does not fit the current width (e.g. the DNA separator, code
+    4, in a 2-bit row) re-packs the whole row at the next width, at
+    most twice ever (2 -> 4 -> 8). *)
 
 type t
 
 val create : ?capacity:int -> Alphabet.t -> t
-(** Fresh empty sequence. *)
+(** Fresh empty sequence ([capacity] in codes). *)
 
 val of_string : Alphabet.t -> string -> t
 (** [of_string a s] encodes every character of [s].
@@ -24,12 +34,20 @@ val of_codes : Alphabet.t -> int array -> t
 val alphabet : t -> Alphabet.t
 val length : t -> int
 
+val width : t -> int
+(** Current cell width in bits: 2, 4 or 8. *)
+
+val codes_per_word : t -> int
+(** Codes per backing word at the current width ([62 / width]). *)
+
 val get : t -> int -> int
-(** [get t i] is the code at position [i] (0-based). Unchecked beyond an
-    assertion: callers index with trusted positions. *)
+(** [get t i] is the code at position [i] (0-based).  This is the safe
+    boundary accessor: @raise Invalid_argument when [i] is outside
+    [0, length t). *)
 
 val append : t -> int -> unit
-(** Append one code (separator allowed), growing the buffer as needed. *)
+(** Append one code (separator allowed), growing — and if the code
+    needs a wider cell, re-packing — the row as needed. *)
 
 val append_string : t -> string -> unit
 (** Encode and append every character of the argument. *)
@@ -40,18 +58,76 @@ val sub_string : t -> pos:int -> len:int -> string
 val to_string : t -> string
 (** Decode the whole sequence. *)
 
-val packed_bits : t -> Bytes.t
-(** Bit-packed rendering: [Alphabet.bits] bits per symbol, big-endian
-    within bytes, zero-padded at the tail. *)
+(** {2 Word-at-a-time span comparison}
 
-val of_packed_bits : Alphabet.t -> len:int -> Bytes.t -> t
-(** Inverse of {!packed_bits} given the symbol count. *)
+    The hot-path primitives behind the backbone descent, the
+    matching-statistics extension and the cursor walk.  All three
+    return [(match_len, word_steps, scalar_steps)]: the length of the
+    longest common prefix of the two spans, the number of whole-word
+    comparisons performed, and the number of per-code fallback
+    comparisons performed (boundary tails, or every comparison when the
+    two rows' cell widths differ and the packed forms are not directly
+    comparable).  The step counts are deterministic for fixed inputs —
+    they feed the [word_steps]/[scalar_steps] profile counters. *)
+
+val mismatch : t -> apos:int -> t -> bpos:int -> len:int -> int * int * int
+(** [mismatch a ~apos b ~bpos ~len] compares [a.[apos..apos+len)]
+    against [b.[bpos..bpos+len)].
+    @raise Invalid_argument if either span overruns its sequence. *)
+
+val compare_span : t -> apos:int -> t -> bpos:int -> len:int -> bool
+(** Whole-span equality via {!mismatch}. *)
+
+(** Patterns: a query string packed once per query (at the Engine
+    layer) and compared word-at-a-time against the text row.  The
+    packed rendering is cached and lazily re-packed if the text's cell
+    width differs; codes that cannot be packed at the text's width
+    (they can never match a text code) fall back to per-code
+    comparison. *)
+module Pattern : sig
+  type t
+
+  val of_codes : Alphabet.t -> int array -> t
+  (** Accepts any int codes (never raises): out-of-alphabet codes
+      simply never match, exactly like the unpacked search path. *)
+
+  val length : t -> int
+
+  val get : t -> int -> int
+  (** The [i]-th pattern code (safe array access). *)
+
+  val alphabet : t -> Alphabet.t
+end
+
+val mismatch_pattern :
+  t -> pos:int -> Pattern.t -> ppos:int -> len:int -> int * int * int
+(** [mismatch_pattern t ~pos p ~ppos ~len] is {!mismatch} of the text
+    span against the pattern span, packing (and caching) the pattern's
+    row at the text's width on first use.
+    @raise Invalid_argument if either span overruns. *)
+
+(** {2 Serialized form and space accounting} *)
+
+val packed_bits : t -> Bytes.t
+(** The raw backing words of the used prefix, 8 bytes per word,
+    little-endian, tail padding (zeros) included.  This {e is} the
+    serialized form: {!of_packed_bits} rebuilds the row by copying the
+    words back, no per-code re-packing. *)
+
+val of_packed_bits : Alphabet.t -> len:int -> width:int -> Bytes.t -> t
+(** Inverse of {!packed_bits} given the code count and cell width.
+    @raise Invalid_argument on an unsupported width, a short payload,
+    stray bits in the padding, or codes outside the alphabet. *)
+
+val packed_byte_length : t -> int
+(** Bytes of {!packed_bits} output: [used words * 8]. *)
 
 val packed_bytes_per_char : t -> float
-(** Space accounting: bytes per indexed character of the packed form. *)
+(** Space accounting: bytes per indexed code of the packed row
+    (~0.258 for a 2-bit DNA row: 31 codes per 8-byte word). *)
 
 val equal : t -> t -> bool
-(** Same alphabet and same code sequence. *)
+(** Same alphabet and same code sequence (cell widths may differ). *)
 
 val copy : t -> t
 

@@ -24,6 +24,8 @@ type t = {
   mutable descent_depth : int;
   mutable scan_nodes : int;
   mutable found : int;
+  mutable word_steps : int;
+  mutable scalar_steps : int;
   mutable pool_hits : int;
   mutable pool_misses : int;
   mutable pool_evictions : int;
@@ -36,6 +38,7 @@ type t = {
 let make () =
   { vertebra_steps = 0; rib_steps = 0; extrib_steps = 0; link_steps = 0;
     descent_depth = 0; scan_nodes = 0; found = 0;
+    word_steps = 0; scalar_steps = 0;
     pool_hits = 0; pool_misses = 0; pool_evictions = 0;
     device_read_bytes = 0; device_write_bytes = 0;
     alloc_bytes = 0; wall_ns = 0 }
@@ -81,6 +84,25 @@ let add_found n =
   match !(Domain.DLS.get slot) with
   | None -> ()
   | Some p -> p.found <- p.found + n
+
+(* Bulk adders for the word-packed scan paths: one whole-word compare
+   extends the match by up to [codes_per_word] characters, so the
+   vertebra count is bumped by the run length in one store and the
+   word/scalar split is recorded alongside. *)
+let add_vertebras n =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.vertebra_steps <- p.vertebra_steps + n
+
+let add_word_steps n =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.word_steps <- p.word_steps + n
+
+let add_scalar_steps n =
+  match !(Domain.DLS.get slot) with
+  | None -> ()
+  | Some p -> p.scalar_steps <- p.scalar_steps + n
 
 let total_steps p =
   p.vertebra_steps + p.rib_steps + p.extrib_steps + p.link_steps
@@ -130,6 +152,8 @@ let absorb dst src =
   dst.descent_depth <- dst.descent_depth + src.descent_depth;
   dst.scan_nodes <- dst.scan_nodes + src.scan_nodes;
   dst.found <- dst.found + src.found;
+  dst.word_steps <- dst.word_steps + src.word_steps;
+  dst.scalar_steps <- dst.scalar_steps + src.scalar_steps;
   dst.pool_hits <- dst.pool_hits + src.pool_hits;
   dst.pool_misses <- dst.pool_misses + src.pool_misses;
   dst.pool_evictions <- dst.pool_evictions + src.pool_evictions;
@@ -150,6 +174,8 @@ let fields p =
     ("descent_depth", p.descent_depth);
     ("scan_nodes", p.scan_nodes);
     ("found", p.found);
+    ("word_steps", p.word_steps);
+    ("scalar_steps", p.scalar_steps);
     ("pool_hits", p.pool_hits);
     ("pool_misses", p.pool_misses);
     ("pool_evictions", p.pool_evictions);
@@ -175,6 +201,8 @@ let of_fields l =
     descent_depth = g "descent_depth";
     scan_nodes = g "scan_nodes";
     found = g "found";
+    word_steps = g "word_steps";
+    scalar_steps = g "scalar_steps";
     pool_hits = g "pool_hits";
     pool_misses = g "pool_misses";
     pool_evictions = g "pool_evictions";

@@ -35,6 +35,12 @@ type t = {
   mutable scan_nodes : int;
       (** backbone nodes visited by the target-node-buffer scans *)
   mutable found : int;           (** occurrences reported *)
+  mutable word_steps : int;
+      (** whole-word packed comparisons on the scan paths (each covers
+          up to [Packed_seq.codes_per_word] characters) *)
+  mutable scalar_steps : int;
+      (** per-character fallback comparisons (span tails, mixed-width
+          rows) *)
   mutable pool_hits : int;
   mutable pool_misses : int;     (** page faults this query caused *)
   mutable pool_evictions : int;
@@ -72,6 +78,14 @@ val step_link : unit -> unit
 val add_descent : int -> unit
 val add_scan : int -> unit
 val add_found : int -> unit
+
+val add_vertebras : int -> unit
+(** Bulk vertebra bump: a word-compare run of [n] matched characters
+    counts exactly as [n] single {!step_vertebra} calls, so profiles
+    stay comparable across packed and scalar scan paths. *)
+
+val add_word_steps : int -> unit
+val add_scalar_steps : int -> unit
 
 (** {2 Aggregation and (de)serialization} *)
 

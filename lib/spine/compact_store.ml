@@ -513,8 +513,7 @@ module Core (B : BYTES) = struct
       rt_slack_bytes = !total - !live;
       (* 8 bytes per overflow entry and per extrib anchor *)
       overflow_bytes = (t.overflow_count + Xutil.Int_tbl.length t.anchors) * 8;
-      string_bytes =
-        (length t * Bioseq.Alphabet.payload_bits (alphabet t) + 7) / 8;
+      string_bytes = Bioseq.Packed_seq.packed_byte_length t.seq;
       migrations = t.migrations }
 
   let bytes_per_char t =

@@ -6,6 +6,7 @@ module type S = sig
   val reset : t -> unit
   val advance : t -> int -> bool
   val advance_char : t -> char -> bool
+  val advance_pattern : t -> Bioseq.Packed_seq.Pattern.t -> int
   val drop_front : t -> unit
   val longest_extension : t -> int -> unit
   val length : t -> int
@@ -45,6 +46,16 @@ module Make (St : Store_sig.S) = struct
     match Bioseq.Alphabet.encode_opt (St.alphabet t.store) ch with
     | None -> false
     | Some code -> advance t code
+
+  (* Word-at-a-time advance: extend the current match by as many of the
+     pattern's codes as form valid-path steps, comparing vertebra runs
+     whole words at a time.  Returns the number of codes consumed
+     (short of the pattern length when the walk gets stuck). *)
+  let advance_pattern t p =
+    let node, consumed = Q.extend t.store ~node:t.v ~pl:t.len p ~pos:0 in
+    t.v <- node;
+    t.len <- t.len + consumed;
+    consumed
 
   let drop_front t =
     if t.len = 0 then invalid_arg "Cursor.drop_front: empty match";

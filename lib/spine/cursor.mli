@@ -40,6 +40,13 @@ module type S = sig
   (** {!advance} with alphabet encoding; [false] for characters outside
       the alphabet. *)
 
+  val advance_pattern : t -> Bioseq.Packed_seq.Pattern.t -> int
+  (** Extend the current match by as many of the pattern's codes as
+      form valid-path steps, comparing vertebra runs word-at-a-time
+      against the packed text row.  Returns the number of codes
+      consumed; a result short of the pattern length means the walk got
+      stuck (the cursor keeps the partial extension). *)
+
   val drop_front : t -> unit
   (** Remove the first character of the current match, repositioning at
       the termination node of the remaining suffix.

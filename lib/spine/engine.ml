@@ -49,7 +49,11 @@ module type API = sig
   val node_count : store -> int
   val contains : store -> string -> bool
   val contains_codes : store -> int array -> bool
+  val contains_pattern : store -> Bioseq.Packed_seq.Pattern.t -> bool
   val find_first : store -> int array -> int option
+  val find_first_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int option
+  val end_nodes_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
+  val occurrences_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
   val first_occurrence : store -> int array -> int option
   val occurrences : store -> int array -> int list
   val end_nodes : store -> int array -> int list
@@ -83,7 +87,11 @@ module Api (S : Store_sig.S) = struct
   let node_count t = S.length t + 1
   let contains = Q.contains
   let contains_codes = Q.contains_codes
+  let contains_pattern = Q.contains_pattern
   let find_first = Q.find_first
+  let find_first_pattern = Q.find_first_pattern
+  let end_nodes_pattern = Q.end_nodes_pattern
+  let occurrences_pattern = Q.occurrences_pattern
   let first_occurrence = Q.first_occurrence
   let occurrences = Q.occurrences
   let end_nodes = Q.end_nodes
@@ -150,6 +158,33 @@ let contains_codes (module B : BACKEND) codes =
 let find_first (module B : BACKEND) codes =
   B.guard ();
   B.A.find_first B.store codes
+
+(* Pattern-based entry points: the query is packed exactly once, here
+   at the engine edge, and every downstream scan consumes the packed
+   row word-at-a-time. *)
+
+let pattern (module B : BACKEND) codes =
+  B.guard ();
+  Bioseq.Packed_seq.Pattern.of_codes (B.A.alphabet B.store) codes
+
+let pattern_of_string e s =
+  Option.map (pattern e) (let (module B : BACKEND) = e in B.A.Q.encode B.store s)
+
+let contains_pattern (module B : BACKEND) p =
+  B.guard ();
+  B.A.contains_pattern B.store p
+
+let find_first_pattern (module B : BACKEND) p =
+  B.guard ();
+  B.A.find_first_pattern B.store p
+
+let end_nodes_pattern (module B : BACKEND) p =
+  B.guard ();
+  B.A.end_nodes_pattern B.store p
+
+let occurrences_pattern (module B : BACKEND) p =
+  B.guard ();
+  B.A.occurrences_pattern B.store p
 
 let first_occurrence (module B : BACKEND) codes =
   B.guard ();
@@ -245,6 +280,7 @@ let run_batch (module B : BACKEND) patterns =
 type cursor = {
   advance : int -> bool;
   advance_char : char -> bool;
+  advance_pattern : Bioseq.Packed_seq.Pattern.t -> int;
   drop_front : unit -> unit;
   longest_extension : int -> unit;
   reset : unit -> unit;
@@ -260,6 +296,7 @@ let cursor (module B : BACKEND) =
   let g = B.guard in
   { advance = (fun code -> g (); B.A.C.advance c code);
     advance_char = (fun ch -> g (); B.A.C.advance_char c ch);
+    advance_pattern = (fun p -> g (); B.A.C.advance_pattern c p);
     drop_front = (fun () -> g (); B.A.C.drop_front c);
     longest_extension = (fun code -> g (); B.A.C.longest_extension c code);
     reset = (fun () -> B.A.C.reset c);

@@ -76,7 +76,11 @@ module type API = sig
   val node_count : store -> int
   val contains : store -> string -> bool
   val contains_codes : store -> int array -> bool
+  val contains_pattern : store -> Bioseq.Packed_seq.Pattern.t -> bool
   val find_first : store -> int array -> int option
+  val find_first_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int option
+  val end_nodes_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
+  val occurrences_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
   val first_occurrence : store -> int array -> int option
   val occurrences : store -> int array -> int list
   val end_nodes : store -> int array -> int list
@@ -155,6 +159,35 @@ val encode : t -> string -> int array option
 (** Encode a pattern string in the backend's alphabet; [None] if any
     character is outside it. *)
 
+(** {2 Packed patterns}
+
+    A query packed once, at the engine edge, into the word layout of
+    {!Bioseq.Packed_seq}: the descent and occurrence resolution then
+    compare whole words against the text row, falling back to per-code
+    steps only at span boundaries and rib/extrib transitions.  Callers
+    issuing one query can keep using the code-array surface above (it
+    packs internally); callers re-running a pattern should build it
+    once with {!pattern} and reuse it. *)
+
+val pattern : t -> int array -> Bioseq.Packed_seq.Pattern.t
+(** Pack a code array against the backend's alphabet.  Out-of-alphabet
+    codes are accepted and simply never match. *)
+
+val pattern_of_string : t -> string -> Bioseq.Packed_seq.Pattern.t option
+(** {!encode} followed by {!pattern}; [None] if any character is
+    outside the backend's alphabet. *)
+
+val contains_pattern : t -> Bioseq.Packed_seq.Pattern.t -> bool
+
+val find_first_pattern : t -> Bioseq.Packed_seq.Pattern.t -> int option
+(** End node of the first occurrence, or [None]. *)
+
+val end_nodes_pattern : t -> Bioseq.Packed_seq.Pattern.t -> int list
+(** All end nodes, ascending. *)
+
+val occurrences_pattern : t -> Bioseq.Packed_seq.Pattern.t -> int list
+(** 0-based start positions, ascending. *)
+
 val matching_statistics :
   t -> Bioseq.Packed_seq.t -> int array * match_stats
 
@@ -206,6 +239,9 @@ val run_batch : t -> int array list -> batch_item list
 type cursor = {
   advance : int -> bool;
   advance_char : char -> bool;
+  advance_pattern : Bioseq.Packed_seq.Pattern.t -> int;
+    (** Word-at-a-time extension: consumes as many pattern codes as
+        form valid-path steps and returns how many. *)
   drop_front : unit -> unit;
   longest_extension : int -> unit;
   reset : unit -> unit;

@@ -97,14 +97,14 @@ let rib_count t = Tbl.length t.ribs
 let extrib_count t = Tbl.length t.extribs
 
 (* Measured live bytes of this OCaml representation (not the C model of
-   [model_bytes]): one byte per character code in the sequence bigarray,
-   one word per link vector slot, and ~4 words per hashtable binding
-   (bucket cons: header + key + data + next) plus the boxed payload
-   tuple for extribs (header + 4 fields). *)
+   [model_bytes]): the packed word row for the sequence ([62 / width]
+   codes per 8-byte word), one word per link vector slot, and ~4 words
+   per hashtable binding (bucket cons: header + key + data + next) plus
+   the boxed payload tuple for extribs (header + 4 fields). *)
 let space_components t =
   let word = Sys.word_size / 8 in
   let n = length t in
-  [ ("vertebrae", n);
+  [ ("vertebrae", Bioseq.Packed_seq.packed_byte_length t.seq);
     ("links", 2 * (n + 1) * word);
     ("ribs", rib_count t * 4 * word);
     ("extribs", extrib_count t * (4 + 5) * word) ]

@@ -11,8 +11,11 @@
     one-suffix-link-per-suffix walk (Section 4.1, Table 6). *)
 
 (* aliases taken before [Search] is shadowed by the applied functor *)
+let c_vertebra_hops = Search.c_vertebra_hops
 let c_extrib_hops = Search.c_extrib_hops
 let c_link_hops = Search.c_link_hops
+let c_word_steps = Search.c_word_steps
+let c_scalar_steps = Search.c_scalar_steps
 let trace_step = Search.trace_step
 
 (* The result types are store-independent, so they are defined once
@@ -153,13 +156,61 @@ module Make (S : Store_sig.S) = struct
 
   let stats_of st = { nodes_checked = st.nodes; suffixes_checked = st.suffixes }
 
+  (* Bulk streaming extension: the vertebra run out of state node [v]
+     spells text[v..], and vertebra steps carry no threshold check, so
+     one packed mismatch of the query span against the text row extends
+     the match word-at-a-time.  Counter parity with the scalar loop:
+     each matched character is one vertebra step and one node check.
+     Returns the number of characters consumed; the caller handles the
+     boundary character (rib/extrib/link logic) through {!consume}. *)
+  let bulk_extend st q i =
+    let t = st.t in
+    let limit =
+      min (Bioseq.Packed_seq.length q - i) (S.length t - st.v)
+    in
+    if limit <= 0 then 0
+    else begin
+      let run, words, scalars =
+        Bioseq.Packed_seq.mismatch (S.sequence t) ~apos:st.v q ~bpos:i
+          ~len:limit
+      in
+      if run > 0 then begin
+        Telemetry.add c_vertebra_hops run;
+        Profile.add_vertebras run;
+        st.nodes <- st.nodes + run;
+        if Trace.on () then
+          Trace.instant "step.vertebra_run"
+            [ Trace.Int ("node", st.v); Trace.Int ("len", run) ];
+        st.v <- st.v + run;
+        st.len <- st.len + run
+      end;
+      if words > 0 then begin
+        Telemetry.add c_word_steps words;
+        Profile.add_word_steps words
+      end;
+      if scalars > 0 then begin
+        Telemetry.add c_scalar_steps scalars;
+        Profile.add_scalar_steps scalars
+      end;
+      run
+    end
+
   let matching_statistics t q =
     let m = Bioseq.Packed_seq.length q in
     let ms = Array.make (max m 1) 0 in
     let st = make t in
-    for i = 0 to m - 1 do
-      consume st (Bioseq.Packed_seq.get q i);
-      ms.(i) <- st.len
+    let i = ref 0 in
+    while !i < m do
+      let run = bulk_extend st q !i in
+      for k = 1 to run do
+        ms.(!i + k - 1) <- st.len - run + k
+      done;
+      i := !i + run;
+      if !i < m then begin
+        consume st (Bioseq.Packed_seq.get q !i);
+        ms.(!i) <- st.len;
+        incr i
+      end
     done;
     (ms, stats_of st)
 
@@ -173,10 +224,24 @@ module Make (S : Store_sig.S) = struct
     let ms = Array.make (max m 1) 0 in
     let end_node = Array.make (max m 1) (-1) in
     let st = make t in
-    for i = 0 to m - 1 do
-      consume st (Bioseq.Packed_seq.get q i);
-      ms.(i) <- st.len;
-      end_node.(i) <- (if st.len = 0 then -1 else st.v)
+    let i = ref 0 in
+    while !i < m do
+      let run = bulk_extend st q !i in
+      for k = 1 to run do
+        let pos = !i + k - 1 in
+        ms.(pos) <- st.len - run + k;
+        (* within a vertebra run the state node advances in lockstep
+           with the match length, so the intermediate end nodes are
+           recoverable without re-walking *)
+        end_node.(pos) <- st.v - run + k
+      done;
+      i := !i + run;
+      if !i < m then begin
+        consume st (Bioseq.Packed_seq.get q !i);
+        ms.(!i) <- st.len;
+        end_node.(!i) <- (if st.len = 0 then -1 else st.v);
+        incr i
+      end
     done;
     let reported = ref [] in
     for i = m - 1 downto 0 do

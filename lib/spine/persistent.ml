@@ -128,11 +128,15 @@ let journal_make device =
 
 type t = {
   core : P.t;
-  seq_tab : Paged_bytes.t;   (* vertebra codes, 1 byte per character *)
+  seq_tab : Paged_bytes.t;
+      (* vertebra codes in the packed-row layout of [Packed_seq]:
+         8-byte little-endian words, [62 / width] codes each — the
+         on-disk region is byte-for-byte the row's [packed_bits] *)
   device : Pagestore.Device.t;
   pool : Pagestore.Buffer_pool.t;
   journal : journal;
   file_path : string;
+  mutable disk_width : int;  (* cell width the region is written at *)
   mutable generation : int;
   mutable closed : bool;
 }
@@ -325,7 +329,11 @@ let read_epoch_decl device =
    way and reopen falls back to the other slot. *)
 
 let meta_magic = "SPNM"
-let meta_version = 2
+
+(* version 3: the sequence region switched from one byte per character
+   to the packed-row word layout, and the payload gained the cell
+   width *)
+let meta_version = 3
 let slot_header_bytes = 28
 
 type slot_meta = {
@@ -411,6 +419,7 @@ let payload_bytes t =
   u32 (String.length symbols);
   Buffer.add_string buf symbols;
   u32 (P.length t.core);
+  u32 t.disk_width;
   for table = 0 to 3 do
     u32 (Paged_bytes.used t.core.P.rts.(table));
     u32 t.core.P.freelist.(table);
@@ -444,7 +453,8 @@ let journal_commit_window t =
   for table = 0 to 3 do
     add (region_base (rt_region table)) (Paged_bytes.used t.core.P.rts.(table))
   done;
-  add (region_base seq_region) n
+  add (region_base seq_region)
+    (Bioseq.Packed_seq.packed_byte_length (P.sequence t.core))
 
 (* A crashed session may have extended a region past the committed
    prefix.  Those pages hold no committed data (the journal only
@@ -502,7 +512,8 @@ let create ?frames ?page_size ?pin_top_lt_pages ~path alphabet =
   in
   P.init_root core;
   let seq_tab = Paged_bytes.make pool ~base_page:(region_base seq_region) in
-  { core; seq_tab; device; pool; journal; file_path = path; generation = 0;
+  { core; seq_tab; device; pool; journal; file_path = path;
+    disk_width = Bioseq.Packed_seq.width (P.sequence core); generation = 0;
     closed = false }
 
 (* Commit protocol: data pages first (journaling the preimage of any
@@ -637,6 +648,15 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
       | None -> Bioseq.Alphabet.make symbols
     in
     let n = u32 () in
+    let width = u32 () in
+    if width <> 2 && width <> 4 && width <> 8 then
+      Spine_error.corrupt ~region:"meta"
+        ~page:(slot_base (m.sm_generation land 1))
+        "implausible sequence cell width %d" width;
+    let seq_bytes =
+      let cpw = 62 / width in
+      (n + cpw - 1) / cpw * 8
+    in
     let rt_used = Array.make 4 0 in
     let freelist = Array.make 4 0 in
     let live_rows = Array.make 4 0 in
@@ -667,18 +687,27 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
         erase_stale_tail device ~base:(region_base (rt_region table))
           ~used_bytes:rt_used.(table)
       done;
-      erase_stale_tail device ~base:(region_base seq_region) ~used_bytes:n
+      erase_stale_tail device ~base:(region_base seq_region)
+        ~used_bytes:seq_bytes
     end;
-    (* rebuild the in-memory sequence mirror from the code region; with
-       the ceiling restored above, any crash debris page this touches
-       surfaces as a typed Corrupt instead of phantom characters *)
+    (* rebuild the in-memory sequence mirror from the packed region —
+       the raw words, no per-code re-decoding; with the ceiling
+       restored above, any crash debris page this touches surfaces as a
+       typed Corrupt instead of phantom characters *)
     let seq_tab =
-      Paged_bytes.make pool ~base_page:(region_base seq_region) ~used:n
+      Paged_bytes.make pool ~base_page:(region_base seq_region)
+        ~used:seq_bytes
     in
-    let seq = Bioseq.Packed_seq.create ~capacity:(max 16 n) alphabet in
-    for i = 0 to n - 1 do
-      Bioseq.Packed_seq.append seq (Paged_bytes.get_u8 seq_tab i)
+    let packed = Bytes.create seq_bytes in
+    for off = 0 to seq_bytes - 1 do
+      Bytes.set packed off (Char.chr (Paged_bytes.get_u8 seq_tab off))
     done;
+    let seq =
+      try Bioseq.Packed_seq.of_packed_bits alphabet ~len:n ~width packed
+      with Invalid_argument _ ->
+        Spine_error.corrupt ~region:"seq" ~page:(region_base seq_region)
+          "packed sequence region decodes outside the alphabet"
+    in
     let core =
       P.make ~freelist ~live_rows ~overflow ~anchors ~migrations ~seq
         ~lt:
@@ -692,7 +721,7 @@ let open_ ?frames ?pin_top_lt_pages ~path () =
     in
     let t =
       { core; seq_tab; device; pool; journal; file_path = path;
-        generation = m.sm_generation; closed = false }
+        disk_width = width; generation = m.sm_generation; closed = false }
     in
     (* the recovered prefix is the committed state the journal must now
        protect against this session's own in-place overwrites *)
@@ -707,13 +736,41 @@ let alphabet t = P.alphabet t.core
 let length t = check_open t; P.length t.core
 let generation t = t.generation
 
+(* Re-mirror the whole packed row into the sequence region, used when
+   an appended code forces a wider cell (the row re-packs in memory, so
+   every on-disk byte moves).  At most twice over an index's whole
+   life (2 -> 4 -> 8). *)
+let rewrite_seq_region t =
+  let packed = Bioseq.Packed_seq.packed_bits (P.sequence t.core) in
+  for off = 0 to Bytes.length packed - 1 do
+    Paged_bytes.set_u8 t.seq_tab off (Char.code (Bytes.get packed off))
+  done;
+  t.disk_width <- Bioseq.Packed_seq.width (P.sequence t.core)
+
 let append t code =
   check_open t;
-  (* mirror the character into the on-disk code region, then extend the
-     index structure *)
-  let off = Paged_bytes.alloc t.seq_tab 1 in
-  Paged_bytes.set_u8 t.seq_tab off code;
-  B.append t.core code
+  let seq = P.sequence t.core in
+  let i = Bioseq.Packed_seq.length seq in  (* position of the new code *)
+  B.append t.core code;
+  let w = Bioseq.Packed_seq.width seq in
+  if w <> t.disk_width then rewrite_seq_region t
+  else begin
+    (* mirror the one new code into the packed on-disk region.  The
+       width divides 8, so a code's bits always fall within one byte:
+       read-modify-write that byte alone.  A byte whose low bits are
+       free ([shift = 0]) is untouched so far — its region pages start
+       zeroed — and can be written without the read. *)
+    let cpw = 62 / w in
+    let wi = i / cpw in
+    let bit = (i - (wi * cpw)) * w in
+    let off = (wi * 8) + (bit / 8) in
+    let shift = bit land 7 in
+    let v =
+      if shift = 0 then code
+      else Paged_bytes.get_u8 t.seq_tab off lor (code lsl shift)
+    in
+    Paged_bytes.set_u8 t.seq_tab off v
+  end
 
 let append_string t s =
   Telemetry.with_span s_build (fun () ->

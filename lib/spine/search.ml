@@ -20,6 +20,14 @@ let c_link_hops = Telemetry.counter "search.link_hops"
 let c_scan_nodes = Telemetry.counter "search.scan_nodes"
 let c_occurrences = Telemetry.counter "search.occurrences_found"
 
+(* The packed-scan split: whole-word compares vs per-character fallback
+   compares on the vertebra runs (descent, matching extension, cursor
+   advance).  A word step covers up to [Packed_seq.codes_per_word]
+   characters, so word_steps << vertebra_hops is the win being
+   measured. *)
+let c_word_steps = Telemetry.counter "search.word_steps"
+let c_scalar_steps = Telemetry.counter "search.scalar_steps"
+
 (* One trace instant per edge crossed, tagged with the edge family:
    interleaved with the pool.fault spans of a routed store, the trace
    shows exactly which traversal step faulted which page. *)
@@ -30,6 +38,22 @@ module type S = sig
   type store
 
   val step : store -> int -> int -> int -> int
+
+  val extend :
+    store -> node:int -> pl:int -> Bioseq.Packed_seq.Pattern.t -> pos:int ->
+    int * int
+  (** Descend from [node] (pathlength [pl]) consuming pattern codes
+      from [pos]: vertebra runs extend word-at-a-time against the
+      packed text row, with one scalar {!step} at each non-vertebra
+      boundary (rib/extrib transitions).  Returns the landing node and
+      the number of codes consumed. *)
+
+  val find_first_pattern :
+    store -> Bioseq.Packed_seq.Pattern.t -> int option
+
+  val contains_pattern : store -> Bioseq.Packed_seq.Pattern.t -> bool
+  val end_nodes_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
+  val occurrences_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
   val find_first : store -> int array -> int option
   val contains_codes : store -> int array -> bool
   val encode : store -> string -> int array option
@@ -80,24 +104,72 @@ module Make (S : Store_sig.S) = struct
           chase dest
         end
 
-  (* End node of the first occurrence of [codes], or None. *)
-  let find_first t codes =
-    let m = Array.length codes in
-    let rec go node i =
-      if i >= m then begin
-        Profile.add_descent m;
-        Some node
-      end
-      else
-        let nxt = step t node i codes.(i) in
-        if nxt < 0 then begin
-          Profile.add_descent i;
-          None
-        end
-        else go nxt (i + 1)
-    in
-    go 0 0
+  (* Record one bulk vertebra run in the counters.  A run of [run]
+     matched characters is exactly [run] vertebra steps (vertebra edges
+     carry no threshold check, so word comparison is step-for-step
+     equivalent to the scalar walk); the word/scalar split is what the
+     packed refactor adds on top. *)
+  let count_run ~node ~run ~words ~scalars =
+    if run > 0 then begin
+      Telemetry.add c_vertebra_hops run;
+      Profile.add_vertebras run;
+      if Trace.on () then
+        Trace.instant "step.vertebra_run"
+          [ Trace.Int ("node", node); Trace.Int ("len", run) ]
+    end;
+    if words > 0 then begin
+      Telemetry.add c_word_steps words;
+      Profile.add_word_steps words
+    end;
+    if scalars > 0 then begin
+      Telemetry.add c_scalar_steps scalars;
+      Profile.add_scalar_steps scalars
+    end
 
+  (* Bulk valid-path descent: node [node] is the end of a backbone
+     prefix, so its outgoing vertebra run spells text[node..] — one
+     packed mismatch against the pattern span extends the path by whole
+     words.  Only the boundary character (a failed vertebra) pays a
+     scalar [step] for the rib/extrib logic. *)
+  let extend t ~node ~pl (p : Bioseq.Packed_seq.Pattern.t) ~pos =
+    let seq = S.sequence t in
+    let n = S.length t in
+    let m = Bioseq.Packed_seq.Pattern.length p in
+    let rec go node pl pos =
+      if pos >= m then (node, pos)
+      else begin
+        let limit = min (m - pos) (n - node) in
+        let run, words, scalars =
+          if limit > 0 then
+            Bioseq.Packed_seq.mismatch_pattern seq ~pos:node p ~ppos:pos
+              ~len:limit
+          else (0, 0, 0)
+        in
+        count_run ~node ~run ~words ~scalars;
+        let node = node + run and pl = pl + run and pos = pos + run in
+        if pos >= m then (node, pos)
+        else
+          let nxt = step t node pl (Bioseq.Packed_seq.Pattern.get p pos) in
+          if nxt < 0 then (node, pos) else go nxt (pl + 1) (pos + 1)
+      end
+    in
+    let node', stop = go node pl pos in
+    (node', stop - pos)
+
+  (* End node of the first occurrence of the pattern, or None. *)
+  let find_first_pattern t p =
+    let m = Bioseq.Packed_seq.Pattern.length p in
+    let node, consumed = extend t ~node:0 ~pl:0 p ~pos:0 in
+    Profile.add_descent consumed;
+    if consumed >= m then Some node else None
+
+  (* Codes-based entry point: pack the pattern once per query, then
+     take the word path. *)
+  let find_first t codes =
+    find_first_pattern t
+      (Bioseq.Packed_seq.Pattern.of_codes (S.alphabet t) codes)
+
+  let contains_pattern t p = Option.is_some (find_first_pattern t p)
   let contains_codes t codes = Option.is_some (find_first t codes)
 
   let encode t s =
@@ -170,13 +242,26 @@ module Make (S : Store_sig.S) = struct
      search followed by the downstream link scan. The binary-search
      variant of buffer membership lives in [occurrences_scan] below and
      is what the ablation bench compares against the hashtable. *)
+  let ends_from t ~first ~len =
+    let buffers = occurrences_batch t [| (first, len) |] in
+    Xutil.Int_vec.fold buffers.(0) ~init:[] ~f:(fun acc x -> x :: acc)
+    |> List.rev
+
   let end_nodes t codes =
     match find_first t codes with
     | None -> []
+    | Some first -> ends_from t ~first ~len:(Array.length codes)
+
+  let end_nodes_pattern t p =
+    match find_first_pattern t p with
+    | None -> []
     | Some first ->
-      let buffers = occurrences_batch t [| (first, Array.length codes) |] in
-      Xutil.Int_vec.fold buffers.(0) ~init:[] ~f:(fun acc x -> x :: acc)
-      |> List.rev
+      ends_from t ~first ~len:(Bioseq.Packed_seq.Pattern.length p)
+
+  let occurrences_pattern t p =
+    List.map
+      (fun e -> e - Bioseq.Packed_seq.Pattern.length p)
+      (end_nodes_pattern t p)
 
   (* Faithful single-pattern variant using binary search on the sorted
      target-node buffer, exactly as described in the paper. *)

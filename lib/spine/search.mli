@@ -20,6 +20,16 @@ val c_link_hops : Telemetry.counter
 val c_scan_nodes : Telemetry.counter
 val c_occurrences : Telemetry.counter
 
+val c_word_steps : Telemetry.counter
+(** Whole-word comparisons on vertebra runs (each covering up to
+    [Packed_seq.codes_per_word] characters); [c_word_steps] far below
+    [c_vertebra_hops] is the packed-scan win being measured. *)
+
+val c_scalar_steps : Telemetry.counter
+(** Per-character fallback comparisons on vertebra runs (span-boundary
+    tails, or whole spans when the pattern cannot pack at the text's
+    cell width). *)
+
 val trace_step : string -> node:int -> dest:int -> unit
 (** Record one edge crossing as a trace instant ([step.vertebra],
     [step.rib], [step.extrib] or [step.link]); shared with the matcher
@@ -37,6 +47,28 @@ module type S = sig
   (** [step t node pl c]: one forward step from [node] with pathlength
       [pl] on character [c].  Returns the destination node, or [-1]
       when no valid edge exists. *)
+
+  val extend :
+    store -> node:int -> pl:int -> Bioseq.Packed_seq.Pattern.t -> pos:int ->
+    int * int
+  (** [extend t ~node ~pl p ~pos] descends from [node] (pathlength
+      [pl]) consuming pattern codes from [pos]: vertebra runs extend
+      word-at-a-time against the packed text row, with one scalar
+      {!step} at each non-vertebra boundary (rib/extrib transitions).
+      Returns the landing node and the number of codes consumed. *)
+
+  val find_first_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int option
+  (** End node of the first occurrence of the pre-packed pattern, or
+      [None].  The codes-based entry points below pack once and call
+      this. *)
+
+  val contains_pattern : store -> Bioseq.Packed_seq.Pattern.t -> bool
+
+  val end_nodes_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
+  (** All end nodes of the pattern, ascending. *)
+
+  val occurrences_pattern : store -> Bioseq.Packed_seq.Pattern.t -> int list
+  (** 0-based start positions, ascending. *)
 
   val find_first : store -> int array -> int option
   (** End node of the first occurrence of the code array, or [None]. *)

@@ -1,5 +1,5 @@
 let magic = "SPNE"
-let version = 2
+let version = 3
 let header_size = 5
 let trailer_size = 4
 
@@ -55,6 +55,26 @@ let alphabet_of_symbols symbols =
   | Some a -> a
   | None -> Bioseq.Alphabet.make symbols
 
+(* Versions 1 and 2 serialized the sequence at [Alphabet.bits] bits per
+   symbol, MSB-first within each byte; v3 dumps the packed row's raw
+   words instead.  Old images still load through this decoder. *)
+let decode_legacy_sequence alphabet ~len bytes =
+  let bits = Bioseq.Alphabet.bits alphabet in
+  let seq = Bioseq.Packed_seq.create ~capacity:(max 1 len) alphabet in
+  for i = 0 to len - 1 do
+    let bit0 = i * bits in
+    let code = ref 0 in
+    for b = 0 to bits - 1 do
+      let pos = bit0 + b in
+      let byte = pos / 8 and off = pos mod 8 in
+      let set = Char.code (Bytes.get bytes byte) land (0x80 lsr off) <> 0 in
+      code := (!code lsl 1) lor (if set then 1 else 0)
+    done;
+    (* append validates against the alphabet, as of_packed_bits does *)
+    Bioseq.Packed_seq.append seq !code
+  done;
+  seq
+
 let to_bytes (t : Index.t) =
   let s = Index.store t in
   let n = Index.length t in
@@ -66,7 +86,11 @@ let to_bytes (t : Index.t) =
   put_u32 buf (String.length symbols);
   Buffer.add_string buf symbols;
   put_u64 buf n;
-  let packed = Bioseq.Packed_seq.packed_bits (Index.sequence t) in
+  (* v3: the packed row IS the serialized form — cell width followed by
+     the raw backing words, no per-code re-packing on snapshot *)
+  let seq = Index.sequence t in
+  put_u8 buf (Bioseq.Packed_seq.width seq);
+  let packed = Bioseq.Packed_seq.packed_bits seq in
   put_u32 buf (Bytes.length packed);
   Buffer.add_bytes buf packed;
   for node = 1 to n do
@@ -112,12 +136,12 @@ let of_bytes data =
   if not (String.equal (Bytes.sub_string data 0 4) magic) then
     corrupt "bad magic (not a SPINE snapshot)";
   let v = Char.code (Bytes.get data 4) in
-  if v <> 1 && v <> version then
+  if v < 1 || v > version then
     corrupt "unsupported snapshot version %d" v;
   (* Version 1 snapshots predate the whole-image checksum: same record
      layout, no trailer.  They still load (without integrity cover) so
      existing files need not be rebuilt. *)
-  if v = version then begin
+  if v >= 2 then begin
     if len < header_size + trailer_size then
       corrupt "input too short to be a snapshot (%d bytes)" len;
     (* verify the trailing checksum before trusting any field *)
@@ -137,22 +161,44 @@ let of_bytes data =
   r.pos <- r.pos + sym_len;
   let alphabet = alphabet_of_symbols symbols in
   let n = get_u64 r in
-  (* sanity before allocating anything proportional to n: the payload
-     that follows must physically be able to hold n symbols and n link
-     records *)
-  if n < 0 || n > (Bytes.length r.data * 8) / Bioseq.Alphabet.bits alphabet
-  then corrupt ~page:r.pos "implausible sequence length %d" n;
-  let packed_len = get_u32 r in
-  if packed_len < (n * Bioseq.Alphabet.bits alphabet + 7) / 8 then
-    corrupt ~page:r.pos "sequence payload shorter than its declared length";
-  need r packed_len;
-  let packed = Bytes.sub r.data r.pos packed_len in
-  r.pos <- r.pos + packed_len;
   let seq =
-    try Bioseq.Packed_seq.of_packed_bits alphabet ~len:n packed
-    with Invalid_argument _ ->
-      (* corrupt bit patterns decode to out-of-alphabet codes *)
-      corrupt ~page:r.pos "sequence payload decodes outside the alphabet"
+    if v >= 3 then begin
+      let w = get_u8 r in
+      if w <> 2 && w <> 4 && w <> 8 then
+        corrupt ~page:r.pos "unsupported sequence cell width %d" w;
+      let cpw = 62 / w in
+      (* sanity before allocating anything proportional to n: the
+         payload that follows must physically be able to hold n codes
+         at [cpw] codes per 8-byte word, plus n link records *)
+      if n < 0 || n > Bytes.length r.data * cpw then
+        corrupt ~page:r.pos "implausible sequence length %d" n;
+      let packed_len = get_u32 r in
+      if packed_len < (n + cpw - 1) / cpw * 8 then
+        corrupt ~page:r.pos "sequence payload shorter than its declared length";
+      need r packed_len;
+      let packed = Bytes.sub r.data r.pos packed_len in
+      r.pos <- r.pos + packed_len;
+      try Bioseq.Packed_seq.of_packed_bits alphabet ~len:n ~width:w packed
+      with Invalid_argument _ ->
+        (* corrupt bit patterns: stray padding bits or out-of-alphabet
+           codes *)
+        corrupt ~page:r.pos "sequence payload decodes outside the alphabet"
+    end
+    else begin
+      if n < 0
+         || n > (Bytes.length r.data * 8) / Bioseq.Alphabet.bits alphabet
+      then corrupt ~page:r.pos "implausible sequence length %d" n;
+      let packed_len = get_u32 r in
+      if packed_len < (n * Bioseq.Alphabet.bits alphabet + 7) / 8 then
+        corrupt ~page:r.pos "sequence payload shorter than its declared length";
+      need r packed_len;
+      let packed = Bytes.sub r.data r.pos packed_len in
+      r.pos <- r.pos + packed_len;
+      try decode_legacy_sequence alphabet ~len:n packed
+      with Invalid_argument _ ->
+        (* corrupt bit patterns decode to out-of-alphabet codes *)
+        corrupt ~page:r.pos "sequence payload decodes outside the alphabet"
+    end
   in
   let store = Fast_store.create ~capacity:(max 16 n) alphabet in
   Bioseq.Packed_seq.iteri seq ~f:(fun _ code -> Fast_store.append_char store code);

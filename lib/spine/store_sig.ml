@@ -33,6 +33,12 @@ module type S = sig
   (** Character label of the vertebra from node [i] to node [i + 1],
       i.e. the [i]-th (0-based) character of the data string. *)
 
+  val sequence : t -> Bioseq.Packed_seq.t
+  (** The whole data string as its packed row.  Vertebra labels are
+      contiguous text characters (node [i]'s vertebra run spells
+      [text[i..]]), so the scan paths extend matches word-at-a-time
+      against this row instead of one {!char_at} per step. *)
+
   val append_char : t -> int -> unit
   (** Extend the backbone by one character, creating the new tail node
       with an unset link. Only {!Builder} should call this. *)

@@ -79,6 +79,7 @@ operation additionally follows backward links.
     search.extrib_hops        counter      1        
     search.occurrences_found  counter      1        
     search.rib_hops           counter      1        
+    search.scalar_steps       counter      6        
     search.vertebra_hops      counter      4        
 
   $ spine match -i paper.idx -q query.fa --threshold 3 --stats
@@ -92,6 +93,7 @@ operation additionally follows backward links.
     search.link_hops          counter      3        
     search.occurrences_found  counter      1        
     search.rib_hops           counter      1        
+    search.scalar_steps       counter     10        
     search.scan_nodes         counter      2        
     search.vertebra_hops      counter      6        
 

@@ -141,3 +141,41 @@ the certification rows also export as JSONL for the CI artifact.
   spine-lint: 1 module(s) certified, 0 unsafe
   $ cat cert.jsonl
   {"module":"Qsurf","verdict":"certified (guarded)","witness":"mutex-guarded region"}
+
+The unguarded-unsafe rule (L11) is how the word-packed sequence core
+keeps its unchecked accessors honest: Array.unsafe_* and the Bigarray
+Array1.unsafe_* word loads are errors in an ordinary module —
+
+  $ mkdir -p lib/bioseq
+  $ cat > lib/bioseq/packed_demo.ml <<'EOF'
+  > type row = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  > let load_word (w : row) i = Bigarray.Array1.unsafe_get w i
+  > let code (c : int array) i = Array.unsafe_get c i
+  > EOF
+  $ cat > lib/bioseq/packed_demo.mli <<'EOF'
+  > type row = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  > val load_word : row -> int -> int
+  > val code : int array -> int -> int
+  > EOF
+  $ ocamlc -bin-annot -w -a -c lib/bioseq/packed_demo.mli
+  $ ocamlc -bin-annot -w -a -I lib/bioseq -c lib/bioseq/packed_demo.ml
+  $ spine-lint check --build-dir lib/bioseq --source-root . --only unguarded-unsafe
+    RULE              SEVERITY  WHERE                           MESSAGE
+    unguarded-unsafe  error     lib/bioseq/packed_demo.ml:2:28  Array1.unsafe_get bypasses bounds checks outside a checked boundary (mark the module [@@@spine.checked_boundary "reason"] after auditing, or use the checked accessor)
+    unguarded-unsafe  error     lib/bioseq/packed_demo.ml:3:29  Array.unsafe_get bypasses bounds checks outside a checked boundary (mark the module [@@@spine.checked_boundary "reason"] after auditing, or use the checked accessor)
+  spine-lint: 2 finding(s) in 1 files scanned
+  [1]
+
+— and waived file-wide once the module declares itself a checked
+boundary, the same contract lib/bioseq/packed_seq.ml ships under (the
+.mli must re-check every index before the unsafe read):
+
+  $ cat > lib/bioseq/packed_demo.ml <<'EOF'
+  > [@@@spine.checked_boundary "every caller goes through the .mli, which bounds-checks"]
+  > type row = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  > let load_word (w : row) i = Bigarray.Array1.unsafe_get w i
+  > let code (c : int array) i = Array.unsafe_get c i
+  > EOF
+  $ ocamlc -bin-annot -w -a -I lib/bioseq -c lib/bioseq/packed_demo.ml
+  $ spine-lint check --build-dir lib/bioseq --source-root . --only unguarded-unsafe
+  spine-lint: 1 files scanned, no findings

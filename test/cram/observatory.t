@@ -12,12 +12,12 @@ any backend.  The fast store is pure in-memory structure:
   ----------------------
     component  bytes  bytes/char  share 
     ---------  -----  ----------  ------
-    vertebrae     28        1.00    3.5%
-    links        464       16.57   58.3%
-    ribs         160        5.71   20.1%
-    extribs      144        5.14   18.1%
-    total        796       28.43  100.0%
-    index footprint 28.43 bytes/char
+    vertebrae      8        0.29    1.0%
+    links        464       16.57   59.8%
+    ribs         160        5.71   20.6%
+    extribs      144        5.14   18.6%
+    total        776       27.71  100.0%
+    index footprint 27.71 bytes/char
 
 The disk backend adds its storage overlays (device pages, buffer-pool
 frames); overlays count toward the total but not the index footprint.
@@ -29,20 +29,20 @@ A small pool keeps the numbers readable:
   ----------------------
     component          bytes  bytes/char  share 
     -----------------  -----  ----------  ------
-    vertebrae              7        0.25    0.1%
+    vertebrae              8        0.29    0.1%
     links                174        6.21    2.9%
     ribs                  84        3.00    1.4%
     rib_slack              0        0.00    0.0%
     extribs               16        0.57    0.3%
     pagestore_pages     1536       54.86   26.0%
     bufferpool_frames   4096      146.29   69.3%
-    total               5913      211.18  100.0%
-    index footprint 10.04 bytes/char
+    total               5914      211.21  100.0%
+    index footprint 10.07 bytes/char
 
 The same report as one JSON line:
 
   $ spine stats --space --text data.txt --backend compact --jsonl - | tail -1
-  {"backend":"compact","chars":28,"total_bytes":281,"index_bytes":281,"bytes_per_char":10.0357,"components":{"vertebrae":7,"links":174,"ribs":84,"rib_slack":0,"extribs":16}}
+  {"backend":"compact","chars":28,"total_bytes":282,"index_bytes":282,"bytes_per_char":10.0714,"components":{"vertebrae":8,"links":174,"ribs":84,"rib_slack":0,"extribs":16}}
 
 The workload runner drives a deterministic request mix and reports
 per-operation latency quantiles; timings vary, the shape does not:

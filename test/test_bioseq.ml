@@ -54,9 +54,14 @@ let test_packed_roundtrip () =
         let s = Bioseq.Packed_seq.to_string seq in
         Alcotest.(check bool) "string roundtrip" true
           (Bioseq.Packed_seq.equal seq (Bioseq.Packed_seq.of_string a s));
-        (* bit-packed roundtrip *)
+        (* word-packed roundtrip: the serialized form is the raw words *)
         let packed = Bioseq.Packed_seq.packed_bits seq in
-        let back = Bioseq.Packed_seq.of_packed_bits a ~len:n packed in
+        Alcotest.(check int) "packed length" (Bytes.length packed)
+          (Bioseq.Packed_seq.packed_byte_length seq);
+        let back =
+          Bioseq.Packed_seq.of_packed_bits a ~len:n
+            ~width:(Bioseq.Packed_seq.width seq) packed
+        in
         Alcotest.(check bool) "bit roundtrip" true
           (Bioseq.Packed_seq.equal seq back)
       done)
@@ -69,6 +74,111 @@ let test_packed_growth () =
   done;
   Alcotest.(check int) "length after growth" 10000 (Bioseq.Packed_seq.length seq);
   Alcotest.(check int) "spot check" 3 (Bioseq.Packed_seq.get seq 4003)
+
+let test_packed_bounds () =
+  (* the checked boundary: safe [get] raises on out-of-range instead of
+     reading the raw word buffer *)
+  let seq = Bioseq.Packed_seq.of_string Bioseq.Alphabet.dna "acgt" in
+  List.iter
+    (fun i ->
+      match Bioseq.Packed_seq.get seq i with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "get %d should raise, got %d" i v)
+    [ -1; 4; 100; max_int ];
+  let empty = Bioseq.Packed_seq.create Bioseq.Alphabet.dna in
+  (match Bioseq.Packed_seq.get empty 0 with
+   | exception Invalid_argument _ -> ()
+   | v -> Alcotest.failf "get on empty should raise, got %d" v)
+
+let test_packed_widening () =
+  let a = Bioseq.Alphabet.dna in
+  let seq = Bioseq.Packed_seq.create a in
+  for i = 0 to 99 do Bioseq.Packed_seq.append seq (i mod 4) done;
+  Alcotest.(check int) "dna starts 2-bit" 2 (Bioseq.Packed_seq.width seq);
+  Alcotest.(check int) "31 codes per word" 31
+    (Bioseq.Packed_seq.codes_per_word seq);
+  Bioseq.Packed_seq.append seq (Bioseq.Alphabet.separator a);
+  Alcotest.(check int) "separator widens to 4-bit" 4
+    (Bioseq.Packed_seq.width seq);
+  for i = 0 to 99 do
+    Alcotest.(check int) "repack preserves codes" (i mod 4)
+      (Bioseq.Packed_seq.get seq i)
+  done;
+  Alcotest.(check int) "separator stored" (Bioseq.Alphabet.separator a)
+    (Bioseq.Packed_seq.get seq 100);
+  (* cross-width comparison falls back to scalar steps and still
+     agrees: seq starts with the same 8 codes as the narrow row *)
+  let narrow = Bioseq.Packed_seq.of_string a "acgtacgt" in
+  let m, words, scalars =
+    Bioseq.Packed_seq.mismatch narrow ~apos:0 seq ~bpos:0 ~len:8
+  in
+  Alcotest.(check int) "cross-width match" 8 m;
+  Alcotest.(check int) "cross-width word steps" 0 words;
+  Alcotest.(check int) "cross-width scalar steps" 8 scalars
+
+let test_packed_mismatch_oracle () =
+  (* differential property: word-at-a-time [mismatch] against a
+     per-code oracle, over random spans at every word offset *)
+  let a = Bioseq.Alphabet.dna in
+  let rng = Bioseq.Rng.create 11 in
+  for _ = 1 to 400 do
+    let n = 2 + Bioseq.Rng.int rng 200 in
+    let s = Bioseq.Synthetic.uniform a (Bioseq.Rng.split rng) n in
+    let codes = Array.init n (fun i -> Bioseq.Packed_seq.get s i) in
+    let flip = Bioseq.Rng.int rng n in
+    codes.(flip) <- (codes.(flip) + 1 + Bioseq.Rng.int rng 3) mod 4;
+    let t = Bioseq.Packed_seq.of_codes a codes in
+    let apos = Bioseq.Rng.int rng n in
+    let bpos = Bioseq.Rng.int rng n in
+    let len = Bioseq.Rng.int rng (min (n - apos) (n - bpos) + 1) in
+    let m, words, scalars = Bioseq.Packed_seq.mismatch s ~apos t ~bpos ~len in
+    let oracle = ref 0 in
+    while
+      !oracle < len
+      && Bioseq.Packed_seq.get s (apos + !oracle)
+         = Bioseq.Packed_seq.get t (bpos + !oracle)
+    do
+      incr oracle
+    done;
+    Alcotest.(check int) "mismatch vs oracle" !oracle m;
+    (* step accounting covers every matched position *)
+    let cpw = Bioseq.Packed_seq.codes_per_word s in
+    Alcotest.(check bool) "steps cover the match" true
+      ((words * cpw) + scalars >= m)
+  done
+
+let test_packed_pattern_oracle () =
+  (* every pattern length 1..65 (straddling word boundaries both in the
+     pattern and at every text offset) extends exactly as far as the
+     per-code oracle says *)
+  let a = Bioseq.Alphabet.dna in
+  let rng = Bioseq.Rng.create 12 in
+  let n = 400 in
+  let s = Bioseq.Synthetic.uniform a (Bioseq.Rng.split rng) n in
+  for plen = 1 to 65 do
+    for _ = 1 to 4 do
+      let pos = Bioseq.Rng.int rng (n - plen) in
+      let codes =
+        Array.init plen (fun i -> Bioseq.Packed_seq.get s (pos + i))
+      in
+      let p = Bioseq.Packed_seq.Pattern.of_codes a codes in
+      let m, _, _ =
+        Bioseq.Packed_seq.mismatch_pattern s ~pos p ~ppos:0 ~len:plen
+      in
+      Alcotest.(check int) "substring fully matches" plen m;
+      let codes' = Array.copy codes in
+      codes'.(plen - 1) <- (codes'.(plen - 1) + 1) mod 4;
+      let p' = Bioseq.Packed_seq.Pattern.of_codes a codes' in
+      let m', _, _ =
+        Bioseq.Packed_seq.mismatch_pattern s ~pos p' ~ppos:0 ~len:plen
+      in
+      Alcotest.(check int) "flipped tail stops early" (plen - 1) m'
+    done
+  done;
+  (* out-of-alphabet pattern codes never match but never raise *)
+  let p = Bioseq.Packed_seq.Pattern.of_codes a [| 99; -1 |] in
+  let m, _, _ = Bioseq.Packed_seq.mismatch_pattern s ~pos:0 p ~ppos:0 ~len:2 in
+  Alcotest.(check int) "unpackable codes match nothing" 0 m
 
 let test_rng_determinism () =
   let a = Bioseq.Rng.create 42 and b = Bioseq.Rng.create 42 in
@@ -181,6 +291,12 @@ let suite =
   ; Alcotest.test_case "alphabet error handling" `Quick test_alphabet_errors
   ; Alcotest.test_case "packed seq roundtrips" `Quick test_packed_roundtrip
   ; Alcotest.test_case "packed seq growth" `Quick test_packed_growth
+  ; Alcotest.test_case "packed safe-get bounds" `Quick test_packed_bounds
+  ; Alcotest.test_case "packed cell widening" `Quick test_packed_widening
+  ; Alcotest.test_case "packed mismatch vs oracle" `Quick
+      test_packed_mismatch_oracle
+  ; Alcotest.test_case "packed pattern vs oracle" `Quick
+      test_packed_pattern_oracle
   ; Alcotest.test_case "rng determinism" `Quick test_rng_determinism
   ; Alcotest.test_case "rng bounds" `Quick test_rng_bounds
   ; Alcotest.test_case "fasta roundtrip" `Quick test_fasta_roundtrip

@@ -8,13 +8,13 @@ let codes_of s = Array.init (String.length s) (fun i -> Char.code s.[i])
 
 (* Build all four backends over [s], pack each as an engine, run [f]
    over the (name, engine) list, then tear the persistent file down. *)
-let with_engines s f =
-  let seq = Bioseq.Packed_seq.of_string byte s in
+let with_engines_of alphabet s f =
+  let seq = Bioseq.Packed_seq.of_string alphabet s in
   let idx = Spine.Index.of_seq seq in
   let compact = Spine.Compact.of_seq seq in
   let disk = Spine.Disk.build seq in
   let path = Filename.temp_file "spine_engine" ".db" in
-  let p = Spine.Persistent.create ~path byte in
+  let p = Spine.Persistent.create ~path alphabet in
   Spine.Persistent.append_string p s;
   Fun.protect
     ~finally:(fun () ->
@@ -26,6 +26,8 @@ let with_engines s f =
         ; ("compact", Spine.Compact.engine compact)
         ; ("persistent", Spine.Persistent.engine p)
         ; ("disk", Spine.Disk.engine disk) ])
+
+let with_engines s f = with_engines_of byte s f
 
 let test_caps () =
   with_engines "aaccacaaca" (fun engines ->
@@ -198,6 +200,105 @@ let test_engine_cursors () =
           engines)
   done
 
+(* The packed-pattern entry points against the per-char oracle, on a
+   2-bit DNA row where one 62-bit word holds 31 codes.  Pattern lengths
+   1..65 cover everything from "shorter than a word" through "straddles
+   two word boundaries"; the start sweep puts occurrences at in-word
+   offsets on both sides of each boundary (0, 29..32, 61, 62 — plus
+   [plen] and [n - plen], which vary the offset with the length).  A
+   flipped final character makes the word compare disagree mid-span, so
+   the boundary scalar fallback is exercised on every shape too. *)
+let test_packed_pattern_differential () =
+  let rng = Bioseq.Rng.create 20260808 in
+  let n = 200 in
+  let s = String.init n (fun _ -> "acgt".[Bioseq.Rng.int rng 4]) in
+  let flip_last pat =
+    let b = Bytes.of_string pat in
+    let i = Bytes.length b - 1 in
+    let c = Bytes.get b i in
+    Bytes.set b i (if c = 'a' then 'c' else 'a');
+    Bytes.to_string b
+  in
+  with_engines_of Bioseq.Alphabet.dna s (fun engines ->
+      List.iter
+        (fun (name, e) ->
+          let check_pattern pat =
+            let label what =
+              Printf.sprintf "%s %s %S (len %d)" name what pat
+                (String.length pat)
+            in
+            let p =
+              match Spine.Engine.pattern_of_string e pat with
+              | Some p -> p
+              | None -> Alcotest.fail (label "encodes")
+            in
+            let occ = Oracles.occurrences s pat in
+            Alcotest.(check bool) (label "contains_pattern")
+              (Oracles.contains s pat) (Spine.Engine.contains_pattern e p);
+            Alcotest.(check (option int)) (label "find_first_pattern")
+              (Oracles.first_occurrence s pat)
+              (Option.map
+                 (fun last -> last - String.length pat)
+                 (Spine.Engine.find_first_pattern e p));
+            Alcotest.(check (list int)) (label "occurrences_pattern")
+              occ (Spine.Engine.occurrences_pattern e p);
+            Alcotest.(check (list int)) (label "end_nodes_pattern")
+              (List.map (fun o -> o + String.length pat) occ)
+              (Spine.Engine.end_nodes_pattern e p)
+          in
+          for plen = 1 to 65 do
+            List.iter
+              (fun start ->
+                if start >= 0 && start + plen <= n then begin
+                  let pat = String.sub s start plen in
+                  check_pattern pat;
+                  check_pattern (flip_last pat)
+                end)
+              [ 0; 29; 30; 31; 32; 61; 62; plen; n - plen ]
+          done;
+          (* cursor advance_pattern: consumes exactly the longest prefix
+             of the pattern present in the data, leaving the cursor on
+             that match *)
+          List.iter
+            (fun (start, plen) ->
+              let pat = String.sub s start plen ^ "acgtacgt" in
+              let p =
+                match Spine.Engine.pattern_of_string e pat with
+                | Some p -> p
+                | None -> Alcotest.fail "cursor pattern encodes"
+              in
+              let expect =
+                let k = ref (String.length pat) in
+                while
+                  !k > 0 && not (Oracles.contains s (String.sub pat 0 !k))
+                do
+                  decr k
+                done;
+                !k
+              in
+              let c = Spine.Engine.cursor e in
+              let consumed = c.Spine.Engine.advance_pattern p in
+              Alcotest.(check int)
+                (Printf.sprintf "%s cursor consumed (start %d len %d)" name
+                   start plen)
+                expect consumed;
+              Alcotest.(check int)
+                (Printf.sprintf "%s cursor length (start %d len %d)" name
+                   start plen)
+                expect (c.Spine.Engine.length ()))
+            [ (0, 40); (17, 33); (30, 2); (100, 64); (n - 65, 65) ];
+          (* matching statistics over a word-crossing DNA query drive
+             the matcher's bulk vertebra runs; the oracle is per-char *)
+          let query = String.init 100 (fun _ -> "acgt".[Bioseq.Rng.int rng 4]) in
+          let ms, _ =
+            Spine.Engine.matching_statistics e
+              (Bioseq.Packed_seq.of_string Bioseq.Alphabet.dna query)
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s dna matching_statistics" name)
+            (Oracles.matching_statistics s query) ms)
+        engines)
+
 (* A closed persistent index must refuse queries through its engine and
    through live cursors, instead of reading freed pages. *)
 let test_guard () =
@@ -228,6 +329,8 @@ let suite =
   ; Alcotest.test_case "run_batch parity" `Quick test_run_batch
   ; Alcotest.test_case "occurrences_batch exposed" `Quick
       test_occurrences_batch_exposed
+  ; Alcotest.test_case "packed-pattern differential" `Quick
+      test_packed_pattern_differential
   ; Alcotest.test_case "cursors on paged backends" `Quick test_engine_cursors
   ; Alcotest.test_case "guard after close" `Quick test_guard
   ]

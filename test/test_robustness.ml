@@ -349,29 +349,106 @@ let test_flush_retry_generation () =
         (P.contains p2 "gtacgtacgt");
       P.close p2)
 
-(* --- snapshot version-1 back-compatibility --------------------------- *)
+(* --- snapshot legacy-version back-compatibility ---------------------- *)
+
+(* The current writer emits v3 (the packed row's raw words), so legacy
+   v1/v2 images — [Alphabet.bits] bits per symbol, MSB-first, v2 with a
+   CRC-32C trailer — are reconstructed here byte for byte. *)
+let legacy_image ~version idx =
+  let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff)) in
+  let put_u32 buf v =
+    for k = 0 to 3 do put_u8 buf ((v lsr (8 * k)) land 0xff) done
+  in
+  let put_u64 buf v =
+    for k = 0 to 7 do put_u8 buf ((v lsr (8 * k)) land 0xff) done
+  in
+  let s = Spine.Index.store idx in
+  let n = Spine.Index.length idx in
+  let alphabet = Spine.Index.alphabet idx in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "SPNE";
+  put_u8 buf version;
+  let symbols =
+    String.init (Bioseq.Alphabet.size alphabet) (fun c ->
+        Bioseq.Alphabet.decode alphabet c)
+  in
+  put_u32 buf (String.length symbols);
+  Buffer.add_string buf symbols;
+  put_u64 buf n;
+  let bits = Bioseq.Alphabet.bits alphabet in
+  let packed = Bytes.make ((n * bits + 7) / 8) '\000' in
+  Bioseq.Packed_seq.iteri (Spine.Index.sequence idx) ~f:(fun i code ->
+      for b = 0 to bits - 1 do
+        if code land (1 lsl (bits - 1 - b)) <> 0 then begin
+          let pos = (i * bits) + b in
+          let byte = pos / 8 and off = pos mod 8 in
+          Bytes.set packed byte
+            (Char.chr (Char.code (Bytes.get packed byte) lor (0x80 lsr off)))
+        end
+      done);
+  put_u32 buf (Bytes.length packed);
+  Buffer.add_bytes buf packed;
+  for node = 1 to n do
+    let dest, lel = Spine.Index.link idx node in
+    put_u32 buf dest;
+    put_u32 buf lel
+  done;
+  put_u32 buf (Spine.Fast_store.rib_count s);
+  for node = 0 to n do
+    Spine.Fast_store.fold_ribs s node ~init:() ~f:(fun () code dest pt ->
+        put_u32 buf node;
+        put_u8 buf code;
+        put_u32 buf dest;
+        put_u32 buf pt)
+  done;
+  put_u32 buf (Spine.Fast_store.extrib_count s);
+  for node = 0 to n do
+    match Spine.Fast_store.find_extrib s node with
+    | None -> ()
+    | Some (dest, pt, prt, anchor) ->
+      put_u32 buf node;
+      put_u32 buf dest;
+      put_u32 buf pt;
+      put_u32 buf prt;
+      put_u32 buf anchor
+  done;
+  let body = Buffer.to_bytes buf in
+  if version = 1 then body
+  else begin
+    let out = Bytes.create (Bytes.length body + 4) in
+    Bytes.blit body 0 out 0 (Bytes.length body);
+    let crc = Xutil.Crc32c.bytes body in
+    for k = 0 to 3 do
+      Bytes.set out
+        (Bytes.length body + k)
+        (Char.chr ((crc lsr (8 * k)) land 0xff))
+    done;
+    out
+  end
 
 let test_serialize_v1_compat () =
   let rng = Bioseq.Rng.create 405 in
   let seq = Bioseq.Synthetic.genomic dna (Bioseq.Rng.split rng) 400 in
   let idx = Spine.Index.of_seq seq in
-  let v2 = Spine.Serialize.to_bytes idx in
-  (* a v1 image is the v2 image minus the CRC trailer, version byte 1 *)
-  let v1 =
-    Bytes.sub v2 0 (Bytes.length v2 - Spine.Serialize.trailer_size)
+  let v1 = legacy_image ~version:1 idx in
+  let v2 = legacy_image ~version:2 idx in
+  let check_parity tag loaded =
+    Alcotest.(check int) (tag ^ " length") (Spine.Index.length idx)
+      (Spine.Index.length loaded);
+    for _ = 1 to 20 do
+      let len = 3 + Bioseq.Rng.int rng 6 in
+      let pos = Bioseq.Rng.int rng (400 - len) in
+      let pat =
+        Array.init len (fun j -> Bioseq.Packed_seq.get seq (pos + j))
+      in
+      Alcotest.(check (list int)) (tag ^ " query parity")
+        (Spine.Index.occurrences idx pat)
+        (Spine.Index.occurrences loaded pat)
+    done
   in
-  Bytes.set v1 4 '\001';
-  let loaded = Spine.Serialize.of_bytes v1 in
-  Alcotest.(check int) "v1 length" (Spine.Index.length idx)
-    (Spine.Index.length loaded);
-  for _ = 1 to 20 do
-    let len = 3 + Bioseq.Rng.int rng 6 in
-    let pos = Bioseq.Rng.int rng (400 - len) in
-    let pat = Array.init len (fun j -> Bioseq.Packed_seq.get seq (pos + j)) in
-    Alcotest.(check (list int)) "v1 query parity"
-      (Spine.Index.occurrences idx pat)
-      (Spine.Index.occurrences loaded pat)
-  done;
+  check_parity "v1" (Spine.Serialize.of_bytes v1);
+  check_parity "v2" (Spine.Serialize.of_bytes v2);
+  check_parity "v3" (Spine.Serialize.of_bytes (Spine.Serialize.to_bytes idx));
   (* flipping a v2 image's version byte to 1 must NOT bypass the CRC:
      the unconsumed trailer is rejected as trailing garbage *)
   let masquerade = Bytes.copy v2 in
@@ -384,7 +461,7 @@ let test_serialize_v1_compat () =
    | _ -> Alcotest.fail "truncated v1 image accepted"
    | exception Spine_error.Error (Spine_error.Corrupt _) -> ());
   (* versions beyond the current one are still rejected *)
-  let future = Bytes.copy v2 in
+  let future = Spine.Serialize.to_bytes idx in
   Bytes.set future 4 '\007';
   match Spine.Serialize.of_bytes future with
   | _ -> Alcotest.fail "future version accepted"
