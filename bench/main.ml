@@ -281,6 +281,42 @@ let run_microbenches ?(prefixes = []) () =
         analyzed [])
     tests
 
+(* Degraded-mode smoke: per-op p99 service time under injected device
+   latency with a resilience policy armed, measured through the chaos
+   scenario runner so the bench gate watches the same path CI's
+   chaos-scenarios job certifies.  The p99s ride in the artifact as
+   their own "scenario" group (unit p99_ns). *)
+let scenario_smoke_text =
+  String.concat "\n"
+    [ {|{"scenario": "bench-degraded", "seed": 42}|};
+      {|{"stage": "build", "chars": 12000, "chunks": 3, "frames": 16}|};
+      {|{"stage": "latency", "read_us": 20, "write_us": 10, "jitter_us": 20}|};
+      {|{"stage": "workload", "requests": 120, "mix": {"single": 6, "batch": 2, "cursor": 2}, "resilience": {"deadline_ms": 2000}}|}
+    ]
+
+let run_scenario_smoke () =
+  print_newline ();
+  print_endline "Degraded-mode smoke (injected latency, resilient workload)";
+  print_endline "----------------------------------------------------------";
+  match Scenario.parse scenario_smoke_text with
+  | Error e -> Printf.eprintf "scenario smoke: %s\n" e; []
+  | Ok sc -> (
+    match Scenario.run sc with
+    | Error e -> Printf.eprintf "scenario smoke: %s\n" e; []
+    | Ok r -> (
+      match r.Scenario.r_report with
+      | None -> []
+      | Some rep ->
+        List.filter_map
+          (fun (o : Workload.op_report) ->
+            if o.Workload.count = 0 then None
+            else begin
+              Printf.printf "  degraded-p99-%-28s %8.3f ms\n" o.Workload.op
+                (o.Workload.p99_ns /. 1e6);
+              Some ("degraded-p99-" ^ o.Workload.op, o.Workload.p99_ns)
+            end)
+          rep.Workload.ops))
+
 (* With telemetry enabled, leave a machine-readable artifact of every
    counter/histogram/span the run accumulated next to the tables. *)
 let emit_telemetry_artifact () =
@@ -322,7 +358,7 @@ let repo_root () =
   in
   up (Sys.getcwd ())
 
-let emit_bench_artifact ~experiments ~micro =
+let emit_bench_artifact ~experiments ~micro ~scenario =
   let path =
     match Sys.getenv_opt "SPINE_BENCH_JSON" with
     | Some path -> path
@@ -357,6 +393,10 @@ let emit_bench_artifact ~experiments ~micro =
   Buffer.add_string buf "  \"micro\": [\n";
   Buffer.add_string buf
     (String.concat ",\n" (List.map (row "ns_per_run") micro));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"scenario\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (row "p99_ns") scenario));
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -368,6 +408,9 @@ let emit_bench_artifact ~experiments ~micro =
    e.g. `bench/main.exe table2 table3 space micro:packed`. *)
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let scenario_args, args =
+    List.partition (fun a -> a = "scenario") args
+  in
   let micro_prefixes, exp_names =
     List.partition_map
       (fun a ->
@@ -377,14 +420,14 @@ let () =
         else Either.Right a)
       args
   in
-  let experiments, micro =
-    match args with
-    | [] ->
+  let experiments, micro, scenario =
+    match (args, scenario_args) with
+    | [], [] ->
       Printf.printf
         "SPINE reproduction bench (scale %g, disk scale %g)\n"
         cfg.Experiments.Config.scale cfg.Experiments.Config.disk_scale;
       let experiments = Experiments.Registry.run_all cfg in
-      (experiments, run_microbenches ())
+      (experiments, run_microbenches (), run_scenario_smoke ())
     | _ ->
       let experiments =
         List.filter_map
@@ -398,8 +441,11 @@ let () =
         if micro_prefixes = [] then []
         else run_microbenches ~prefixes:(List.filter (fun p -> p <> "") micro_prefixes) ()
       in
-      (experiments, micro)
+      let scenario =
+        if scenario_args = [] then [] else run_scenario_smoke ()
+      in
+      (experiments, micro, scenario)
   in
-  emit_bench_artifact ~experiments ~micro;
+  emit_bench_artifact ~experiments ~micro ~scenario;
   emit_telemetry_artifact ();
   emit_trace_artifact ()

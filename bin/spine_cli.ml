@@ -1359,12 +1359,92 @@ let scrub_cmd =
     Term.(const run $ index_arg ~doc:"Persistent index file."
           $ page_size $ deep $ jsonl_out $ frames)
 
+(* --- scenario --- *)
+
+let scenario_run_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Scenario file (JSONL stage list).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Override the scenario's seed: the same stages and \
+                   expectations against a different deterministic storm.")
+  in
+  let report_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Also write the run summary and every expectation \
+                   result as JSON lines (- for stdout).")
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Scratch directory for the scenario's index (kept \
+                   afterwards); default is a removed temp directory.")
+  in
+  let run file seed report_jsonl dir =
+    match Scenario.load ~path:file with
+    | Error e -> Printf.eprintf "scenario: %s: %s\n" file e; 2
+    | Ok sc ->
+      (match Scenario.run ?seed ?dir sc with
+       | Error e -> Printf.eprintf "scenario: %s: %s\n" sc.Scenario.sc_name e; 2
+       | Ok result ->
+         Scenario.print result;
+         (match report_jsonl with
+          | Some "-" -> List.iter print_endline (Scenario.jsonl result)
+          | Some path ->
+            let oc = open_out path in
+            List.iter (fun l -> output_string oc (l ^ "\n"))
+              (Scenario.jsonl result);
+            close_out oc
+          | None -> ());
+         if Scenario.passed result then begin
+           Printf.printf "scenario: %s: ok (%d expectation(s))\n"
+             result.Scenario.r_name
+             (List.length result.Scenario.r_checks);
+           0
+         end
+         else begin
+           let failed =
+             List.filter
+               (fun c -> not c.Scenario.c_pass)
+               result.Scenario.r_checks
+           in
+           Printf.printf "scenario: %s: %d expectation(s) failed\n"
+             result.Scenario.r_name (List.length failed);
+           List.iter
+             (fun c ->
+               Printf.printf "  %s: %s\n" c.Scenario.c_name
+                 c.Scenario.c_detail)
+             failed;
+           1
+         end)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a chaos scenario: composed fault/latency/load \
+             stages with kill -9 crash points, then gate on its named \
+             expectations (query parity, scrub, p99 bounds, replay, \
+             breaker state, counter reconciliation).  Exit 0 on pass, \
+             1 naming each failed expectation, 2 on a malformed \
+             scenario.")
+    Term.(const run $ file $ seed $ report_jsonl $ dir)
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:"Deterministic chaos scenarios (fault/latency/load \
+             composition with expectations).")
+    [ scenario_run_cmd ]
+
 let main_cmd =
   let doc = "SPINE string index (ICDE 2004 reproduction)" in
   Cmd.group (Cmd.info "spine" ~doc)
     [ build_cmd; query_cmd; stats_cmd; workload_cmd; explain_cmd;
       replay_cmd; bench_compare_cmd; match_cmd; approx_cmd; align_cmd;
-      trace_cmd; scrub_cmd ]
+      trace_cmd; scrub_cmd; scenario_cmd ]
 
 (* Typed storage errors can surface lazily (a damaged page is only read
    mid-query); render them as a diagnosis, not an "internal error". *)

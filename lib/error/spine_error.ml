@@ -5,6 +5,8 @@ type t =
   | Io_failed of { op : io_op; page : int; transient : bool; detail : string }
   | Pool_exhausted of { frames : int; latched : int }
   | Closed of string
+  | Timeout of { op : string; deadline_ns : int; elapsed_ns : int }
+  | Overloaded of { op : string; state : string }
 
 exception Error of t
 
@@ -25,8 +27,20 @@ let to_string = function
       "buffer pool exhausted: all %d frames held (%d latched by callers)"
       frames latched
   | Closed what -> Printf.sprintf "%s is closed" what
+  | Timeout { op; deadline_ns; elapsed_ns } ->
+    Printf.sprintf "%s timed out: %.3f ms elapsed against a %.3f ms deadline"
+      op
+      (float_of_int elapsed_ns /. 1e6)
+      (float_of_int deadline_ns /. 1e6)
+  | Overloaded { op; state } ->
+    Printf.sprintf "%s shed: circuit breaker %s" op state
 
 let raise_error e = raise (Error e)
+
+let timeout ~op ~deadline_ns ~elapsed_ns =
+  raise (Error (Timeout { op; deadline_ns; elapsed_ns }))
+
+let overloaded ~op ~state = raise (Error (Overloaded { op; state }))
 
 let corrupt ~region ?(page = -1) fmt =
   Printf.ksprintf (fun detail -> raise (Error (Corrupt { region; page; detail }))) fmt

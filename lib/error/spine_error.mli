@@ -27,6 +27,15 @@ type t =
       (** Every buffer-pool frame is latched by a live [with_page]
           caller; no victim can be chosen even after a retry pass. *)
   | Closed of string  (** Operation on a closed handle. *)
+  | Timeout of { op : string; deadline_ns : int; elapsed_ns : int }
+      (** The operation overran its per-query deadline (armed by the
+          resilience layer, checked cooperatively in the paged hot
+          paths — see [Pagestore.Deadline]).  The caller got {e no}
+          partial result. *)
+  | Overloaded of { op : string; state : string }
+      (** Load shed: the circuit breaker is open (or still probing in
+          half-open) and the request was rejected without touching the
+          engine.  [state] names the breaker state that shed it. *)
 
 exception Error of t
 
@@ -47,3 +56,9 @@ val io_failed :
   ('a, unit, string, 'b) format4 -> 'a
 (** Raise [Error (Io_failed …)] ([page] defaults to [-1], [transient]
     to [false]). *)
+
+val timeout : op:string -> deadline_ns:int -> elapsed_ns:int -> 'a
+(** Raise [Error (Timeout …)]. *)
+
+val overloaded : op:string -> state:string -> 'a
+(** Raise [Error (Overloaded …)]. *)

@@ -31,11 +31,14 @@ type attribution = {
   mutable at_evictions : int;
   mutable at_read_bytes : int;
   mutable at_write_bytes : int;
+  mutable at_io_retries : int;
+  mutable at_injected_delay_ns : int;
 }
 
 let fresh_attribution () =
   { at_hits = 0; at_misses = 0; at_evictions = 0;
-    at_read_bytes = 0; at_write_bytes = 0 }
+    at_read_bytes = 0; at_write_bytes = 0;
+    at_io_retries = 0; at_injected_delay_ns = 0 }
 
 let att_slot : attribution option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -70,6 +73,19 @@ let att_write n =
   match !(Domain.DLS.get att_slot) with
   | None -> ()
   | Some a -> a.at_write_bytes <- a.at_write_bytes + n
+
+let att_retry () =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_io_retries <- a.at_io_retries + 1
+
+(* Charged by the latency injector (Latency_device): the injected
+   delay is pool traffic from the query's point of view, so it flows
+   through the same per-domain sink as the hits and misses. *)
+let note_injected_delay ns =
+  match !(Domain.DLS.get att_slot) with
+  | None -> ()
+  | Some a -> a.at_injected_delay_ns <- a.at_injected_delay_ns + ns
 
 type t = {
   dev : Device.t;
@@ -160,6 +176,7 @@ let with_io_retries page f =
     | Spine_error.Error (Spine_error.Io_failed { transient = true; _ })
       when attempt < max_io_attempts ->
       Telemetry.incr c_io_retries;
+      att_retry ();
       if Trace.on () then
         Trace.instant "pool.io_retry"
           [ Trace.Int ("page", page); Trace.Int ("attempt", attempt) ];
@@ -296,6 +313,9 @@ let frame_for t page =
     f
 
 let with_page t page ~dirty f =
+  (* the cooperative deadline check: a paged query that overruns its
+     armed budget fails typed here, before latching another frame *)
+  Deadline.check ();
   locked t (fun () ->
       let frame = frame_for t page in
       t.in_use.(frame) <- t.in_use.(frame) + 1;

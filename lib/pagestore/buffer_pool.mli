@@ -95,10 +95,21 @@ type attribution = {
           injected-fault retries re-read but are charged once) *)
   mutable at_write_bytes : int;
       (** device bytes written by writebacks this operation forced *)
+  mutable at_io_retries : int;
+      (** transient-I/O retry passes this operation paid (mirrors the
+          [pool.io_retries] counter) *)
+  mutable at_injected_delay_ns : int;
+      (** latency the injector ({!Latency_device}) charged to this
+          operation's device traffic *)
 }
 
 val fresh_attribution : unit -> attribution
 (** An all-zero sink. *)
+
+val note_injected_delay : int -> unit
+(** Charge [ns] of injected device latency to the calling domain's
+    attribution sink (no-op without one) — {!Latency_device} calls this
+    so per-query profiles carry the delay they were subjected to. *)
 
 val with_attribution : attribution -> (unit -> 'a) -> 'a
 (** [with_attribution sink f] runs [f] with [sink] installed as the

@@ -100,6 +100,7 @@ let max_valid_epoch t = t.max_valid_epoch
 let set_max_valid_epoch t e = t.max_valid_epoch <- e
 let set_region_namer t f = t.region_of <- f
 let set_hooks t h = t.hooks <- h
+let hooks t = t.hooks
 
 let charge t page full_cost =
   let sequential = page = t.last_page || page = t.last_page + 1 in

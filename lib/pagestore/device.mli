@@ -131,6 +131,10 @@ type hooks = {
 
 val set_hooks : t -> hooks option -> unit
 
+val hooks : t -> hooks option
+(** The currently installed hooks — what a {e wrapping} injector
+    ({!Latency_device}) chains onto so latency and faults compose. *)
+
 (** {2 Raw slot access — preimage-journal support}
 
     A transaction layer that journals preimages (see

@@ -11,7 +11,7 @@ let c_torn_writes = Telemetry.counter "fault.torn_writes"
 let c_crashes = Telemetry.counter "fault.crashes"
 let c_dropped = Telemetry.counter "fault.dropped_writes"
 
-type kind =
+type kind = Fault_spec.kind =
   | Read_error
   | Write_error
   | Bit_flip
@@ -185,99 +185,22 @@ let detach dev = Device.set_hooks dev None
 
 (* --- SPINE_FAULTS grammar ---
 
-   spec  := item (';' item)*
-   item  := 'seed=' INT | kind (':' opt)*
-   kind  := 'read_error' | 'write_error' | 'flip' | 'torn' | 'crash'
-   opt   := 'page=' INT ['-' INT] | 'after=' INT | 'times=' INT
-          | 'keep=' INT
+   The grammar and its typed parser live in Fault_spec (the scenario
+   harness embeds the same spec strings in its fault stages); this end
+   only instantiates a parsed spec as a live plan. *)
 
-   e.g. "seed=7;flip:after=12;torn:after=30:keep=96;crash:after=40" *)
+let of_spec (s : Fault_spec.t) =
+  create ?seed:s.Fault_spec.seed
+    (List.map
+       (fun (a : Fault_spec.arm_spec) ->
+         { kind = a.Fault_spec.s_kind; pages = a.Fault_spec.s_pages;
+           after = a.Fault_spec.s_after; times = a.Fault_spec.s_times })
+       s.Fault_spec.arms)
 
 let parse spec =
-  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  let int_of s =
-    match int_of_string_opt (String.trim s) with
-    | Some v -> Ok v
-    | None -> fail "not a number: %S" s
-  in
-  (* every option is a count or a byte/page position: negatives would
-     reach Bytes.blit / modulo arithmetic as untyped Invalid_argument *)
-  let nonneg key s =
-    match int_of s with
-    | Ok v when v < 0 -> fail "negative %s=%d" key v
-    | r -> r
-  in
-  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
-  let parse_item item =
-    match String.split_on_char ':' (String.trim item) with
-    | [] -> fail "empty fault item"
-    | kind_s :: opts ->
-      let* kind =
-        match kind_s with
-        | "read_error" -> Ok Read_error
-        | "write_error" -> Ok Write_error
-        | "flip" -> Ok Bit_flip
-        | "torn" -> Ok (Torn_write 0)
-        | "crash" -> Ok Crash
-        | other -> fail "unknown fault kind %S" other
-      in
-      let rec opts_loop kind pages after times = function
-        | [] -> Ok { kind; pages; after; times }
-        | o :: rest ->
-          (match String.index_opt o '=' with
-           | None -> fail "malformed option %S (expected key=value)" o
-           | Some eq ->
-             let key = String.sub o 0 eq in
-             let value = String.sub o (eq + 1) (String.length o - eq - 1) in
-             (match key with
-              | "after" ->
-                let* v = nonneg "after" value in
-                opts_loop kind pages v times rest
-              | "times" ->
-                let* v = nonneg "times" value in
-                opts_loop kind pages after v rest
-              | "keep" ->
-                (match kind with
-                 | Torn_write _ ->
-                   let* v = nonneg "keep" value in
-                   opts_loop (Torn_write v) pages after times rest
-                 | _ -> fail "keep= only applies to torn")
-              | "page" ->
-                (match String.index_opt value '-' with
-                 | None ->
-                   let* v = nonneg "page" value in
-                   opts_loop kind (Some (v, v)) after times rest
-                 | Some dash ->
-                   let* lo = nonneg "page" (String.sub value 0 dash) in
-                   let* hi =
-                     nonneg "page"
-                       (String.sub value (dash + 1)
-                          (String.length value - dash - 1))
-                   in
-                   if hi < lo then fail "empty page range %S" value
-                   else opts_loop kind (Some (lo, hi)) after times rest)
-              | other -> fail "unknown fault option %S" other))
-      in
-      opts_loop kind None 0 1 opts
-  in
-  let items =
-    List.filter
-      (fun s -> String.length (String.trim s) > 0)
-      (String.split_on_char ';' spec)
-  in
-  let rec go seed arms = function
-    | [] -> Ok (create ?seed (List.rev arms))
-    | item :: rest ->
-      let trimmed = String.trim item in
-      if String.length trimmed > 5 && String.equal (String.sub trimmed 0 5) "seed="
-      then
-        let* v = int_of (String.sub trimmed 5 (String.length trimmed - 5)) in
-        go (Some v) arms rest
-      else
-        let* a = parse_item trimmed in
-        go seed (a :: arms) rest
-  in
-  go None [] items
+  match Fault_spec.parse spec with
+  | Ok s -> Ok (of_spec s)
+  | Error e -> Error (Fault_spec.error_to_string e)
 
 let env_var = "SPINE_FAULTS"
 

@@ -24,7 +24,7 @@
     Plans parse from the [SPINE_FAULTS] environment variable; see
     {!parse} for the grammar. *)
 
-type kind =
+type kind = Fault_spec.kind =
   | Read_error
   | Write_error
   | Bit_flip
@@ -69,15 +69,15 @@ val stats : t -> stats
 
 (** {2 The [SPINE_FAULTS] grammar}
 
-    {[ spec  := item (';' item)*
-       item  := 'seed=' INT | kind (':' opt)*
-       kind  := 'read_error' | 'write_error' | 'flip' | 'torn' | 'crash'
-       opt   := 'page=' INT ['-' INT] | 'after=' INT | 'times=' INT
-              | 'keep=' INT   (torn only) ]}
+    The grammar and its typed parser live in {!Fault_spec}; these
+    wrappers instantiate a parsed spec as a live plan. *)
 
-    Example: ["seed=7;flip:after=12;read_error:page=0-16:times=3"]. *)
+val of_spec : Fault_spec.t -> t
+(** Instantiate a typed spec (seed defaulting as {!create}). *)
 
 val parse : string -> (t, string) result
+(** [Fault_spec.parse] rendered through {!Fault_spec.error_to_string} —
+    the historical message strings, byte for byte. *)
 
 val env_var : string
 (** ["SPINE_FAULTS"]. *)

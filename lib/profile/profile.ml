@@ -31,6 +31,8 @@ type t = {
   mutable pool_evictions : int;
   mutable device_read_bytes : int;
   mutable device_write_bytes : int;
+  mutable io_retries : int;
+  mutable injected_delay_ns : int;
   mutable alloc_bytes : int;
   mutable wall_ns : int;
 }
@@ -41,6 +43,7 @@ let make () =
     word_steps = 0; scalar_steps = 0;
     pool_hits = 0; pool_misses = 0; pool_evictions = 0;
     device_read_bytes = 0; device_write_bytes = 0;
+    io_retries = 0; injected_delay_ns = 0;
     alloc_bytes = 0; wall_ns = 0 }
 
 (* The ambient profile of the calling domain; [None] outside any
@@ -127,6 +130,9 @@ let profiled f =
       p.device_read_bytes + att.Pagestore.Buffer_pool.at_read_bytes;
     p.device_write_bytes <-
       p.device_write_bytes + att.Pagestore.Buffer_pool.at_write_bytes;
+    p.io_retries <- p.io_retries + att.Pagestore.Buffer_pool.at_io_retries;
+    p.injected_delay_ns <-
+      p.injected_delay_ns + att.Pagestore.Buffer_pool.at_injected_delay_ns;
     r := prev
   in
   match Pagestore.Buffer_pool.with_attribution att f with
@@ -159,6 +165,8 @@ let absorb dst src =
   dst.pool_evictions <- dst.pool_evictions + src.pool_evictions;
   dst.device_read_bytes <- dst.device_read_bytes + src.device_read_bytes;
   dst.device_write_bytes <- dst.device_write_bytes + src.device_write_bytes;
+  dst.io_retries <- dst.io_retries + src.io_retries;
+  dst.injected_delay_ns <- dst.injected_delay_ns + src.injected_delay_ns;
   dst.alloc_bytes <- dst.alloc_bytes + src.alloc_bytes;
   dst.wall_ns <- dst.wall_ns + src.wall_ns
 
@@ -181,15 +189,21 @@ let fields p =
     ("pool_evictions", p.pool_evictions);
     ("device_read_bytes", p.device_read_bytes);
     ("device_write_bytes", p.device_write_bytes);
+    ("io_retries", p.io_retries);
+    ("injected_delay_ns", p.injected_delay_ns);
     ("alloc_bytes", p.alloc_bytes);
     ("wall_ns", p.wall_ns) ]
 
 (* The subset that is deterministic for a fixed (engine state, request
    stream) — what the replay gate compares.  Excludes alloc_bytes
-   (GC-dependent) and wall_ns (timing). *)
+   (GC-dependent), wall_ns (timing), and the resilience pair
+   io_retries / injected_delay_ns (functions of the armed fault and
+   latency plans, not of the request stream). *)
 let deterministic_fields p =
   List.filter
-    (fun (k, _) -> k <> "alloc_bytes" && k <> "wall_ns")
+    (fun (k, _) ->
+      k <> "alloc_bytes" && k <> "wall_ns" && k <> "io_retries"
+      && k <> "injected_delay_ns")
     (fields p)
 
 let of_fields l =
@@ -208,5 +222,7 @@ let of_fields l =
     pool_evictions = g "pool_evictions";
     device_read_bytes = g "device_read_bytes";
     device_write_bytes = g "device_write_bytes";
+    io_retries = g "io_retries";
+    injected_delay_ns = g "injected_delay_ns";
     alloc_bytes = g "alloc_bytes";
     wall_ns = g "wall_ns" }

@@ -46,6 +46,12 @@ type t = {
   mutable pool_evictions : int;
   mutable device_read_bytes : int;
   mutable device_write_bytes : int;
+  mutable io_retries : int;
+      (** transient-I/O retry passes the buffer pool paid for this
+          query (injected or real) *)
+  mutable injected_delay_ns : int;
+      (** device latency the injector ({!Pagestore.Latency_device})
+          charged to this query *)
   mutable alloc_bytes : int;     (** via [Gc.allocated_bytes] deltas *)
   mutable wall_ns : int;
 }
@@ -100,9 +106,11 @@ val fields : t -> (string * int) list
     section of the qlog record grammar and the explain JSONL report. *)
 
 val deterministic_fields : t -> (string * int) list
-(** {!fields} minus [alloc_bytes] and [wall_ns]: the counters that are
-    deterministic for a fixed engine state and request stream, which is
-    what the replay regression gate compares. *)
+(** {!fields} minus [alloc_bytes], [wall_ns], [io_retries] and
+    [injected_delay_ns]: the counters that are deterministic for a
+    fixed engine state and request stream (the excluded four depend on
+    GC, timing, or the armed fault/latency plans), which is what the
+    replay regression gate compares. *)
 
 val of_fields : (string * int) list -> t
 (** Rebuild a profile from {!fields} output; missing keys are zero. *)

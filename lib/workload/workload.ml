@@ -43,6 +43,9 @@ type op_report = {
   p90_ns : float;
   p99_ns : float;
   max_ns : int;
+  timeouts : int;
+  shed : int;
+  failed : int;
 }
 
 type slow = { s_op : string; s_request : int; s_ns : int }
@@ -79,13 +82,19 @@ type acc = {
   mutable hits : int;
   mutable sum_ns : int;
   mutable max_ns : int;
+  (* typed rejections under a resilience policy; kept out of the
+     latency buckets so sheds cannot fake a fast percentile *)
+  mutable timeouts : int;
+  mutable shed : int;
+  mutable failed : int;
 }
 
 let acc backend op =
   { a_op = op;
     a_hist = Telemetry.histogram (Printf.sprintf "workload.%s.%s.ns" backend op);
     counts = Array.make n_buckets 0;
-    count = 0; hits = 0; sum_ns = 0; max_ns = 0 }
+    count = 0; hits = 0; sum_ns = 0; max_ns = 0;
+    timeouts = 0; shed = 0; failed = 0 }
 
 let record a ~hit ns =
   Telemetry.observe a.a_hist ns;
@@ -104,7 +113,10 @@ let report_of_acc a =
     p50_ns = q 0.5;
     p90_ns = q 0.9;
     p99_ns = q 0.99;
-    max_ns = a.max_ns }
+    max_ns = a.max_ns;
+    timeouts = a.timeouts;
+    shed = a.shed;
+    failed = a.failed }
 
 (* Same bucketing applied to a bare latency list — the replay gate uses
    it to quantile the *recorded* side of a comparison with exactly the
@@ -246,7 +258,7 @@ let decode_pattern alphabet codes =
 
 let drive ?(clock = Xutil.Stopwatch.now_ns)
     ?(sleep_ns = fun ns -> Unix.sleepf (float_of_int ns /. 1e9)) ?on_tick
-    ~config engine requests =
+    ?resilient ~config engine requests =
   let cfg = config in
   let backend = Spine.Engine.backend engine in
   let alphabet = Spine.Engine.alphabet engine in
@@ -291,11 +303,25 @@ let drive ?(clock = Xutil.Stopwatch.now_ns)
             | None -> clock ()
             | Some off ->
               let due = t_start + off in
-              let now = clock () in
-              if due > now then sleep_ns (due - now);
+              (* Sleep until the schedule on the *injected* clock: one
+                 sleep may undersleep (EINTR, an injected sleeper that
+                 advances a virtual clock by less than asked), and
+                 starting early would record negative latency against
+                 the scheduled origin.  Loop while the clock makes
+                 progress; a sleeper that cannot advance the clock at
+                 all must not spin forever. *)
+              let rec wait () =
+                let now = clock () in
+                if due > now then begin
+                  sleep_ns (due - now);
+                  if clock () > now then wait ()
+                end
+              in
+              wait ();
               due
           in
-          let (hit, hits, found), prof =
+          let a = List.assq op accs in
+          let exec () =
             Trace.with_op
               (Printf.sprintf "workload.%s" (op_name op))
               [ Trace.Int ("request", i) ]
@@ -306,19 +332,43 @@ let drive ?(clock = Xutil.Stopwatch.now_ns)
                     | Batch ps -> exec_batch engine ps
                     | Cursor codes -> exec_cursor engine codes))
           in
-          let ns = clock () - due in
-          record (List.assq op accs) ~hit ns;
-          Profile.absorb (List.assq op profs) prof;
-          if Qlog.active () then begin
-            let pats =
-              match req.r_payload with
-              | Single p -> [ decode_pattern alphabet p ]
-              | Batch ps -> List.map (decode_pattern alphabet) ps
-              | Cursor codes -> [ decode_pattern alphabet codes ]
-            in
-            Qlog.emit ~op:(op_name op) ~backend ~patterns:pats ~hits ~found
-              ~latency_ns:ns ~costs:prof
-          end;
+          (* Under a resilience policy, typed rejections are workload
+             dispositions, not crashes: the driver records them and
+             keeps offering load — exactly what a degraded-mode
+             scenario measures.  Without one, errors propagate as
+             before. *)
+          let outcome =
+            match resilient with
+            | None -> `Done (exec ())
+            | Some r ->
+              (match Spine.Resilient.call r ~op:(op_name op)
+                       (fun _engine -> exec ())
+               with
+               | v -> `Done v
+               | exception Spine_error.Error (Spine_error.Timeout _) ->
+                 `Timeout
+               | exception Spine_error.Error (Spine_error.Overloaded _) ->
+                 `Shed
+               | exception Spine_error.Error _ -> `Failed)
+          in
+          (match outcome with
+           | `Done ((hit, hits, found), prof) ->
+             let ns = clock () - due in
+             record a ~hit ns;
+             Profile.absorb (List.assq op profs) prof;
+             if Qlog.active () then begin
+               let pats =
+                 match req.r_payload with
+                 | Single p -> [ decode_pattern alphabet p ]
+                 | Batch ps -> List.map (decode_pattern alphabet) ps
+                 | Cursor codes -> [ decode_pattern alphabet codes ]
+               in
+               Qlog.emit ~op:(op_name op) ~backend ~patterns:pats ~hits
+                 ~found ~latency_ns:ns ~costs:prof
+             end
+           | `Timeout -> a.timeouts <- a.timeouts + 1
+           | `Shed -> a.shed <- a.shed + 1
+           | `Failed -> a.failed <- a.failed + 1);
           match on_tick with
           | Some f when cfg.tick_every > 0 && (i + 1) mod cfg.tick_every = 0 ->
             f (i + 1)
@@ -374,6 +424,18 @@ let print r =
            ns_ms o.mean_ns; ns_ms o.p50_ns; ns_ms o.p90_ns; ns_ms o.p99_ns;
            ns_ms (float_of_int o.max_ns) ])
        r.ops);
+  if
+    List.exists
+      (fun (o : op_report) -> o.timeouts + o.shed + o.failed > 0)
+      r.ops
+  then
+    Report.Table.print ~title:"Typed rejections by operation"
+      ~headers:[ "op"; "ok"; "timeouts"; "shed"; "failed" ]
+      (List.map
+         (fun (o : op_report) ->
+           [ o.op; string_of_int o.count; string_of_int o.timeouts;
+             string_of_int o.shed; string_of_int o.failed ])
+         r.ops);
   if r.slowest <> [] then
     Report.Table.print ~title:"Slowest requests (trace slow-op log)"
       ~headers:[ "rank"; "op"; "request"; "ms" ]
@@ -384,13 +446,21 @@ let print r =
          r.slowest)
 
 let jsonl r =
-  let op_line o =
+  let op_line (o : op_report) =
+    (* the rejection triple is appended only when present so historical
+       consumers of fault-free runs see unchanged lines *)
+    let rejections =
+      if o.timeouts + o.shed + o.failed = 0 then ""
+      else
+        Printf.sprintf ",\"timeouts\":%d,\"shed\":%d,\"failed\":%d"
+          o.timeouts o.shed o.failed
+    in
     Printf.sprintf
       "{\"workload_op\":%S,\"backend\":%S,\"count\":%d,\"hits\":%d,\
        \"mean_ns\":%.0f,\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f,\
-       \"max_ns\":%d}"
+       \"max_ns\":%d%s}"
       o.op r.backend o.count o.hits o.mean_ns o.p50_ns o.p90_ns o.p99_ns
-      o.max_ns
+      o.max_ns rejections
   in
   let summary =
     Printf.sprintf

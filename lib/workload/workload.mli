@@ -54,14 +54,21 @@ val default_config : config
 
 type op_report = {
   op : string;
-  count : int;
+  count : int;   (** requests that completed with a result *)
   hits : int;    (** requests that found at least one occurrence *)
   mean_ns : float;
   p50_ns : float;
   p90_ns : float;
   p99_ns : float;  (** interpolated, see {!Telemetry.quantile} *)
   max_ns : int;    (** exact (not bucketed) *)
+  timeouts : int;  (** typed [Timeout] rejections (resilient runs) *)
+  shed : int;      (** typed [Overloaded] rejections (breaker open) *)
+  failed : int;    (** other typed failures after the retry budget *)
 }
+(** Rejected requests are counted but kept out of the latency
+    histogram: a shed request answering in microseconds must not fake a
+    fast percentile.  On a run without a resilience policy the three
+    rejection counts are zero and [count] covers every request. *)
 
 type slow = {
   s_op : string;
@@ -108,6 +115,7 @@ val drive :
   ?clock:(unit -> int) ->
   ?sleep_ns:(int -> unit) ->
   ?on_tick:(int -> unit) ->
+  ?resilient:Spine.Resilient.t ->
   config:config ->
   Spine.Engine.t ->
   request list ->
@@ -121,7 +129,17 @@ val drive :
 
     [clock] (default {!Xutil.Stopwatch.now_ns}) and [sleep_ns] (default
     [Unix.sleepf]) exist so tests and the replay determinism gate can
-    inject a fake clock and make the schedule byte-reproducible. *)
+    inject a fake clock and make the schedule byte-reproducible.  The
+    open-loop pacer sleeps {e on the injected clock} until each
+    request's scheduled start: an undersleeping (or virtual) sleeper is
+    re-waited, never allowed to start a request early and record
+    negative latency against the schedule.
+
+    [resilient] routes every request through {!Spine.Resilient.call}:
+    typed [Timeout]/[Overloaded]/failure rejections become workload
+    dispositions in the report instead of propagating, so the driver
+    keeps offering load while the engine degrades — the chaos-scenario
+    measurement mode.  Rejected requests emit no qlog record. *)
 
 val run :
   ?config:config -> ?clock:(unit -> int) -> ?sleep_ns:(int -> unit) ->

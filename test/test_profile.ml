@@ -117,8 +117,8 @@ let test_fields_roundtrip () =
   let back = Profile.of_fields (Profile.fields prof) in
   Alcotest.(check bool) "fields/of_fields round trip" true
     (Profile.fields back = Profile.fields prof);
-  Alcotest.(check int) "deterministic drops alloc+wall"
-    (List.length (Profile.fields prof) - 2)
+  Alcotest.(check int) "deterministic drops alloc+wall+resilience pair"
+    (List.length (Profile.fields prof) - 4)
     (List.length (Profile.deterministic_fields prof));
   Alcotest.(check bool) "wall clock measured" true (prof.Profile.wall_ns >= 0)
 

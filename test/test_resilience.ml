@@ -1,0 +1,435 @@
+(* Tests for the engine-level resilience layer (Spine.Resilient):
+   bounded retry with deterministic jitter, cooperative deadlines,
+   circuit-breaker transitions, exact parity after a transient-fault
+   storm — plus the open-loop pacing fix (injected clock end to end),
+   the typed SPINE_FAULTS parser, latency-injection attribution, and
+   the scenario DSL parser. *)
+
+module VC = Xutil.Virtual_clock
+module R = Spine.Resilient
+module FS = Pagestore.Fault_spec
+module FD = Pagestore.Fault_device
+module P = Spine.Persistent
+
+let dna = Bioseq.Alphabet.dna
+
+let seq_of ?(seed = 4242) n =
+  Bioseq.Synthetic.genomic dna (Bioseq.Rng.create seed) n
+
+let tiny_engine () = Spine.Compact.engine (Spine.Compact.of_seq (seq_of 500))
+
+let with_tmp f =
+  let path = Filename.temp_file "spine_resil" ".db" in
+  let result =
+    try f path with e -> (try Sys.remove path with _ -> ()); raise e
+  in
+  (try Sys.remove path with _ -> ());
+  result
+
+let no_breaker =
+  {
+    R.default_config with
+    R.deadline_ns = None;
+    breaker_failures = 1000;
+    backoff_base_ns = 1_000_000;
+    backoff_max_ns = 100_000_000;
+    seed = 7;
+  }
+
+(* a call that fails transiently [k] times, then succeeds *)
+let flaky k =
+  let calls = ref 0 in
+  ( calls,
+    fun _e ->
+      incr calls;
+      if !calls <= k then
+        Spine_error.io_failed ~op:Spine_error.Read ~page:0 ~transient:true
+          "injected transient"
+      else 42 )
+
+let make_virtual config =
+  let vc = VC.create () in
+  let sleeps = ref [] in
+  let sleep ns =
+    sleeps := ns :: !sleeps;
+    VC.sleep vc ns
+  in
+  let r k =
+    R.create ~clock:(VC.now vc) ~sleep_ns:sleep ~config (tiny_engine ())
+    |> fun t -> (t, k)
+  in
+  (vc, sleeps, r)
+
+(* --- retry/backoff --------------------------------------------------- *)
+
+let test_retry_bounded () =
+  let vc, sleeps, mk = make_virtual no_breaker in
+  ignore vc;
+  let t, _ = mk () in
+  let calls, f = flaky 2 in
+  let v = R.call t ~op:"q" f in
+  Alcotest.(check int) "result through retries" 42 v;
+  Alcotest.(check int) "attempts = failures + 1" 3 !calls;
+  Alcotest.(check int) "two backoff sleeps" 2 (List.length !sleeps);
+  let c = R.counts t in
+  Alcotest.(check int) "retries counted" 2 c.R.retries;
+  Alcotest.(check int) "no failures recorded (it recovered)" 0 c.R.failures;
+  Alcotest.(check int) "completed" 1 c.R.completed;
+  (* exhaustion: the budget is a hard bound *)
+  let calls, f = flaky 100 in
+  (match R.call t ~op:"q" f with
+   | _ -> Alcotest.fail "persistent fault must escape after the budget"
+   | exception Spine_error.Error (Spine_error.Io_failed _) -> ());
+  Alcotest.(check int) "exactly max_attempts tries"
+    no_breaker.R.max_attempts !calls;
+  Alcotest.(check int) "one typed failure" 1 (R.counts t).R.failures
+
+let test_backoff_deterministic () =
+  let run seed =
+    let vc, sleeps, _ = make_virtual no_breaker in
+    ignore vc;
+    let sleep ns =
+      sleeps := ns :: !sleeps
+    in
+    let t =
+      R.create ~clock:(fun () -> 0) ~sleep_ns:sleep
+        ~config:{ no_breaker with R.seed } (tiny_engine ())
+    in
+    let _, f = flaky 3 in
+    ignore (R.call t ~op:"q" f);
+    List.rev !sleeps
+  in
+  let a = run 7 and b = run 7 and c = run 8 in
+  Alcotest.(check (list int)) "same seed, same jitter schedule" a b;
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c);
+  List.iteri
+    (fun i ns ->
+      let cap =
+        min no_breaker.R.backoff_max_ns (no_breaker.R.backoff_base_ns lsl i)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "backoff %d within [base, 1.5*cap]" i)
+        true
+        (ns >= cap && ns <= cap + (cap / 2)))
+    a
+
+let test_deadline_inside_call () =
+  let vc = VC.create () in
+  let config =
+    { no_breaker with R.deadline_ns = Some 10_000_000 (* 10 ms *) }
+  in
+  let t =
+    R.create ~clock:(VC.now vc) ~sleep_ns:(VC.sleep vc) ~config
+      (tiny_engine ())
+  in
+  (* the engine work overruns the budget and hits a cooperative check,
+     the way Buffer_pool.with_page and the latency injector do *)
+  let f _e =
+    VC.advance vc 20_000_000;
+    Pagestore.Deadline.check ();
+    ()
+  in
+  (match R.call t ~op:"slow" f with
+   | () -> Alcotest.fail "deadline overrun must raise"
+   | exception Spine_error.Error (Spine_error.Timeout { op; _ }) ->
+     Alcotest.(check string) "timeout names the op" "slow" op);
+  Alcotest.(check int) "timeout counted" 1 (R.counts t).R.timeouts;
+  Alcotest.(check bool) "deadline disarmed after the call" false
+    (Pagestore.Deadline.armed ())
+
+let test_backoff_crossing_deadline () =
+  let vc = VC.create () in
+  let config =
+    {
+      no_breaker with
+      R.deadline_ns = Some 1_000_000;
+      (* any backoff (>= 10 ms) overshoots the 1 ms budget *)
+      backoff_base_ns = 10_000_000;
+    }
+  in
+  let t =
+    R.create ~clock:(VC.now vc) ~sleep_ns:(VC.sleep vc) ~config
+      (tiny_engine ())
+  in
+  let calls, f = flaky 100 in
+  (match R.call t ~op:"q" (fun e -> ignore (f e)) with
+   | () -> Alcotest.fail "must time out"
+   | exception Spine_error.Error (Spine_error.Timeout _) -> ());
+  Alcotest.(check int) "no second attempt after a doomed backoff" 1 !calls
+
+(* --- circuit breaker ------------------------------------------------- *)
+
+let test_breaker_transitions () =
+  let vc = VC.create () in
+  let config =
+    {
+      R.default_config with
+      R.deadline_ns = None;
+      max_attempts = 1;
+      breaker_failures = 3;
+      breaker_cooldown_ns = 100_000_000;
+      breaker_probes = 2;
+      seed = 5;
+    }
+  in
+  let t =
+    R.create ~clock:(VC.now vc) ~sleep_ns:(VC.sleep vc) ~config
+      (tiny_engine ())
+  in
+  let boom _e =
+    Spine_error.io_failed ~op:Spine_error.Read ~page:0 ~transient:true "boom"
+  in
+  let ok _e = () in
+  Alcotest.(check bool) "starts closed" true (R.breaker_state t = R.Closed);
+  for _ = 1 to 3 do
+    match R.call t ~op:"q" boom with
+    | () -> Alcotest.fail "must fail"
+    | exception Spine_error.Error (Spine_error.Io_failed _) -> ()
+  done;
+  Alcotest.(check bool) "trips open at the threshold" true
+    (R.breaker_state t = R.Open);
+  (* open: shed without touching the engine *)
+  let touched = ref false in
+  (match R.call t ~op:"q" (fun _ -> touched := true) with
+   | () -> Alcotest.fail "must shed"
+   | exception Spine_error.Error (Spine_error.Overloaded { state; _ }) ->
+     Alcotest.(check string) "overloaded names the state" "open" state);
+  Alcotest.(check bool) "shed call never reached the engine" false !touched;
+  Alcotest.(check int) "shed counted" 1 (R.counts t).R.shed;
+  (* cooldown elapses: half-open admits probes *)
+  VC.advance vc 150_000_000;
+  R.call t ~op:"q" ok;
+  Alcotest.(check bool) "half-open after the first probe" true
+    (R.breaker_state t = R.Half_open);
+  R.call t ~op:"q" ok;
+  Alcotest.(check bool) "closes after breaker_probes successes" true
+    (R.breaker_state t = R.Closed);
+  Alcotest.(check int) "recovery counted" 1 (R.counts t).R.recoveries;
+  (* a half-open failure re-trips immediately *)
+  for _ = 1 to 3 do
+    try R.call t ~op:"q" boom with Spine_error.Error _ -> ()
+  done;
+  VC.advance vc 150_000_000;
+  (try R.call t ~op:"q" boom with Spine_error.Error _ -> ());
+  Alcotest.(check bool) "half-open failure re-trips" true
+    (R.breaker_state t = R.Open);
+  Alcotest.(check int) "three trips total" 3 (R.counts t).R.breaker_trips
+
+(* --- storm parity on a real persistent engine ------------------------ *)
+
+let test_storm_parity () =
+  with_tmp (fun path ->
+      let seq = seq_of 4_000 in
+      let p = P.create ~frames:8 ~path dna in
+      for i = 0 to Bioseq.Packed_seq.length seq - 1 do
+        P.append p (Bioseq.Packed_seq.get seq i)
+      done;
+      P.flush p;
+      let oracle = Spine.Index.of_seq seq in
+      let fd = FD.create ~seed:9 [ FD.arm ~times:9 FD.Read_error ] in
+      FD.attach fd (P.device p);
+      let t =
+        R.create
+          ~config:{ R.default_config with R.backoff_base_ns = 10_000 }
+          (P.engine p)
+      in
+      let rng = Bioseq.Rng.create 77 in
+      for _ = 1 to 40 do
+        let len = 3 + Bioseq.Rng.int rng 8 in
+        let pos = Bioseq.Rng.int rng (4_000 - len) in
+        let pat =
+          Array.init len (fun k -> Bioseq.Packed_seq.get seq (pos + k))
+        in
+        let got =
+          R.call t ~op:"occurrences" (fun e ->
+              Spine.Engine.occurrences e pat)
+        in
+        Alcotest.(check (list int)) "storm parity"
+          (Spine.Index.occurrences oracle pat)
+          got
+      done;
+      let c = R.counts t in
+      Alcotest.(check int) "every query completed" 40 c.R.completed;
+      Alcotest.(check int) "zero failures after recovery" 0 c.R.failures;
+      Alcotest.(check bool) "the storm actually forced retries" true
+        (c.R.retries > 0);
+      Alcotest.(check bool) "the storm is spent" true
+        ((FD.stats fd).FD.read_errors > 0);
+      P.close p)
+
+(* --- open-loop pacing on the injected clock -------------------------- *)
+
+let test_open_loop_injected_clock () =
+  let vc = VC.create () in
+  (* an adversarial sleeper: always undersleeps by half — the pacer
+     must re-wait instead of starting early and recording negative
+     latency against the schedule *)
+  let under ns = VC.advance vc (max 1 (ns / 2)) in
+  let seq = seq_of 2_000 in
+  let engine = Spine.Compact.engine (Spine.Compact.of_seq seq) in
+  let config =
+    {
+      Workload.default_config with
+      Workload.requests = 20;
+      rate = Some 1000.0;
+      mix = { Workload.single = 1; batch = 0; cursor = 0 };
+      slowest = 20;
+    }
+  in
+  let requests = Workload.plan ~config seq in
+  let report, _ =
+    Workload.drive ~clock:(VC.now vc) ~sleep_ns:under ~config engine requests
+  in
+  (* last request is due at 19 ms on the virtual clock: the run cannot
+     have finished before the schedule it was paced against *)
+  Alcotest.(check bool) "clock reached the last scheduled start" true
+    (VC.now vc () >= 19_000_000);
+  (* engine work costs no virtual time, so every latency measured from
+     its scheduled start must be exactly zero — an early start would
+     have shown up as a negative mean *)
+  List.iter
+    (fun (o : Workload.op_report) ->
+      if o.Workload.count > 0 then begin
+        Alcotest.(check (float 0.0001)) "no schedule skew in the mean" 0.0
+          o.Workload.mean_ns;
+        Alcotest.(check int) "no schedule skew in the max" 0 o.Workload.max_ns
+      end)
+    report.Workload.ops
+
+(* --- typed SPINE_FAULTS parser --------------------------------------- *)
+
+let test_fault_spec_parse () =
+  (match FS.parse "seed=77;read_error:page=3-9:after=2:times=5;crash" with
+   | Error e -> Alcotest.failf "parse failed: %s" (FS.error_to_string e)
+   | Ok s ->
+     Alcotest.(check bool) "seed" true (s.FS.seed = Some 77);
+     (match s.FS.arms with
+      | [ a; b ] ->
+        Alcotest.(check bool) "kind" true (a.FS.s_kind = FS.Read_error);
+        Alcotest.(check bool) "pages" true (a.FS.s_pages = Some (3, 9));
+        Alcotest.(check int) "after" 2 a.FS.s_after;
+        Alcotest.(check int) "times" 5 a.FS.s_times;
+        Alcotest.(check bool) "crash" true (b.FS.s_kind = FS.Crash)
+      | _ -> Alcotest.fail "expected two arms"));
+  let err spec =
+    match FS.parse spec with
+    | Ok _ -> Alcotest.failf "%S must not parse" spec
+    | Error e -> (e, FS.error_to_string e)
+  in
+  let e, msg = err "bogus" in
+  Alcotest.(check bool) "typed unknown kind" true (e = FS.Unknown_kind "bogus");
+  Alcotest.(check string) "legacy message preserved" "unknown fault kind \"bogus\"" msg;
+  let e, _ = err "read_error:keep=2" in
+  Alcotest.(check bool) "typed misplaced keep" true (e = FS.Misplaced_keep);
+  let e, _ = err "read_error:page=9-3" in
+  Alcotest.(check bool) "typed empty range" true
+    (e = FS.Empty_page_range "9-3");
+  let e, _ = err "read_error:times=x" in
+  Alcotest.(check bool) "typed not-a-number" true (e = FS.Not_a_number "x")
+
+let test_fault_spec_roundtrip () =
+  let specs =
+    [ "read_error"; "seed=3;flip:page=1-8:times=2;torn:keep=1:after=4";
+      "write_error:times=3;crash:after=10" ]
+  in
+  List.iter
+    (fun spec ->
+      match FS.parse spec with
+      | Error e -> Alcotest.failf "%S: %s" spec (FS.error_to_string e)
+      | Ok s -> (
+        let printed = FS.to_string s in
+        match FS.parse printed with
+        | Error e ->
+          Alcotest.failf "round trip %S -> %S: %s" spec printed
+            (FS.error_to_string e)
+        | Ok s' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round trip %S" spec)
+            true (s = s')))
+    specs
+
+(* --- latency injection charged to the query -------------------------- *)
+
+let test_latency_attribution () =
+  with_tmp (fun path ->
+      let seq = seq_of 3_000 in
+      (let p = P.create ~path dna in
+       for i = 0 to Bioseq.Packed_seq.length seq - 1 do
+         P.append p (Bioseq.Packed_seq.get seq i)
+       done;
+       P.close p);
+      (* reopen with a cold starved pool so the query actually reads *)
+      let p = P.open_ ~frames:4 ~path () in
+      let slept = ref 0 in
+      let l =
+        Pagestore.Latency_device.create
+          ~sleep_ns:(fun ns -> slept := !slept + ns)
+          { Pagestore.Latency_device.read_ns = 5_000; write_ns = 0;
+            jitter_ns = 1_000; seed = 5 }
+      in
+      Pagestore.Latency_device.attach l (P.device p);
+      let pat = Array.init 6 (fun k -> Bioseq.Packed_seq.get seq k) in
+      let occ, prof =
+        Spine.Engine.profiled (P.engine p) (fun () -> P.occurrences p pat)
+      in
+      Alcotest.(check bool) "query found its planted pattern" true (occ <> []);
+      let stats = Pagestore.Latency_device.stats l in
+      Alcotest.(check bool) "delays were injected" true (stats.Pagestore.Latency_device.ops > 0);
+      Alcotest.(check int) "profile charged with every injected ns"
+        stats.Pagestore.Latency_device.total_ns prof.Profile.injected_delay_ns;
+      Alcotest.(check int) "injected sleep went through the hook"
+        stats.Pagestore.Latency_device.total_ns !slept;
+      P.close p)
+
+(* --- scenario DSL parser --------------------------------------------- *)
+
+let test_scenario_parse () =
+  let text =
+    String.concat "\n"
+      [ "# comment";
+        "{\"scenario\": \"t\", \"seed\": 7}";
+        "{\"stage\": \"build\", \"chars\": 1000}";
+        "{\"stage\": \"faults\", \"spec\": \"read_error:times=2\"}";
+        "{\"stage\": \"latency\", \"read_us\": 10}";
+        "{\"stage\": \"workload\", \"requests\": 5, \"resilience\": {}}";
+        "{\"stage\": \"crash\", \"chars\": 200, \"after_writes\": 3}";
+        "{\"stage\": \"expect\", \"parity\": 10, \"scrub\": \"clean\"}" ]
+  in
+  (match Scenario.parse text with
+   | Error e -> Alcotest.failf "parse failed: %s" e
+   | Ok sc ->
+     Alcotest.(check string) "name" "t" sc.Scenario.sc_name;
+     Alcotest.(check int) "seed" 7 sc.Scenario.sc_seed;
+     Alcotest.(check int) "six stages" 6 (List.length sc.Scenario.sc_stages));
+  (match Scenario.parse "{\"scenario\":\"t\"}\n{\"stage\":\"nope\"}" with
+   | Ok _ -> Alcotest.fail "unknown stage must not parse"
+   | Error e ->
+     let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "error names the line" true (contains e "line 2"))
+
+let suite =
+  [ Alcotest.test_case "retry bounded + budget exhaustion" `Quick
+      test_retry_bounded
+  ; Alcotest.test_case "backoff jitter deterministic per seed" `Quick
+      test_backoff_deterministic
+  ; Alcotest.test_case "cooperative deadline inside a call" `Quick
+      test_deadline_inside_call
+  ; Alcotest.test_case "backoff crossing the deadline" `Quick
+      test_backoff_crossing_deadline
+  ; Alcotest.test_case "breaker trip / half-open / close" `Quick
+      test_breaker_transitions
+  ; Alcotest.test_case "storm parity through retries (disk)" `Quick
+      test_storm_parity
+  ; Alcotest.test_case "open-loop pacing on the injected clock" `Quick
+      test_open_loop_injected_clock
+  ; Alcotest.test_case "fault spec typed errors" `Quick test_fault_spec_parse
+  ; Alcotest.test_case "fault spec round trip" `Quick
+      test_fault_spec_roundtrip
+  ; Alcotest.test_case "latency injection charged to the query" `Quick
+      test_latency_attribution
+  ; Alcotest.test_case "scenario DSL parser" `Quick test_scenario_parse
+  ]
